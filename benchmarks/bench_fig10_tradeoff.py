@@ -1,0 +1,51 @@
+"""Fig. 10 — trade-off between the acceptable-degradation budget and its
+impact on recovery cost / total energy (the design's flexibility knob)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import pipeline, table
+
+from repro.errors.sites import Component
+
+BUDGETS = (0.05, 0.1, 0.3, 1.0, 3.0, 10.0)
+LATENCY_VOLTAGE = 0.68
+
+
+def test_fig10_budget_tradeoff(benchmark):
+    pipe = pipeline("opt-mini")
+
+    rows_raw = []
+
+    def run():
+        rows_raw.extend(
+            pipe.tradeoff_curve(Component.FC2, budgets=BUDGETS,
+                                latency_voltage=LATENCY_VOLTAGE)
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [r["budget"], f"{100*r['recovery_overhead_at_v']:.1f}%",
+         f"{r['optimal_voltage']:.2f}", r["total_energy_j"] * 1e9]
+        for r in rows_raw
+    ]
+    table(
+        "fig10_tradeoff",
+        ["acceptable degradation", f"recovery overhead @ {LATENCY_VOLTAGE}V",
+         "optimal voltage", "total energy (nJ)"],
+        rows,
+        title="Fig 10: degradation budget vs recovery cost and energy (FC2)",
+    )
+    overheads = [r["recovery_overhead_at_v"] for r in rows_raw]
+    energies = [r["total_energy_j"] for r in rows_raw]
+    # looser budgets monotonically reduce recovery work...
+    assert all(x >= y - 1e-9 for x, y in zip(overheads, overheads[1:]))
+    # ...and the loosest budget is at least as cheap as the tightest
+    assert energies[-1] <= energies[0] + 1e-12

@@ -1,0 +1,72 @@
+"""Fig. 1 — motivation: (a) lower voltage -> higher BER -> perplexity blows
+up without protection; (b) statistical ABFT cuts recovery cost vs classical.
+
+Paper reference: OPT-1.3B on WikiText-2; BER synthesized from a 14nm SA.
+Here: OPT-style tiny LM on the synthetic LM task, BER(V) from the
+calibrated log-linear model.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import BER_SWEEP, FAST_VOLTAGES, emit, pipeline, table
+
+from repro.characterization.sweeps import ber_sweep
+from repro.circuits.voltage import VoltageBerModel
+from repro.utils.tables import format_table
+
+
+def test_fig1a_ber_vs_perplexity(benchmark):
+    pipe = pipeline("opt-mini")
+    voltage_model = VoltageBerModel()
+
+    def run_one():
+        return ber_sweep(pipe.evaluator, [1e-4], label="probe")[0].score
+
+    benchmark.pedantic(run_one, rounds=3, iterations=1)
+
+    records = ber_sweep(pipe.evaluator, BER_SWEEP, label="no-protection")
+    rows = []
+    for record in records:
+        voltage = voltage_model.voltage_for_ber(record.ber)
+        rows.append([f"{record.ber:.0e}", f"{voltage:.3f}", record.score, record.degradation])
+    table(
+        "fig1a_ber_vs_perplexity",
+        ["BER", "approx voltage (V)", "perplexity", "degradation"],
+        rows,
+        title="Fig 1(a): perplexity vs BER, no protection (all components)",
+    )
+    assert records[-1].degradation > 1.0  # high BER is unacceptable
+    assert records[0].degradation < 0.3  # low BER is harmless
+
+
+def test_fig1b_recovery_cost_saved(benchmark):
+    pipe = pipeline("opt-mini")
+
+    def run_one():
+        return pipe.evaluate_method_at("statistical-abft", None, 0.68)
+
+    benchmark.pedantic(run_one, rounds=1, iterations=1)
+
+    rows = []
+    savings = []
+    for voltage in FAST_VOLTAGES:
+        classical = pipe.evaluate_method_at("classical-abft", None, voltage)
+        ours = pipe.evaluate_method_at("statistical-abft", None, voltage)
+        saved = classical.recovered_macs - ours.recovered_macs
+        pct = 100.0 * saved / classical.recovered_macs if classical.recovered_macs else 0.0
+        savings.append(pct)
+        rows.append(
+            [f"{voltage:.2f}", classical.recovered_macs, ours.recovered_macs, f"{pct:.1f}%"]
+        )
+    table(
+        "fig1b_recovery_cost_saved",
+        ["voltage", "classical recovered MACs", "ours recovered MACs", "recovery saved"],
+        rows,
+        title="Fig 1(b): recovery cost saved by statistical ABFT",
+    )
+    assert max(savings) > 50.0  # substantial recovery reduction somewhere

@@ -1,0 +1,49 @@
+"""Fig. 4(a)(b) / Q1.1 — layer-wise resilience.
+
+Paper protocol: flip bit 30, inject into every component of a single
+Transformer block, sweep BER, for several layer indices. Uses the 4-layer
+tiny zoo models so layer position matters.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import evaluator, table
+
+from repro.characterization.questions import q11_layerwise
+
+BERS = (1e-5, 1e-4, 1e-3, 1e-2)
+
+
+def test_q11_layerwise_resilience(benchmark):
+    ev = evaluator("opt-tiny", "perplexity")
+    layers = list(range(ev.bundle.config.n_layers))
+
+    benchmark.pedantic(
+        lambda: q11_layerwise(ev, layers=[0], bers=(1e-3,)), rounds=1, iterations=1
+    )
+
+    records = q11_layerwise(ev, layers=layers, bers=BERS)
+    rows = []
+    by_layer: dict[str, list[float]] = {}
+    for record in records:
+        by_layer.setdefault(record.label, []).append(record.degradation)
+        rows.append([record.label, f"{record.ber:.0e}", record.score, record.degradation])
+    table(
+        "fig4a_q11_layerwise",
+        ["layer", "BER", "perplexity", "degradation"],
+        rows,
+        title="Fig 4(a): layer-wise resilience (bit 30, one block at a time)",
+    )
+    # paper finding: earlier layers are at least as vulnerable as later ones
+    first = max(by_layer[f"layer{layers[0]}"])
+    last = max(by_layer[f"layer{layers[-1]}"])
+    assert first >= 0.3 * last
+    # every layer eventually degrades at the highest BER
+    assert all(max(v) > 0.0 for v in by_layer.values())

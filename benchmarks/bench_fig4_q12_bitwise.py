@@ -1,0 +1,46 @@
+"""Fig. 4(c)(d) / Q1.2 — bit-wise resilience.
+
+Paper finding: low-bit errors are negligible everywhere; high-bit errors on
+a re-quantized component (K) saturate, while on an FP-residual component (O)
+they are unbounded and destructive.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import evaluator, table
+
+from repro.characterization.questions import q12_bitwise
+from repro.errors.sites import Component
+
+BITS = (10, 14, 22, 30)
+BERS = (1e-4, 1e-3)
+
+
+def test_q12_bitwise_resilience(benchmark):
+    ev = evaluator("opt-mini", "perplexity")
+
+    benchmark.pedantic(
+        lambda: q12_bitwise(ev, bits=(30,), components=(Component.K,), bers=(1e-3,)),
+        rounds=1,
+        iterations=1,
+    )
+
+    records = q12_bitwise(ev, bits=BITS, components=(Component.K, Component.O), bers=BERS)
+    rows = [[r.label, f"{r.ber:.0e}", r.score, r.degradation] for r in records]
+    table(
+        "fig4cd_q12_bitwise",
+        ["component/bit", "BER", "perplexity", "degradation"],
+        rows,
+        title="Fig 4(c)(d): bit-wise resilience — K saturates, O does not",
+    )
+    worst = {r.label: r.degradation for r in records if r.ber == 1e-3}
+    # low bits harmless on both components
+    assert worst["K/bit10"] < 0.3 and worst["O/bit10"] < 0.3
+    # K's high-bit errors saturate at re-quantization; O's do not
+    assert worst["K/bit30"] < 0.3
+    assert worst["O/bit30"] > 10 * max(worst["K/bit30"], 0.01)

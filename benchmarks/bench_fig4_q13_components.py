@@ -1,0 +1,53 @@
+"""Fig. 4(e)(f) / Q1.3 — per-component resilience in the prefill stage.
+
+Paper Insight 1: components followed by normalization (O and FC2 in the
+OPT block, O and Down in the LLaMA block) are far more sensitive than the
+rest. Both architectures are swept.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import evaluator, table
+
+from repro.characterization.questions import q13_components
+from repro.errors.sites import SENSITIVE_COMPONENTS, component_kind
+
+BERS = (1e-4, 1e-3, 1e-2)
+
+
+def _run(model_name: str, experiment_id: str, title: str):
+    ev = evaluator(model_name, "perplexity")
+    records = q13_components(ev, bers=BERS)
+    rows = []
+    worst: dict[str, float] = {}
+    for record in records:
+        worst[record.label] = max(worst.get(record.label, 0.0), record.degradation)
+        rows.append([record.label, f"{record.ber:.0e}", record.score, record.degradation])
+    table(experiment_id, ["component", "BER", "perplexity", "degradation"], rows, title=title)
+    kinds = {c.value: component_kind(c) for c in ev.bundle.config.components}
+    sensitive_worst = {k: v for k, v in worst.items() if kinds[k] == "sensitive"}
+    resilient_worst = {k: v for k, v in worst.items() if kinds[k] == "resilient"}
+    # every sensitive component degrades far beyond every resilient one
+    assert min(sensitive_worst.values()) > 5 * max(max(resilient_worst.values()), 1e-3)
+    return records
+
+
+def test_q13_components_opt(benchmark):
+    benchmark.pedantic(
+        lambda: _run("opt-mini", "fig4e_q13_components_opt",
+                     "Fig 4(e): component resilience, OPT-style block"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_q13_components_llama(benchmark):
+    benchmark.pedantic(
+        lambda: _run("llama-mini", "fig4f_q13_components_llama",
+                     "Fig 4(f): component resilience, LLaMA-style block"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,62 @@
+"""Fig. 4(g)(h) / Q1.4 — error magnitude vs frequency trade-off at iso-MSD.
+
+Paper Insight 2: resilient components tolerate both sporadic large and
+frequent small errors (non-monotonic in frequency at fixed MSD); sensitive
+components fail even with few large errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import evaluator, table
+
+from repro.characterization.questions import q14_magfreq
+from repro.errors.sites import Component
+
+MAGS = tuple(2**p for p in (6, 10, 14, 18, 22, 26))
+FREQS = (1, 4, 16, 64, 256)
+
+
+def _grid(component: Component, experiment_id: str, title: str):
+    ev = evaluator("opt-mini", "perplexity")
+    records = q14_magfreq(ev, component, mags=MAGS, freqs=FREQS)
+    rows = [
+        [r.extra["mag"], r.extra["freq"], r.extra["msd"], r.score, r.degradation]
+        for r in records
+    ]
+    table(experiment_id, ["mag", "freq", "MSD", "perplexity", "degradation"], rows, title=title)
+    return {(r.extra["mag"], r.extra["freq"]): r.degradation for r in records}
+
+
+def test_q14_resilient_component_grid(benchmark):
+    grid = {}
+
+    def run():
+        grid.update(_grid(Component.K, "fig4g_q14_resilient",
+                          "Fig 4(g): mag-freq grid on resilient component K"))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # sporadic large errors harmless on K
+    assert grid[(2**26, 1)] < 0.3
+    # frequent tiny errors harmless on K
+    assert grid[(2**6, 256)] < 0.3
+
+
+def test_q14_sensitive_component_grid(benchmark):
+    grid = {}
+
+    def run():
+        grid.update(_grid(Component.O, "fig4h_q14_sensitive",
+                          "Fig 4(h): mag-freq grid on sensitive component O"))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # few large errors already destroy a sensitive component...
+    assert grid[(2**26, 4)] > 0.3
+    # ...while frequent tiny errors stay harmless
+    assert grid[(2**6, 256)] < 0.3

@@ -1,0 +1,48 @@
+"""Fig. 4(k)(l) / Q2.2 — per-component resilience during the decode stage.
+
+Paper finding: the sensitive components (O, Down) identified in the prefill
+study remain the vulnerable ones during decode.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import evaluator, table
+
+from repro.characterization.questions import q22_decode_components
+from repro.errors.sites import Component, component_kind
+
+BERS = (1e-3, 1e-2)
+COMPONENTS = (Component.Q, Component.K, Component.SV, Component.O,
+              Component.UP, Component.DOWN)
+
+
+def test_q22_decode_component_resilience(benchmark):
+    ev = evaluator("llama-mini", "xsum")
+
+    records = []
+
+    def run():
+        records.extend(q22_decode_components(ev, components=COMPONENTS, bers=BERS))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[r.label, f"{r.ber:.0e}", r.score, r.degradation] for r in records]
+    table(
+        "fig4kl_q22_decode_components",
+        ["component", "BER", "ROUGE-1", "degradation"],
+        rows,
+        title="Fig 4(k)(l): decode-stage component resilience (LLaMA-style)",
+    )
+    worst = {}
+    for r in records:
+        worst[r.label] = max(worst.get(r.label, 0.0), r.degradation)
+    sensitive = max(worst["O"], worst["Down"])
+    resilient = max(worst["Q"], worst["K"], worst["SV"], worst["Up"])
+    # O and Down remain the most vulnerable in decode (Insight 3's second half)
+    assert sensitive >= resilient
+    assert sensitive > 1.0

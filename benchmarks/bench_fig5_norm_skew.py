@@ -1,0 +1,71 @@
+"""Fig. 5 — the normalization-skew mechanism behind Insight 1.
+
+A single large error injected into the pre-norm hidden state drastically
+shifts mu and sigma (outlier-dominated statistics), altering *every*
+element after normalization; the same error after a bounded path stays
+local.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import bundle, table
+
+from repro.models.export import quantize_model
+from repro.models.quantized import layer_norm_np
+
+
+def test_fig5_normalization_skew(benchmark):
+    b = bundle("opt-mini")
+    model = quantize_model(b.state, b.config)
+    tokens = b.source.sample_batch(1, 24, key="fig5")[0]
+
+    # capture the true pre-norm hidden state of layer 1 (residual stream)
+    h = model._embed_tokens(tokens, position=0)
+    from repro.errors.sites import Stage
+
+    h = model._block(model.layers[0], 0, h, Stage.PREFILL, None, 0)
+
+    weight = model.layers[1]["norm1_w"]
+    bias = model.layers[1]["norm1_b"]
+    eps = b.config.norm_eps
+
+    def normalize(x):
+        return layer_norm_np(x, weight, bias, eps)
+
+    benchmark.pedantic(lambda: normalize(h), rounds=20, iterations=1)
+
+    clean_norm = normalize(h)
+    corrupted = h.copy()
+    error = 127.0 * 8.0  # a high-bit error surviving dequantization
+    corrupted[5, 17] += error
+    corrupted_norm = normalize(corrupted)
+
+    row_clean = h[5]
+    row_bad = corrupted[5]
+    rows = [
+        ["pre-norm mu", float(row_clean.mean()), float(row_bad.mean())],
+        ["pre-norm sigma", float(row_clean.std()), float(row_bad.std())],
+        ["post-norm max |delta| (other elements)",
+         0.0,
+         float(np.max(np.abs(np.delete(clean_norm[5] - corrupted_norm[5], 17))))],
+        ["post-norm mean |delta| (other elements)",
+         0.0,
+         float(np.mean(np.abs(np.delete(clean_norm[5] - corrupted_norm[5], 17))))],
+    ]
+    table(
+        "fig5_norm_skew",
+        ["statistic", "clean", "with one injected error"],
+        rows,
+        title="Fig 5: one pre-norm error skews mu/sigma and every output",
+    )
+    # sigma inflates substantially and untouched elements shift globally
+    assert row_bad.std() > 2.0 * row_clean.std()
+    untouched_delta = np.abs(np.delete(clean_norm[5] - corrupted_norm[5], 17))
+    assert untouched_delta.max() > 0.25

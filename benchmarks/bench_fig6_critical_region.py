@@ -1,0 +1,65 @@
+"""Fig. 6 — fitted critical regions for a resilient and a sensitive
+component, with the fitted (a, b, theta_freq) parameters and the grid
+classification they induce.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import FAST_FREQS, FAST_MAGS, emit, pipeline
+
+from repro.errors.sites import Component
+from repro.utils.tables import format_table
+
+
+def test_fig6_critical_regions(benchmark):
+    pipe = pipeline("opt-mini")
+
+    benchmark.pedantic(
+        lambda: pipe.calibrate([Component.K, Component.O]), rounds=1, iterations=1
+    )
+
+    sections = []
+    for component in (Component.K, Component.O):
+        region = pipe.regions[component.value]
+        points = pipe.grids[component.value]
+        rows = []
+        for p in points:
+            inside = region.predicts_recovery(p.mag, p.freq)
+            rows.append(
+                [int(p.mag), int(p.freq), p.degradation,
+                 "critical" if p.degradation > pipe.config.budget else "ok",
+                 "recover" if inside else "accept"]
+            )
+        header = (
+            f"component {component.value} ({region.kind}): "
+            f"a={region.a:.2f} b={region.b:.1f} theta_freq={region.theta_freq:.0f}"
+        )
+        sections.append(
+            header + "\n" + format_table(
+                ["mag", "freq", "degradation", "ground truth", "decision"], rows
+            )
+        )
+        # reliability: the rule flags every critical grid point
+        missed = [
+            p for p in points
+            if p.degradation > pipe.config.budget
+            and not region.predicts_recovery(p.mag, p.freq)
+        ]
+        assert not missed, f"missed critical points on {component.value}"
+    emit("fig6_critical_region", "\n\n".join(sections))
+
+    # the sensitive region is strictly larger (flags more patterns)
+    k_flags = sum(
+        pipe.regions["K"].predicts_recovery(m, f) for m in FAST_MAGS for f in FAST_FREQS
+    )
+    o_flags = sum(
+        pipe.regions["O"].predicts_recovery(m, f) for m in FAST_MAGS for f in FAST_FREQS
+    )
+    assert o_flags > k_flags

@@ -1,0 +1,85 @@
+"""Fig. 7 — statistical ABFT on the systolic array: functional correctness
+under WS/OS dataflows, checksum latency overhead, and hardware-vs-software
+agreement of the statistical unit (Log2LinearFunction).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import table
+
+from repro.abft.protectors import StatisticalABFT
+from repro.abft.region import CriticalRegion, theta_mag
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, GemmSite, Stage
+from repro.quant.gemm import gemm_int32
+from repro.systolic.array import SystolicArray
+from repro.systolic.dataflow import OS, WS, tile_latency_cycles
+from repro.systolic.stat_unit import Log2LinearUnit
+from repro.utils.seeding import derive_rng
+
+SITE = GemmSite(0, Component.K, Stage.PREFILL)
+
+
+def test_fig7_systolic_dataflows(benchmark):
+    rng = derive_rng(0, "fig7")
+    a = rng.integers(-127, 128, size=(96, 96)).astype(np.int8)
+    b = rng.integers(-127, 128, size=(96, 96)).astype(np.int8)
+    reference = gemm_int32(a, b)
+
+    ws_array = SystolicArray(32, WS)
+    benchmark.pedantic(lambda: ws_array.gemm(a, b), rounds=3, iterations=1)
+
+    rows = []
+    for dataflow, name in ((WS, "WS"), (OS, "OS")):
+        array = SystolicArray(32, dataflow)
+        out, plain = array.gemm(a, b)
+        np.testing.assert_array_equal(out, reference)
+        region = CriticalRegion(a=1.5, b=14.0, theta_freq=4.0)
+        protector = StatisticalABFT({"K": region})
+        injector = ErrorInjector(BitFlipModel(1e-5), seed=1)
+        protected_out, protected = array.gemm(a, b, injector, protector, SITE)
+        checksum_overhead = protected.compute_cycles / plain.compute_cycles - 1.0
+        rows.append(
+            [name, plain.compute_cycles, protected.compute_cycles,
+             f"{100*checksum_overhead:.2f}%", protected.recovered_tiles,
+             f"{100*protected.recovery_overhead:.2f}%"]
+        )
+        # checksum pipeline overhead is ~1 cycle per tile: negligible
+        assert checksum_overhead < 0.05
+    table(
+        "fig7_systolic",
+        ["dataflow", "plain cycles", "protected cycles", "checksum overhead",
+         "recovered tiles", "recovery cycle overhead"],
+        rows,
+        title="Fig 7: statistical ABFT on WS/OS systolic arrays",
+    )
+
+
+def test_fig7_statistical_unit_hw_vs_sw(benchmark):
+    """The Log2LinearFunction hardware threshold tracks the software law."""
+    unit = Log2LinearUnit(a=1.5, b=12.0)
+    msds = [2**p + 3 for p in range(4, 30, 2)]
+
+    benchmark.pedantic(lambda: [unit.theta_mag(m) for m in msds], rounds=10, iterations=1)
+
+    rows = []
+    for msd in msds:
+        hw = unit.theta_mag(msd)
+        sw = theta_mag(1.5, 12.0, msd)
+        ratio = hw / sw if sw else float("inf")
+        rows.append([msd, sw, hw, f"{ratio:.3f}"])
+        assert 0.4 <= ratio <= 2.5
+    table(
+        "fig7_stat_unit_hw_vs_sw",
+        ["MSD", "software theta_mag", "hardware theta_mag", "ratio"],
+        rows,
+        title="Fig 7(c): Log2LinearFunction unit vs exact threshold",
+    )

@@ -1,0 +1,35 @@
+"""Fig. 8 — circuit area and power of 256x256 WS/OS arrays under the four
+protection schemes. Paper: statistical ABFT costs 1.42-1.43% area and
+1.79-1.82% power."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import table
+
+from repro.circuits.synthesis import overhead_report
+
+
+def test_fig8_area_power_overhead(benchmark):
+    rows_raw = benchmark(lambda: overhead_report(256))
+    rows = [
+        [r.dataflow, r.scheme, r.area_mm2, f"{r.area_overhead_pct:.3f}%",
+         r.power_mw, f"{r.power_overhead_pct:.3f}%"]
+        for r in rows_raw
+    ]
+    table(
+        "fig8_overhead",
+        ["dataflow", "scheme", "area (mm^2)", "area overhead",
+         "power (mW)", "power overhead"],
+        rows,
+        title="Fig 8: area/power overhead at 256x256 (paper: 1.42% / 1.79%)",
+    )
+    stat = [r for r in rows_raw if r.scheme == "statistical-abft"]
+    for r in stat:
+        assert 1.0 < r.area_overhead_pct < 2.0
+        assert 1.2 < r.power_overhead_pct < 2.5
+        assert r.power_overhead_pct > r.area_overhead_pct

@@ -1,0 +1,91 @@
+"""Fig. 9 — LLM performance and total energy vs operating voltage for the
+six methods, on both model families.
+
+Deviation from the paper (see EXPERIMENTS.md): the paper injects into a
+single component (K of OPT-1.3B, V of LLaMA-3-8B); in our tiny substitute,
+single resilient components saturate harmlessly, so the headline comparison
+protects the *whole model* — the actual deployment scenario — and the
+per-component sweep lives in the Table II benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import FAST_VOLTAGES, pipeline, table
+
+from repro.core.methods import method_names
+from repro.energy.sweetspot import find_sweet_spot
+
+
+def _run(model_name: str, task: str, experiment_id: str, title: str):
+    pipe = pipeline(model_name, task)
+    comparison = pipe.method_comparison(None, methods=method_names())
+    rows = []
+    for method, runs in comparison.items():
+        for r in runs:
+            rows.append(
+                [method, f"{r.voltage:.2f}", f"{r.ber:.1e}", r.metric,
+                 r.degradation, f"{r.recovery_rate:.3f}",
+                 r.energy_j * 1e6, "yes" if r.feasible else "NO"]
+            )
+    table(
+        experiment_id,
+        ["method", "V", "BER", "metric", "degradation", "recovery rate",
+         "energy (uJ)", "feasible"],
+        rows,
+        title=title,
+    )
+
+    points = {
+        m: [r.as_voltage_point() for r in runs] for m, runs in comparison.items()
+    }
+    # headline claim 1: no protection becomes infeasible at low voltage
+    assert not points["no-protection"][-1].feasible
+    # headline claim 2: ours stays feasible at least as deep into the
+    # voltage sweep as running unprotected, and at every voltage where the
+    # unprotected model is fine
+    ours_min_feasible = min(p.voltage for p in points["statistical-abft"] if p.feasible)
+    none_min_feasible = min(p.voltage for p in points["no-protection"] if p.feasible)
+    assert ours_min_feasible <= none_min_feasible
+    # headline claim 3: ours' sweet spot beats every prior-art method
+    best_ours = find_sweet_spot(points["statistical-abft"])
+    for method in ("classical-abft", "approx-abft", "dmr"):
+        best_other = find_sweet_spot(points[method])
+        assert best_ours.energy_j < best_other.energy_j, method
+    savings = {
+        m: 100.0 * (1.0 - best_ours.energy_j / find_sweet_spot(points[m]).energy_j)
+        for m in ("classical-abft", "approx-abft", "dmr")
+    }
+    summary = [[m, f"{find_sweet_spot(points[m]).voltage:.2f}",
+                find_sweet_spot(points[m]).energy_j * 1e6, f"{s:.1f}%"]
+               for m, s in savings.items()]
+    summary.append(["statistical-abft (ours)", f"{best_ours.voltage:.2f}",
+                    best_ours.energy_j * 1e6, "-"])
+    table(
+        experiment_id + "_sweetspots",
+        ["method", "sweet spot V", "energy (uJ)", "ours saves"],
+        summary,
+        title=title + " — sweet spots",
+    )
+
+
+def test_fig9a_opt_perplexity(benchmark):
+    benchmark.pedantic(
+        lambda: _run("opt-mini", "perplexity", "fig9a_opt_energy",
+                     "Fig 9(a): OPT-style LM, perplexity task"),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig9b_llama_multiple_choice(benchmark):
+    benchmark.pedantic(
+        lambda: _run("llama-mini", "hellaswag", "fig9b_llama_energy",
+                     "Fig 9(b): LLaMA-style LM, HellaSwag-like task"),
+        rounds=1, iterations=1,
+    )

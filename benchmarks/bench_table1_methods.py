@@ -1,0 +1,30 @@
+"""Table I — qualitative comparison of fault-mitigation techniques,
+reproduced from the method profiles that also drive the energy model."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import table
+
+from repro.abft.baselines import METHOD_PROFILES, table1_rows
+
+
+def test_table1_method_comparison(benchmark):
+    rows = benchmark(table1_rows)
+    table(
+        "table1_methods",
+        ["Method", "Level", "Detection", "HW eff.", "Recovery eff.",
+         "Recovery cap.", "Scalability", "Accel. compat."],
+        rows,
+        title="Table I: fault mitigation techniques",
+    )
+    assert len(rows) == 5
+    ours = METHOD_PROFILES["statistical-abft"]
+    assert ours.recovery_efficiency == "high"
+    assert not ours.recovers_per_error
+    assert METHOD_PROFILES["redundancy"].compute_energy_factor == 2.0
+    assert METHOD_PROFILES["fine-tuning"].recovery_efficiency == "prohibited"

@@ -1,0 +1,69 @@
+"""Quickstart: protect a quantized LLM against voltage-underscaling faults.
+
+Loads (or trains, on first run) a tiny OPT-style LM, quantizes it to W8A8,
+injects timing-fault bit flips at a bit-error rate corresponding to an
+underscaled supply voltage, and shows what no protection, classical ABFT,
+and ReaLM's statistical ABFT each do to perplexity and recovery cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.abft import ClassicalABFT
+from repro.characterization.evaluator import ModelEvaluator
+from repro.circuits import VoltageBerModel
+from repro.core import ReaLMConfig, ReaLMPipeline
+from repro.errors import BitFlipModel, ErrorInjector
+from repro.training import get_pretrained
+from repro.utils import format_table
+
+
+def main() -> None:
+    print("Loading the tiny OPT-style model (trains once, then cached)...")
+    bundle = get_pretrained("opt-mini")
+    voltage = 0.66
+    ber = VoltageBerModel().ber(voltage)
+    print(f"Operating voltage {voltage:.2f} V -> bit error rate {ber:.1e}\n")
+
+    # The evaluator owns a calibrated W8A8 inference engine + the LM task.
+    evaluator = ModelEvaluator(bundle, task="perplexity")
+    clean = evaluator.clean_score
+
+    def injector() -> ErrorInjector:
+        return ErrorInjector(BitFlipModel(ber), seed=0)
+
+    unprotected = evaluator.run(injector())
+
+    classical = ClassicalABFT()
+    with_classical = evaluator.run(injector(), classical)
+
+    # ReaLM: characterize each component's resilience, fit critical regions,
+    # and protect with the statistical decision rule.
+    pipeline = ReaLMPipeline(bundle, ReaLMConfig(task="perplexity", budget=0.3))
+    components = list(bundle.config.components)
+    pipeline.calibrate(components)
+    statistical = pipeline.protector_for("statistical-abft", components)
+    with_ours = evaluator.run(injector(), statistical)
+
+    rows = [
+        ["fault-free", clean, "-", "-"],
+        ["no protection", unprotected, 0, "0%"],
+        ["classical ABFT", with_classical, classical.stats.recovered,
+         f"{100*classical.stats.recovery_rate:.1f}%"],
+        ["statistical ABFT (ReaLM)", with_ours, statistical.stats.recovered,
+         f"{100*statistical.stats.recovery_rate:.1f}%"],
+    ]
+    print(format_table(
+        ["configuration", "perplexity", "GEMMs recovered", "recovery rate"],
+        rows,
+        title=f"W8A8 LLM inference at {voltage:.2f} V",
+    ))
+    print(
+        "\nReaLM keeps perplexity within budget while recovering far fewer "
+        "GEMMs than classical ABFT — that recovery gap is the energy saving."
+    )
+
+
+if __name__ == "__main__":
+    main()

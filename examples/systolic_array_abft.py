@@ -1,0 +1,80 @@
+"""Low-level tour: statistical ABFT on the systolic-array simulator (Fig. 7).
+
+Runs a quantized GEMM through the tile-level WS/OS array simulation with
+fault injection, shows the checksum hardware catching errors, the
+statistical unit's countif decision, and the cycle accounting — including
+the near-zero checksum latency overhead and the recovery cost the
+statistical rule avoids.
+
+Run:  python examples/systolic_array_abft.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abft import ClassicalABFT, StatisticalABFT
+from repro.abft.checksums import checksum_report
+from repro.abft.region import CriticalRegion
+from repro.errors import BitFlipModel, ErrorInjector, MagFreqModel
+from repro.errors.sites import Component, GemmSite, Stage
+from repro.quant.gemm import gemm_int32
+from repro.systolic import OS, WS, Log2LinearUnit, StatisticalUnit, SystolicArray
+from repro.utils import format_table
+from repro.utils.seeding import derive_rng
+
+SITE = GemmSite(layer=0, component=Component.K, stage=Stage.PREFILL)
+
+
+def main() -> None:
+    rng = derive_rng(0, "example")
+    a = rng.integers(-127, 128, size=(64, 64)).astype(np.int8)
+    b = rng.integers(-127, 128, size=(64, 64)).astype(np.int8)
+    region = CriticalRegion(a=1.5, b=14.0, theta_freq=4.0, kind="resilient")
+
+    # ---- per-column checksum statistics on one corrupted GEMM ---------
+    y = gemm_int32(a, b)
+    injector = ErrorInjector(MagFreqModel(mag=2**24, freq=3), seed=1)
+    corrupted = injector.corrupt(y, SITE)
+    report = checksum_report(a, b, corrupted)
+    unit = StatisticalUnit(a=1.5, b=14.0, theta_freq=4.0, n_buffers=64)
+    reading = unit.evaluate(report.diffs)
+    print("One GEMM, 3 injected errors of magnitude 2^24:")
+    print(f"  MSD               = {reading.msd}")
+    print(f"  theta_mag (hw)    = {reading.theta_mag:.1f}"
+          f"   (Log2LinearFunction: {Log2LinearUnit(1.5, 14.0).log2_hw(reading.msd):.2f} ~ log2 MSD)")
+    print(f"  freq_eff (countif)= {reading.freq_eff}")
+    print(f"  recover?          = {unit.should_recover(report.diffs)}"
+          f"   (3 sporadic large errors <= theta_freq=4 -> tolerated)\n")
+
+    # ---- tile-level execution with cycle accounting --------------------
+    rows = []
+    for dataflow, name in ((WS, "WS"), (OS, "OS")):
+        array = SystolicArray(16, dataflow)
+        _, plain = array.gemm(a, b)
+        for label, protector in (
+            ("classical", ClassicalABFT()),
+            ("statistical", StatisticalABFT({"K": region})),
+        ):
+            inj = ErrorInjector(BitFlipModel(2e-5), seed=2)
+            _, run = array.gemm(a, b, inj, protector, SITE)
+            rows.append(
+                [name, label, run.tiles, run.injected_tiles, run.recovered_tiles,
+                 f"{100 * (run.compute_cycles / plain.compute_cycles - 1):.2f}%",
+                 f"{100 * run.recovery_overhead:.2f}%"]
+            )
+    print(format_table(
+        ["dataflow", "protection", "tiles", "faulty tiles", "recovered tiles",
+         "checksum cycle overhead", "recovery cycle overhead"],
+        rows,
+        title="Tile-level ABFT on a 16x16 systolic array (BER 2e-5)",
+    ))
+    print(
+        "\nThe checksum pipeline costs ~1 cycle per tile; statistical ABFT "
+        "recovers only tiles whose error statistics enter the critical "
+        "region, cutting recovery cycles vs classical ABFT."
+    )
+
+
+if __name__ == "__main__":
+    main()

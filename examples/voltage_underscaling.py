@@ -1,0 +1,67 @@
+"""Energy-efficiency study: how low can the supply voltage go? (Fig. 9/Tab II)
+
+Sweeps operating voltages for the whole protected model under six fault-
+mitigation methods, finds each method's sweet spot (minimum energy subject
+to the accuracy budget), then prints the per-component sweet-spot table.
+
+Run:  python examples/voltage_underscaling.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ReaLMConfig, ReaLMPipeline, method_names
+from repro.energy.sweetspot import find_sweet_spot
+from repro.training import get_pretrained
+from repro.utils import format_table
+
+VOLTAGES = (0.84, 0.80, 0.76, 0.72, 0.68, 0.64, 0.60)
+
+
+def main() -> None:
+    bundle = get_pretrained("opt-mini")
+    pipeline = ReaLMPipeline(
+        bundle,
+        ReaLMConfig(task="perplexity", budget=0.3, voltages=VOLTAGES),
+    )
+
+    print("Comparing methods across voltages (whole-model protection)...\n")
+    comparison = pipeline.method_comparison(None, methods=method_names())
+
+    rows = []
+    for method, runs in comparison.items():
+        points = [r.as_voltage_point() for r in runs]
+        try:
+            best = find_sweet_spot(points)
+            rows.append(
+                [method, f"{best.voltage:.2f}", best.energy_j * 1e6,
+                 best.degradation, f"{100*best.recovery_rate:.1f}%"]
+            )
+        except ValueError:
+            rows.append([method, "none feasible", "-", "-", "-"])
+    print(format_table(
+        ["method", "sweet-spot V", "energy (uJ)", "ppl degradation",
+         "recovery rate"],
+        rows,
+        title="Fig 9-style sweet spots (min energy within 0.3 ppl budget)",
+    ))
+
+    print("\nPer-component sweet spots (Tab. II protocol)...\n")
+    table_rows = []
+    for row in pipeline.sweet_spot_table(list(bundle.config.components)):
+        table_rows.append(
+            [row.component, row.kind, f"{row.optimal_voltage:.2f}",
+             f"{row.saving_pct:.1f}%"]
+        )
+    print(format_table(
+        ["component", "kind", "optimal voltage", "energy saving vs prior art"],
+        table_rows,
+        title="Tab. II-style per-component savings",
+    ))
+    print(
+        "\nResilient components ride deep voltage underscaling; sensitive "
+        "ones (O, FC2) must recover like classical ABFT, limiting savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

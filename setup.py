@@ -1,0 +1,11 @@
+"""Shim enabling legacy editable installs in offline environments.
+
+The sandbox has no ``wheel`` package and no network, so PEP 517 editable
+builds (which require ``bdist_wheel``) fail; ``pip install -e .`` falls back
+to ``setup.py develop`` via this shim (pip adds ``--no-use-pep517``
+automatically when invoked as documented in README).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""ReaLM reproduction: statistical ABFT for reliable, efficient LLM inference.
+
+Reproduces Xie et al., "ReaLM: Reliable and Efficient Large Language Model
+Inference with Statistical Algorithm-Based Fault Tolerance" (DAC 2025) as a
+pure-Python library. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Typical entry points:
+
+>>> from repro.training import get_pretrained
+>>> from repro.characterization import ModelEvaluator
+>>> from repro.core import ReaLMPipeline, ReaLMConfig
+>>> bundle = get_pretrained("opt-mini")
+>>> evaluator = ModelEvaluator(bundle, "perplexity")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "quant",
+    "models",
+    "data",
+    "training",
+    "evalsuite",
+    "errors",
+    "abft",
+    "systolic",
+    "circuits",
+    "energy",
+    "characterization",
+    "core",
+    "utils",
+    "cli",
+]

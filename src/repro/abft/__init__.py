@@ -1,0 +1,44 @@
+"""Algorithm-based fault tolerance (paper Sec. II-C and Sec. V).
+
+Contains checksum mathematics (classical two-sided and lightweight one-sided
+schemes), the paper's statistical ABFT decision rule with its critical-region
+parameterization, and the baseline detectors it is compared against
+(classical ABFT, ApproxABFT, DMR, ThunderVolt).
+"""
+
+from repro.abft.checksums import (
+    ChecksumReport,
+    column_checksum,
+    input_checksum,
+    checksum_report,
+    two_sided_checksums,
+)
+from repro.abft.region import CriticalRegion, fit_critical_region, theta_mag
+from repro.abft.protectors import (
+    Protector,
+    NoProtection,
+    ClassicalABFT,
+    ApproxABFT,
+    StatisticalABFT,
+    ProtectionStats,
+)
+from repro.abft.baselines import MethodProfile, METHOD_PROFILES
+
+__all__ = [
+    "ChecksumReport",
+    "column_checksum",
+    "input_checksum",
+    "checksum_report",
+    "two_sided_checksums",
+    "CriticalRegion",
+    "fit_critical_region",
+    "theta_mag",
+    "Protector",
+    "NoProtection",
+    "ClassicalABFT",
+    "ApproxABFT",
+    "StatisticalABFT",
+    "ProtectionStats",
+    "MethodProfile",
+    "METHOD_PROFILES",
+]

@@ -1,0 +1,108 @@
+"""Checksum mathematics for ABFT on integer GEMM (paper Fig. 3).
+
+For ``Y = W X`` (or, in the inference engine's row-major convention,
+``Y = A B`` with activations ``A`` of shape ``(m, k)`` and weights ``B`` of
+shape ``(k, n)``):
+
+- the *input-side* checksum is ``e^T A B``: sum the rows of ``A`` first
+  (a length-``k`` vector), then multiply by ``B`` — one extra GEMV;
+- the *output-side* checksum is ``e^T Y``: sum the rows of the computed
+  result.
+
+Fault-free, the two agree (exactly, in integer arithmetic, including under
+32-bit wraparound, since modular addition commutes with summation). Any
+per-column discrepancy ``d_j = (e^T A B)_j - (e^T Y)_j`` equals the *sum of
+injected errors in column j*, which is what the statistical unit buffers.
+The matrix sum deviation is ``MSD = sum_j |d_j|``.
+
+Checksum hardware is assumed fault-free, as in the paper (the checksum path
+is tiny and can be margined or hardened cheaply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.gemm import wrap_int32
+
+
+def input_checksum(a_q: np.ndarray, b_q: np.ndarray) -> np.ndarray:
+    """Compute ``e^T A B`` with 32-bit wraparound semantics (length ``n``)."""
+    col_sums = wrap_int32(a_q.astype(np.int64).sum(axis=0))
+    return wrap_int32(col_sums @ b_q.astype(np.int64))
+
+
+def column_checksum(y: np.ndarray) -> np.ndarray:
+    """Compute the output checksum ``e^T Y`` with wraparound (length ``n``)."""
+    return wrap_int32(np.asarray(y, dtype=np.int64).sum(axis=0))
+
+
+def two_sided_checksums(
+    a_q: np.ndarray, b_q: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classical ABFT augmentation: returns (``e^T A B``, ``A B e``).
+
+    The two-sided scheme can *locate* errors (row x column intersection) at
+    the cost of both a checksum row and a checksum column; the lightweight
+    schemes in this repo use only the column side for detection, as the
+    paper's architecture does.
+    """
+    row_side = input_checksum(a_q, b_q)
+    row_sums = wrap_int32(b_q.astype(np.int64).sum(axis=1))
+    col_side = wrap_int32(a_q.astype(np.int64) @ row_sums)
+    return row_side, col_side
+
+
+def _signed_wrap_diff(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Difference of two int32-valued arrays, wrapped back into int32 range.
+
+    A 32-bit subtractor naturally produces the wrapped difference; we mirror
+    that so a single bit-31 flip reads as magnitude 2^31 rather than an
+    int64-sized value.
+    """
+    return wrap_int32(np.asarray(x, dtype=np.int64) - np.asarray(y, dtype=np.int64))
+
+
+@dataclass
+class ChecksumReport:
+    """Error statistics extracted from one protected GEMM.
+
+    Attributes
+    ----------
+    diffs:
+        Per-column signed checksum discrepancies ``d_j`` (length ``n``).
+    msd:
+        Matrix sum deviation ``sum_j |d_j|`` (int).
+    """
+
+    diffs: np.ndarray
+    msd: int
+
+    @property
+    def any_error(self) -> bool:
+        return bool(np.any(self.diffs != 0))
+
+    @property
+    def max_magnitude(self) -> int:
+        return int(np.max(np.abs(self.diffs))) if self.diffs.size else 0
+
+    @property
+    def nonzero_count(self) -> int:
+        return int(np.count_nonzero(self.diffs))
+
+    def count_if_above(self, threshold: float) -> int:
+        """The statistical unit's ``countif``: columns with ``|d_j| > thr``."""
+        return int(np.count_nonzero(np.abs(self.diffs) > threshold))
+
+
+def checksum_report(
+    a_q: np.ndarray, b_q: np.ndarray, y_observed: np.ndarray
+) -> ChecksumReport:
+    """Build the per-column discrepancy report for an observed GEMM output."""
+    expected = input_checksum(a_q, b_q)
+    observed = column_checksum(y_observed)
+    diffs = _signed_wrap_diff(expected, observed)
+    msd = int(np.abs(diffs).sum())
+    return ChecksumReport(diffs=diffs, msd=msd)

@@ -1,0 +1,158 @@
+"""GEMM protectors: the recovery-decision policies compared in the paper.
+
+A protector inspects the checksum report of each executed GEMM and decides
+whether to trigger error recovery (re-computation at nominal voltage, per
+paper Sec. VI-A). The inference engine consults the protector after error
+injection; if recovery is requested the clean result is used and the
+recovery cost is charged.
+
+Implemented policies:
+
+- :class:`NoProtection` — never recovers (the paper's "no protection" line).
+- :class:`ClassicalABFT` — recovers on *any* nonzero checksum discrepancy
+  [18], [46].
+- :class:`ApproxABFT` — recovers when the total MSD exceeds a threshold
+  [45]; magnitude-aware but frequency-blind.
+- :class:`StatisticalABFT` — the paper's contribution: per-column
+  significance threshold ``theta_mag`` derived from MSD, count-if, and a
+  frequency threshold ``theta_freq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.abft.checksums import ChecksumReport
+from repro.abft.region import CriticalRegion
+from repro.errors.sites import GemmSite
+
+
+@dataclass
+class ProtectionStats:
+    """Counters a protector keeps across a run (recovery-cost accounting)."""
+
+    inspected: int = 0
+    detected: int = 0
+    recovered: int = 0
+    recovered_macs: int = 0
+    per_site_recoveries: dict[str, int] = field(default_factory=dict)
+
+    def record(self, site: GemmSite, detected: bool, recovered: bool, macs: int) -> None:
+        self.inspected += 1
+        if detected:
+            self.detected += 1
+        if recovered:
+            self.recovered += 1
+            self.recovered_macs += macs
+            key = str(site)
+            self.per_site_recoveries[key] = self.per_site_recoveries.get(key, 0) + 1
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of inspected GEMMs that triggered recovery."""
+        return self.recovered / self.inspected if self.inspected else 0.0
+
+
+class Protector:
+    """Base class; subclasses implement :meth:`should_recover`."""
+
+    #: Human-readable method name used in reports and benchmarks.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = ProtectionStats()
+
+    def reset(self) -> None:
+        self.stats = ProtectionStats()
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        raise NotImplementedError
+
+    def inspect(self, report: ChecksumReport, site: GemmSite, macs: int) -> bool:
+        """Record statistics and return the recovery decision."""
+        recover = self.should_recover(report, site)
+        self.stats.record(site, report.any_error, recover, macs)
+        return recover
+
+
+class NoProtection(Protector):
+    """Never detects, never recovers."""
+
+    name = "no-protection"
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        return False
+
+
+class ClassicalABFT(Protector):
+    """Exact checksum comparison: any discrepancy triggers recovery [18]."""
+
+    name = "classical-abft"
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        return report.any_error
+
+
+class ApproxABFT(Protector):
+    """MSD-threshold detection (ApproxABFT [45]).
+
+    Tolerates small *total* deviation but cannot distinguish one large error
+    from many small ones — the frequency blindness the paper's Q1.4 study
+    exposes.
+    """
+
+    name = "approx-abft"
+
+    def __init__(self, msd_threshold: float) -> None:
+        super().__init__()
+        if msd_threshold < 0:
+            raise ValueError("msd_threshold must be non-negative")
+        self.msd_threshold = msd_threshold
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        return report.msd > self.msd_threshold
+
+
+class StatisticalABFT(Protector):
+    """The paper's statistical ABFT decision rule (Sec. V-A).
+
+    Per GEMM: compute ``theta_mag`` from the observed MSD via the fitted
+    critical region for the GEMM's component, count per-column
+    discrepancies exceeding it (``freq_eff``), and recover iff
+    ``freq_eff > theta_freq``.
+
+    Parameters
+    ----------
+    regions:
+        Mapping from component value (e.g. ``"O"``) to fitted
+        :class:`CriticalRegion`; GEMMs whose component has no entry use
+        ``default_region``.
+    default_region:
+        Fallback parameters (a conservative region recovers like classical
+        ABFT on unknown components).
+    """
+
+    name = "statistical-abft"
+
+    def __init__(
+        self,
+        regions: dict[str, CriticalRegion] | None = None,
+        default_region: Optional[CriticalRegion] = None,
+    ) -> None:
+        super().__init__()
+        self.regions = dict(regions or {})
+        self.default_region = default_region or CriticalRegion(
+            a=1.05, b=0.0, theta_freq=0.0, kind="sensitive"
+        )
+
+    def region_for(self, site: GemmSite) -> CriticalRegion:
+        return self.regions.get(site.component.value, self.default_region)
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        if not report.any_error:
+            return False
+        region = self.region_for(site)
+        thr = region.theta_mag(report.msd)
+        freq_eff = report.count_if_above(thr)
+        return freq_eff > region.theta_freq

@@ -1,0 +1,176 @@
+"""Critical-region model and parameter fitting (paper Sec. V-A, Fig. 6).
+
+The characterization grid (Q1.4) maps every (error magnitude, error
+frequency) pair to a model-quality degradation. In (log2 mag, log2 freq)
+space the *critical region* — where degradation exceeds the acceptable
+budget — is bounded by a horizontal line ``log2(freq) = theta_freq`` (errors
+rarer than that are harmless regardless of magnitude) and an inclined line
+with slope > 1 (frequent-but-tiny errors are also harmless). Sensitive
+components lack the horizontal escape: few large errors already hurt.
+
+At runtime the statistical unit cannot observe the true (mag, freq) pair —
+only the per-column checksum discrepancies and their sum (MSD). The paper
+therefore derives a magnitude threshold from the inclined boundary,
+
+    ``log2(theta_mag) = b - (a - 1) * log2(MSD)``,
+
+counts the columns whose discrepancy exceeds it
+(``freq_eff = countif(|d_j| > theta_mag)``), and triggers recovery iff
+``freq_eff > theta_freq``.
+
+Rather than fitting the boundary line geometrically and hoping the derived
+rule matches, :func:`fit_critical_region` fits ``(a, b, theta_freq)`` by
+directly minimizing the decision rule's misclassification over the grid,
+with missed-critical errors weighted much more heavily than unnecessary
+recoveries (reliability first, then efficiency). This reproduces the paper's
+"empirically established" parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def theta_mag(a: float, b: float, msd: float) -> float:
+    """Linear-domain magnitude threshold for an observed MSD.
+
+    Implements the paper's ``theta_mag`` law with the exponent clamped to
+    ``>= 0`` so the threshold never falls below one LSB of the accumulator.
+    """
+    if msd <= 0:
+        return 0.0
+    exponent = b - (a - 1.0) * np.log2(max(float(msd), 1.0))
+    return float(2.0 ** max(exponent, 0.0))
+
+
+@dataclass(frozen=True)
+class CriticalRegion:
+    """Fitted statistical-ABFT parameters for one network component.
+
+    Attributes
+    ----------
+    a:
+        Slope parameter of the ``theta_mag`` law (> 1 means the magnitude
+        threshold tightens as total deviation grows).
+    b:
+        Offset parameter of the ``theta_mag`` law (log2 units).
+    theta_freq:
+        Effective-error-count threshold: recovery triggers when more than
+        this many columns carry a significant error.
+    kind:
+        ``"resilient"`` or ``"sensitive"`` (paper Insight 1); informational.
+    """
+
+    a: float
+    b: float
+    theta_freq: float
+    kind: str = "resilient"
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ValueError(f"slope a must be positive, got {self.a}")
+        if self.theta_freq < 0:
+            raise ValueError("theta_freq must be non-negative")
+
+    def theta_mag(self, msd: float) -> float:
+        """Magnitude threshold (linear domain) for an observed MSD."""
+        return theta_mag(self.a, self.b, msd)
+
+    def predicts_recovery(self, mag: float, freq: float) -> bool:
+        """Evaluate the decision rule on an idealized identical-error pattern.
+
+        Mirrors what the hardware would see if ``freq`` errors of magnitude
+        ``mag`` landed in distinct columns: ``MSD = freq * mag`` and
+        ``freq_eff = freq`` if ``mag > theta_mag`` else 0.
+        """
+        if mag <= 0 or freq <= 0:
+            return False
+        msd = mag * freq
+        freq_eff = freq if mag > self.theta_mag(msd) else 0.0
+        return freq_eff > self.theta_freq
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the Q1.4 characterization grid."""
+
+    mag: float
+    freq: float
+    degradation: float
+
+
+DEFAULT_SLOPES: tuple[float, ...] = tuple(np.round(np.arange(1.05, 3.01, 0.1), 2))
+DEFAULT_OFFSETS: tuple[float, ...] = tuple(range(-8, 33, 1))
+
+#: Cost of the decision rule failing to flag a genuinely critical pattern;
+#: unnecessary recoveries cost 1. Reliability dominates efficiency.
+MISS_WEIGHT = 25.0
+
+
+def fit_critical_region(
+    points: Sequence[GridPoint],
+    budget: float,
+    kind: str = "resilient",
+    slopes: Sequence[float] = DEFAULT_SLOPES,
+    offsets: Sequence[float] = DEFAULT_OFFSETS,
+) -> CriticalRegion:
+    """Fit ``(a, b, theta_freq)`` from a characterization grid.
+
+    Parameters
+    ----------
+    points:
+        Grid of (mag, freq, degradation) observations, degradation measured
+        against the fault-free baseline (higher = worse; e.g. perplexity
+        increase or accuracy drop in percentage points).
+    budget:
+        Acceptable degradation — the paper uses a 0.3 perplexity increase or
+        a 0.5% accuracy decrease.
+    kind:
+        Informational component class recorded on the result.
+    slopes, offsets:
+        Candidate grids for ``a`` and ``b``.
+
+    Returns
+    -------
+    CriticalRegion
+        The parameters minimizing weighted misclassification; ties prefer
+        fewer unnecessary recoveries, then smaller ``a``.
+    """
+    if not points:
+        raise ValueError("cannot fit a critical region from an empty grid")
+
+    critical = np.array([p.degradation > budget for p in points])
+    mags = np.array([max(p.mag, 1e-12) for p in points])
+    freqs = np.array([max(p.freq, 0.0) for p in points])
+    msds = mags * freqs
+    log_msd = np.log2(np.maximum(msds, 1.0))
+
+    candidate_tf = sorted({0.0, *(float(f) for f in freqs)})
+    best: tuple[float, float, float] | None = None
+    best_cost = np.inf
+    best_unnecessary = np.inf
+
+    for a in slopes:
+        for b in offsets:
+            exponent = np.maximum(b - (a - 1.0) * log_msd, 0.0)
+            thr = np.where(msds > 0, 2.0**exponent, 0.0)
+            significant = mags > thr
+            freq_eff = np.where(significant, freqs, 0.0)
+            for tf in candidate_tf:
+                recover = freq_eff > tf
+                missed = np.count_nonzero(critical & ~recover)
+                unnecessary = np.count_nonzero(~critical & recover)
+                cost = MISS_WEIGHT * missed + unnecessary
+                if cost < best_cost or (
+                    cost == best_cost and unnecessary < best_unnecessary
+                ):
+                    best_cost = cost
+                    best_unnecessary = unnecessary
+                    best = (float(a), float(b), float(tf))
+
+    assert best is not None
+    a, b, tf = best
+    return CriticalRegion(a=a, b=b, theta_freq=tf, kind=kind)

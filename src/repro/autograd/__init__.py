@@ -1,0 +1,22 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This package is the repo's substitute for PyTorch (see DESIGN.md): it provides
+just enough autograd to *train* the tiny OPT-style and LLaMA-style language
+models used throughout the reproduction, so that fault-injection experiments
+measure degradation against a meaningful (trained) baseline instead of noise.
+
+Public surface:
+
+- :class:`Tensor` — array wrapper recording a dynamic computation graph.
+- :mod:`repro.autograd.functional` — softmax, normalization, activations, loss.
+- :mod:`repro.autograd.nn` — ``Module`` hierarchy (Linear, Embedding, norms).
+- :mod:`repro.autograd.optim` — SGD and Adam with gradient clipping.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import functional
+from repro.autograd import nn
+from repro.autograd import optim
+from repro.autograd import init
+
+__all__ = ["Tensor", "no_grad", "functional", "nn", "optim", "init"]

@@ -1,0 +1,80 @@
+"""Composite differentiable functions built from :class:`Tensor` primitives.
+
+These mirror ``torch.nn.functional`` for the subset used by the transformer
+models: numerically stable softmax / log-softmax, cross entropy, layer and RMS
+normalization, and the activation functions appearing in OPT (ReLU) and LLaMA
+(SiLU) blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., vocab)``.
+    targets:
+        Integer array of shape ``logits.shape[:-1]``.
+    """
+    targets = np.asarray(targets)
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    log_probs = log_softmax(flat_logits, axis=-1)
+    picked = log_probs[np.arange(flat_targets.size), flat_targets]
+    return -picked.mean()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """LayerNorm over the last dimension (as in OPT blocks)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / (var + eps).sqrt()
+    return normalized * weight + bias
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    """RMSNorm over the last dimension (as in LLaMA blocks)."""
+    mean_square = (x * x).mean(axis=-1, keepdims=True)
+    return x / (mean_square + eps).sqrt() * weight
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)`` (LLaMA MLP activation)."""
+    return x * x.sigmoid()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU."""
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def attention_mask(seq_len: int, dtype=np.float64) -> np.ndarray:
+    """Boolean causal mask: True above the diagonal (positions to hide)."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)

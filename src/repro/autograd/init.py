@@ -1,0 +1,29 @@
+"""Weight initialization schemes for the training substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Gaussian init with the GPT-style default std of 0.02."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot uniform init for 2-D weights ``(fan_in, fan_out)``."""
+    if len(shape) != 2:
+        raise ValueError("xavier_uniform expects a 2-D shape")
+    fan_in, fan_out = shape
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def scaled_residual(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    n_layers: int,
+    std: float = 0.02,
+) -> np.ndarray:
+    """GPT-2 style init for residual-projection weights: std / sqrt(2*L)."""
+    return rng.normal(0.0, std / np.sqrt(2.0 * max(n_layers, 1)), size=shape)

@@ -1,0 +1,135 @@
+"""Neural-network module system on top of the autograd :class:`Tensor`.
+
+Provides the layer types the float (training-time) transformer models are
+assembled from. Quantized inference uses a separate plain-NumPy path in
+:mod:`repro.quant` / :mod:`repro.models`; weights trained here are exported
+via :meth:`Module.state_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with recursive parameter discovery and state export."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            full = f"{prefix}{attr}" if not prefix else f"{prefix}.{attr}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, ModuleList):
+                for i, module in enumerate(value):
+                    yield from module.named_parameters(f"{full}.{i}")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Export parameter arrays (copied) keyed by dotted path."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
+                )
+            param.data = np.asarray(state[name], dtype=np.float64).copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(list):
+    """A list of modules participating in parameter discovery."""
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with weight shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        std: float = 0.02,
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.normal(rng, (in_features, out_features), std))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, std: float = 0.02) -> None:
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal(rng, (num_embeddings, dim), std))
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        return self.weight.take_rows(np.asarray(token_ids))
+
+
+class LayerNorm(Module):
+    """LayerNorm with learnable affine parameters (OPT normalization)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class RMSNorm(Module):
+    """RMSNorm with learnable scale (LLaMA normalization)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.rms_norm(x, self.weight, self.eps)

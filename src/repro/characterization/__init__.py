@@ -1,0 +1,39 @@
+"""Resilience-characterization harness (paper Sec. IV).
+
+Reproduces the paper's six research questions (Q1.1-Q2.2) as runnable
+sweeps, and fits the critical-region / threshold parameters that configure
+statistical ABFT and the ApproxABFT baseline.
+"""
+
+from repro.characterization.evaluator import ModelEvaluator, TASKS
+from repro.characterization.sweeps import SweepRecord, ber_sweep, magfreq_grid
+from repro.characterization.questions import (
+    q11_layerwise,
+    q12_bitwise,
+    q13_components,
+    q14_magfreq,
+    q21_stages,
+    q22_decode_components,
+)
+from repro.characterization.fitting import (
+    characterization_grid_points,
+    fit_component_region,
+    fit_msd_threshold,
+)
+
+__all__ = [
+    "ModelEvaluator",
+    "TASKS",
+    "SweepRecord",
+    "ber_sweep",
+    "magfreq_grid",
+    "q11_layerwise",
+    "q12_bitwise",
+    "q13_components",
+    "q14_magfreq",
+    "q21_stages",
+    "q22_decode_components",
+    "characterization_grid_points",
+    "fit_component_region",
+    "fit_msd_threshold",
+]

@@ -1,0 +1,153 @@
+"""Uniform evaluation front-end over the benchmark tasks.
+
+A :class:`ModelEvaluator` owns one quantized model plus one task's data and
+exposes ``score()`` (run the task under whatever injector/protector is
+attached) and ``degradation(score)`` (signed degradation vs. the fault-free
+baseline, oriented so that *larger is worse* for every task: perplexity
+increase, or accuracy/ROUGE drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.abft.protectors import Protector
+from repro.data import (
+    build_gsm8k_like,
+    build_hellaswag_like,
+    build_lambada_like,
+    build_lm_data,
+    build_xsum_like,
+)
+from repro.errors.injector import ErrorInjector
+from repro.evalsuite.harness import (
+    EvalHarness,
+    evaluate_last_token_accuracy,
+    evaluate_multiple_choice,
+    evaluate_perplexity,
+)
+from repro.models.export import quantize_model
+from repro.training.zoo import PretrainedBundle
+
+#: Task registry: name -> (higher_is_better, default sizing kwargs).
+TASKS: dict[str, bool] = {
+    "perplexity": False,
+    "lambada": True,
+    "xsum": True,
+    "gsm8k": True,
+    "hellaswag": True,
+}
+
+
+@dataclass
+class TaskSizing:
+    """How much evaluation data each task uses (kept small for speed).
+
+    Generation tasks mirror the paper's workload shape: prompts much longer
+    than the generated continuation (X-Sum documents vs ~30-token
+    summaries), which is what makes the prefill stage dominate both compute
+    and error exposure (paper Insight 3).
+    """
+
+    lm_sequences: int = 4
+    lm_seq_len: int = 32
+    lambada_examples: int = 16
+    lambada_context: int = 16
+    xsum_prompts: int = 6
+    xsum_prompt_len: int = 24
+    xsum_gen_len: int = 8
+    gsm8k_prompts: int = 8
+    gsm8k_prompt_len: int = 20
+    gsm8k_gen_len: int = 4
+    hellaswag_examples: int = 10
+    hellaswag_context: int = 12
+    hellaswag_cont: int = 6
+
+
+class ModelEvaluator:
+    """One (model, task) pair with attach-and-score plumbing."""
+
+    def __init__(
+        self,
+        bundle: PretrainedBundle,
+        task: str = "perplexity",
+        sizing: Optional[TaskSizing] = None,
+    ) -> None:
+        if task not in TASKS:
+            raise KeyError(f"unknown task {task!r}; available: {sorted(TASKS)}")
+        self.bundle = bundle
+        self.task = task
+        self.sizing = sizing or TaskSizing()
+        calibration = [
+            row
+            for row in bundle.source.sample_batch(
+                2, min(32, bundle.config.max_seq_len), key="calibration"
+            )
+        ]
+        self.model = quantize_model(bundle.state, bundle.config, calibration=calibration)
+        self.higher_is_better = TASKS[task]
+        s = self.sizing
+        source = bundle.source
+        if task == "perplexity":
+            self._data = build_lm_data(source, s.lm_sequences, s.lm_seq_len)
+        elif task == "lambada":
+            self._data = build_lambada_like(source, s.lambada_examples, s.lambada_context)
+        elif task == "xsum":
+            self._data = build_xsum_like(
+                source, s.xsum_prompts, s.xsum_prompt_len, s.xsum_gen_len
+            )
+        elif task == "gsm8k":
+            self._data = build_gsm8k_like(
+                source, s.gsm8k_prompts, s.gsm8k_prompt_len, s.gsm8k_gen_len
+            )
+        else:
+            self._data = build_hellaswag_like(
+                source, s.hellaswag_examples, s.hellaswag_context, s.hellaswag_cont
+            )
+        self._harness = EvalHarness(self.model) if task in ("xsum", "gsm8k") else None
+        self._clean_score: Optional[float] = None
+
+    # ------------------------------------------------------------- scoring
+    def score(self) -> float:
+        """Run the task with whatever injector/protector is attached."""
+        if self.task == "perplexity":
+            return evaluate_perplexity(self.model, self._data)
+        if self.task == "lambada":
+            return evaluate_last_token_accuracy(self.model, self._data)
+        if self.task == "xsum":
+            return self._harness.summarization_score(self.model, self._data)
+        if self.task == "gsm8k":
+            return self._harness.arithmetic_score(self.model, self._data)
+        return evaluate_multiple_choice(self.model, self._data)
+
+    @property
+    def clean_score(self) -> float:
+        """Fault-free baseline (computed once, with nothing attached)."""
+        if self._clean_score is None:
+            saved = (self.model.injector, self.model.protector)
+            self.model.attach(None, None)
+            try:
+                self._clean_score = self.score()
+            finally:
+                self.model.attach(*saved)
+        return self._clean_score
+
+    def degradation(self, score: float) -> float:
+        """Signed degradation vs. clean baseline; larger = worse."""
+        if self.higher_is_better:
+            return self.clean_score - score
+        return score - self.clean_score
+
+    def run(
+        self,
+        injector: Optional[ErrorInjector] = None,
+        protector: Optional[Protector] = None,
+    ) -> float:
+        """Attach, score, detach; returns the raw score."""
+        baseline = self.clean_score  # ensure cached before attaching  # noqa: F841
+        self.model.attach(injector, protector)
+        try:
+            return self.score()
+        finally:
+            self.model.attach(None, None)

@@ -1,0 +1,68 @@
+"""Turning characterization grids into detector parameters.
+
+``characterization -> (a, b, theta_freq)`` for statistical ABFT, and
+``characterization -> MSD threshold`` for the ApproxABFT baseline, both
+under the same acceptable-degradation budget — the paper's calibration step
+(Sec. VI-A: "to determine the parameters ... we inject errors into LLMs for
+performance evaluation").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.abft.region import CriticalRegion, GridPoint, fit_critical_region
+from repro.characterization.evaluator import ModelEvaluator
+from repro.characterization.questions import q14_magfreq
+from repro.characterization.sweeps import SweepRecord
+from repro.errors.sites import Component, component_kind
+
+
+def characterization_grid_points(records: Sequence[SweepRecord]) -> list[GridPoint]:
+    """Convert Q1.4 sweep records into region-fitting grid points."""
+    points = []
+    for record in records:
+        if "mag" not in record.extra or "freq" not in record.extra:
+            raise ValueError("record lacks mag/freq extras; not a Q1.4 grid")
+        points.append(
+            GridPoint(
+                mag=float(record.extra["mag"]),
+                freq=float(record.extra["freq"]),
+                degradation=float(record.degradation),
+            )
+        )
+    return points
+
+
+def fit_component_region(
+    evaluator: ModelEvaluator,
+    component: Component,
+    budget: float,
+    mags: Sequence[int] | None = None,
+    freqs: Sequence[int] | None = None,
+    seed: int = 0,
+) -> tuple[CriticalRegion, list[GridPoint]]:
+    """Characterize one component and fit its critical region."""
+    kwargs = {}
+    if mags is not None:
+        kwargs["mags"] = tuple(mags)
+    if freqs is not None:
+        kwargs["freqs"] = tuple(freqs)
+    records = q14_magfreq(evaluator, component, seed=seed, **kwargs)
+    points = characterization_grid_points(records)
+    region = fit_critical_region(points, budget, kind=component_kind(component))
+    return region, points
+
+
+def fit_msd_threshold(points: Sequence[GridPoint], budget: float) -> float:
+    """Largest MSD threshold that never misses a critical grid point.
+
+    ApproxABFT recovers when ``MSD > threshold``; reliability requires every
+    critical point to satisfy ``msd > threshold``, so the threshold is just
+    below the smallest critical MSD. When nothing is critical, the largest
+    observed MSD is returned (never recover within the observed range).
+    """
+    critical = [p.mag * p.freq for p in points if p.degradation > budget]
+    if not critical:
+        return max((p.mag * p.freq for p in points), default=0.0)
+    return float(min(critical)) - 1.0

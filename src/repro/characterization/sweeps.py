@@ -1,0 +1,74 @@
+"""Generic sweep runners shared by the Q1.x / Q2.x questions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.characterization.evaluator import ModelEvaluator
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel, MagFreqModel
+from repro.errors.sites import SiteFilter
+
+
+@dataclass
+class SweepRecord:
+    """One measured configuration of a sweep."""
+
+    label: str
+    ber: float
+    score: float
+    degradation: float
+    extra: dict = field(default_factory=dict)
+
+
+def ber_sweep(
+    evaluator: ModelEvaluator,
+    bers: Sequence[float],
+    site_filter: Optional[SiteFilter] = None,
+    bits: Optional[Sequence[int]] = None,
+    label: str = "",
+    seed: int = 0,
+) -> list[SweepRecord]:
+    """Score the evaluator's task across a BER sweep under one site filter."""
+    records: list[SweepRecord] = []
+    for ber in bers:
+        model = BitFlipModel(ber, bits=tuple(bits)) if bits else BitFlipModel(ber)
+        injector = ErrorInjector(model, site_filter, seed=seed)
+        score = evaluator.run(injector)
+        records.append(
+            SweepRecord(
+                label=label,
+                ber=ber,
+                score=score,
+                degradation=evaluator.degradation(score),
+                extra={"injected_errors": injector.stats.injected_errors},
+            )
+        )
+    return records
+
+
+def magfreq_grid(
+    evaluator: ModelEvaluator,
+    mags: Sequence[int],
+    freqs: Sequence[int],
+    site_filter: Optional[SiteFilter] = None,
+    label: str = "",
+    seed: int = 0,
+) -> list[SweepRecord]:
+    """Score every (mag, freq) cell with identical-error injection (Q1.4)."""
+    records: list[SweepRecord] = []
+    for mag in mags:
+        for freq in freqs:
+            injector = ErrorInjector(MagFreqModel(mag=mag, freq=freq), site_filter, seed=seed)
+            score = evaluator.run(injector)
+            records.append(
+                SweepRecord(
+                    label=label,
+                    ber=0.0,
+                    score=score,
+                    degradation=evaluator.degradation(score),
+                    extra={"mag": mag, "freq": freq, "msd": mag * freq},
+                )
+            )
+    return records

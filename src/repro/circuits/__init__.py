@@ -1,0 +1,27 @@
+"""Circuit-level models (paper Sec. VI-A/B).
+
+Parametric 14nm-style area/power models of the systolic array and the four
+protection schemes (none / classical ABFT / ApproxABFT / statistical ABFT),
+plus the voltage-to-BER map calibrated to the paper's Fig. 1. Substitutes
+for the Synopsys DC + commercial PDK flow; see DESIGN.md section 2.
+"""
+
+from repro.circuits.tech import TechModel, TECH_14NM
+from repro.circuits.area import ProtectionScheme, array_area_um2, protection_area_um2, area_overhead
+from repro.circuits.power import array_power_mw, protection_power_mw, power_overhead
+from repro.circuits.voltage import VoltageBerModel
+from repro.circuits.synthesis import overhead_report
+
+__all__ = [
+    "TechModel",
+    "TECH_14NM",
+    "ProtectionScheme",
+    "array_area_um2",
+    "protection_area_um2",
+    "area_overhead",
+    "array_power_mw",
+    "protection_power_mw",
+    "power_overhead",
+    "VoltageBerModel",
+    "overhead_report",
+]

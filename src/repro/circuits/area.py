@@ -1,0 +1,125 @@
+"""Area model of the systolic array and its protection hardware (Fig. 8a).
+
+Hardware inventories follow the paper's architecture description (Sec. V-B):
+
+- **WS dataflow**: the baseline PE holds an 8-bit weight register, an 8x8
+  multiplier, a 32-bit accumulate adder and pipeline registers. Protection
+  adds a right-hand column of ``n`` *checksum PEs* (16-bit weight register
+  and a 16x8 multiplier, since ``e^T W`` exceeds 8 bits) plus a bottom row
+  of ``n`` 32-bit adders accumulating ``e^T Y``.
+- **OS dataflow**: the baseline PE accumulates in place; protection adds a
+  left column of 32-bit adders (computing ``e^T W``) and a bottom row of
+  checksum PEs with 16x8 multipliers propagating ``e^T W X``.
+
+Scheme-specific detection back-ends:
+
+- *classical*: a bank of ``n`` 32-bit comparators (exact per-column check).
+- *approx* (ApproxABFT): one subtractor + MSD accumulator + one comparator.
+- *statistical* (ours): the approx back-end plus ``n`` 32-bit buffers, an
+  ``n``-wide comparator bank (countif) and the Log2LinearFunction unit —
+  the "statistical unit" of Fig. 7c.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.circuits.tech import TechModel, TECH_14NM
+from repro.systolic.dataflow import Dataflow
+
+
+class ProtectionScheme(enum.Enum):
+    """Protection variants compared in Fig. 8."""
+
+    NONE = "no-protection"
+    CLASSICAL = "classical-abft"
+    APPROX = "approx-abft"
+    STATISTICAL = "statistical-abft"
+
+
+def pe_area_um2(tech: TechModel, dataflow: Dataflow) -> float:
+    """Baseline processing element area."""
+    if dataflow in (Dataflow.WS, Dataflow.IS):
+        # stationary operand reg (8b) + streamed operand pipe reg (8b)
+        # + psum pipe reg (32b)
+        regs = tech.reg_um2(8) + tech.reg_um2(8) + tech.reg_um2(32)
+    else:
+        # in-place 32b accumulator + operand pipe regs (8b + 8b)
+        regs = tech.reg_um2(32) + tech.reg_um2(8) + tech.reg_um2(8)
+    return tech.mult_8x8_um2 + tech.adder_32_um2 + regs
+
+
+def checksum_pe_area_um2(tech: TechModel) -> float:
+    """Checksum PE: 16-bit weight register + 16x8 multiplier + 32b path."""
+    regs = tech.reg_um2(16) + tech.reg_um2(8) + tech.reg_um2(32)
+    return tech.mult_16x8_um2 + tech.adder_32_um2 + regs
+
+
+def array_area_um2(n: int, dataflow: Dataflow, tech: TechModel = TECH_14NM) -> float:
+    """Area of the unprotected ``n x n`` array."""
+    if n <= 0:
+        raise ValueError("array size must be positive")
+    return n * n * pe_area_um2(tech, dataflow)
+
+
+def _checksum_generation_area(n: int, dataflow: Dataflow, tech: TechModel) -> float:
+    """Checksum row/column hardware common to every ABFT scheme."""
+    if dataflow in (Dataflow.WS, Dataflow.IS):
+        # Right column of checksum PEs + bottom row of 32b adders (+ regs).
+        column = n * checksum_pe_area_um2(tech)
+        row = n * (tech.adder_32_um2 + tech.reg_um2(32))
+    else:
+        # Left column of 32b adders (e^T W) + bottom row of checksum PEs.
+        column = n * (tech.adder_32_um2 + tech.reg_um2(32))
+        row = n * checksum_pe_area_um2(tech)
+    return column + row
+
+
+def _detector_area(n: int, scheme: ProtectionScheme, tech: TechModel) -> float:
+    """Scheme-specific detection back-end."""
+    if scheme is ProtectionScheme.CLASSICAL:
+        return n * tech.comparator_32_um2
+    msd_core = (
+        tech.subtractor_32_um2
+        + tech.adder_32_um2          # MSD accumulator adder
+        + tech.reg_um2(40)           # MSD accumulator register
+        + tech.comparator_32_um2     # final decision comparator
+    )
+    if scheme is ProtectionScheme.APPROX:
+        return msd_core
+    # STATISTICAL: buffers + countif bank + Log2LinearFunction unit.
+    buffers = n * tech.reg_um2(32)
+    countif = n * tech.comparator_32_um2
+    log2linear = (
+        tech.lod_32_um2
+        + tech.shifter_32_um2
+        + tech.mult_16x8_um2         # (a-1) * log2(MSD) fixed-point multiply
+        + tech.adder_32_um2
+        + tech.reg_um2(32)
+    )
+    return msd_core + buffers + countif + log2linear
+
+
+def protection_area_um2(
+    n: int,
+    dataflow: Dataflow,
+    scheme: ProtectionScheme,
+    tech: TechModel = TECH_14NM,
+) -> float:
+    """Add-on area of one protection scheme (0 for NONE)."""
+    if scheme is ProtectionScheme.NONE:
+        return 0.0
+    raw = _checksum_generation_area(n, dataflow, tech) + _detector_area(n, scheme, tech)
+    return raw * (1.0 + tech.control_overhead)
+
+
+def area_overhead(
+    n: int,
+    dataflow: Dataflow,
+    scheme: ProtectionScheme,
+    tech: TechModel = TECH_14NM,
+) -> float:
+    """Fractional area overhead vs. the unprotected array (Fig. 8a)."""
+    return protection_area_um2(n, dataflow, scheme, tech) / array_area_um2(
+        n, dataflow, tech
+    )

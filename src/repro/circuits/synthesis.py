@@ -1,0 +1,55 @@
+"""Synthesis-style overhead report reproducing Fig. 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.area import (
+    ProtectionScheme,
+    area_overhead,
+    array_area_um2,
+    protection_area_um2,
+)
+from repro.circuits.power import (
+    array_power_mw,
+    power_overhead,
+    protection_power_mw,
+)
+from repro.circuits.tech import TechModel, TECH_14NM
+from repro.systolic.dataflow import Dataflow
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One (dataflow, scheme) entry of the Fig. 8 comparison."""
+
+    dataflow: str
+    scheme: str
+    area_mm2: float
+    area_overhead_pct: float
+    power_mw: float
+    power_overhead_pct: float
+
+
+def overhead_report(
+    n: int = 256, tech: TechModel = TECH_14NM
+) -> list[OverheadRow]:
+    """Area/power of both dataflows under all four protection schemes."""
+    rows: list[OverheadRow] = []
+    for dataflow in (Dataflow.WS, Dataflow.OS):
+        base_area = array_area_um2(n, dataflow, tech)
+        base_power = array_power_mw(n, dataflow, tech=tech)
+        for scheme in ProtectionScheme:
+            extra_area = protection_area_um2(n, dataflow, scheme, tech)
+            extra_power = protection_power_mw(n, dataflow, scheme, tech=tech)
+            rows.append(
+                OverheadRow(
+                    dataflow=dataflow.name,
+                    scheme=scheme.value,
+                    area_mm2=(base_area + extra_area) / 1e6,
+                    area_overhead_pct=100.0 * area_overhead(n, dataflow, scheme, tech),
+                    power_mw=base_power + extra_power,
+                    power_overhead_pct=100.0 * power_overhead(n, dataflow, scheme, tech),
+                )
+            )
+    return rows

@@ -1,0 +1,65 @@
+"""Technology constants for the parametric 14nm-style circuit model.
+
+Component areas are representative synthesized-macro figures for a 14nm
+FinFET library at the paper's operating point (0.9V nominal, 500ps clock).
+Absolute values matter less than ratios: the model reproduces *relative*
+overheads (Fig. 8), which is what the paper reports. Sources for the
+ballpark figures: published INT8 MAC-array silicon (TPU-class PEs land at a
+few hundred um^2 in 14/16nm) and standard-cell datasheets for adders,
+comparators, and flip-flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechModel:
+    """Per-block area (um^2) and power densities for one technology node.
+
+    Power model: ``P = density * area * activity * (V / v_nominal)^2`` for
+    dynamic power plus ``leakage_density * area`` for leakage; densities are
+    in mW per um^2 at nominal voltage and the nominal clock.
+    """
+
+    name: str
+    v_nominal: float
+    clock_ps: float
+
+    # Datapath block areas (um^2).
+    mult_8x8_um2: float
+    mult_16x8_um2: float
+    adder_32_um2: float
+    subtractor_32_um2: float
+    comparator_32_um2: float
+    reg_bit_um2: float
+    lod_32_um2: float          # leading-one detector (log2 integer part)
+    shifter_32_um2: float      # barrel shifter for 2**e reconstruction
+    control_overhead: float    # fractional control/wiring markup on add-ons
+
+    # Power densities (mW / um^2) at v_nominal.
+    dynamic_density: float
+    leakage_density: float
+
+    def reg_um2(self, bits: int) -> float:
+        return self.reg_bit_um2 * bits
+
+
+#: Default technology: commercial-14nm-like figures (see module docstring).
+TECH_14NM = TechModel(
+    name="generic-14nm",
+    v_nominal=0.9,
+    clock_ps=500.0,
+    mult_8x8_um2=300.0,
+    mult_16x8_um2=840.0,
+    adder_32_um2=80.0,
+    subtractor_32_um2=85.0,
+    comparator_32_um2=40.0,
+    reg_bit_um2=2.8,
+    lod_32_um2=110.0,
+    shifter_32_um2=160.0,
+    control_overhead=0.32,
+    dynamic_density=1.1e-5,
+    leakage_density=6.0e-7,
+)

@@ -1,0 +1,65 @@
+"""Voltage-to-BER model calibrated to the paper's Fig. 1.
+
+The paper obtains bit-error rates at reduced voltages from PrimeTime/HSPICE
+timing analysis of a commercial 14nm systolic array (nominal 0.9V, 500ps
+clock), showing BER rising from ~1e-8 near 0.84V to ~1e-2 near 0.60V. Timing-
+slack distributions make log10(BER) approximately linear in voltage over
+this window — the standard empirical model in the voltage-underscaling
+literature [11], [22], [23] — so the substitute is a log-linear
+interpolation through the paper's two anchor points, floored well below any
+rate that matters and capped at 0.5 (a fully random bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VoltageBerModel:
+    """Log-linear BER(V) with anchors ``(v_hi, ber_hi)`` and ``(v_lo, ber_lo)``.
+
+    Defaults reproduce Fig. 1: 1e-8 at 0.84V, 1e-2 at 0.60V.
+    """
+
+    v_nominal: float = 0.9
+    v_hi: float = 0.84
+    ber_hi: float = 1e-8
+    v_lo: float = 0.60
+    ber_lo: float = 1e-2
+    ber_floor: float = 1e-12
+    ber_cap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (self.v_lo < self.v_hi <= self.v_nominal):
+            raise ValueError("require v_lo < v_hi <= v_nominal")
+        if not (0 < self.ber_hi < self.ber_lo <= self.ber_cap):
+            raise ValueError("require 0 < ber_hi < ber_lo <= ber_cap")
+
+    @property
+    def _slope(self) -> float:
+        """Decades of BER per volt of underscaling (positive)."""
+        return (np.log10(self.ber_lo) - np.log10(self.ber_hi)) / (
+            self.v_hi - self.v_lo
+        )
+
+    def ber(self, voltage: float) -> float:
+        """Bit error rate at an operating voltage."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        log_ber = np.log10(self.ber_hi) + self._slope * (self.v_hi - voltage)
+        return float(np.clip(10.0**log_ber, self.ber_floor, self.ber_cap))
+
+    def voltage_for_ber(self, ber: float) -> float:
+        """Inverse map (within the unclamped region)."""
+        if not self.ber_floor <= ber <= self.ber_cap:
+            raise ValueError(f"ber {ber} outside model range")
+        return float(self.v_hi - (np.log10(ber) - np.log10(self.ber_hi)) / self._slope)
+
+    def energy_scale(self, voltage: float) -> float:
+        """Dynamic-energy ratio vs. nominal: ``(V / v_nom)^2`` (CV^2)."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        return float((voltage / self.v_nominal) ** 2)

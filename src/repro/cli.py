@@ -1,0 +1,186 @@
+"""Command-line interface: run the reproduction experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro zoo                                  # list/train models
+    python -m repro characterize --model opt-mini        # Q1.3 sweep
+    python -m repro magfreq --model opt-mini --component O
+    python -m repro sweep --model opt-mini --method statistical-abft
+    python -m repro sweetspots --model opt-mini
+    python -m repro overhead --size 256                  # Fig. 8
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.characterization.evaluator import ModelEvaluator
+from repro.characterization.questions import q13_components, q14_magfreq
+from repro.circuits.synthesis import overhead_report
+from repro.core.methods import method_names
+from repro.core.realm import ReaLMConfig, ReaLMPipeline
+from repro.errors.sites import Component, component_kind
+from repro.training.zoo import ZOO_SPECS, get_pretrained
+from repro.utils.tables import format_table
+
+
+def _add_model_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="opt-mini", choices=sorted(ZOO_SPECS),
+        help="zoo model to use (trained and cached on first use)",
+    )
+
+
+def _pipeline(args: argparse.Namespace) -> ReaLMPipeline:
+    bundle = get_pretrained(args.model)
+    return ReaLMPipeline(
+        bundle, ReaLMConfig(task=args.task, budget=args.budget)
+    )
+
+
+def cmd_zoo(args: argparse.Namespace) -> str:
+    rows = []
+    for name, spec in sorted(ZOO_SPECS.items()):
+        cfg = spec["config"]
+        rows.append(
+            [name, cfg["arch"], cfg["n_layers"], cfg["d_model"], cfg["vocab_size"]]
+        )
+    out = format_table(
+        ["name", "arch", "layers", "d_model", "vocab"], rows, title="Model zoo"
+    )
+    if args.train:
+        for name in sorted(ZOO_SPECS):
+            bundle = get_pretrained(name)
+            out += f"\ntrained {name}: final loss {bundle.final_loss:.4f}"
+    return out
+
+
+def cmd_characterize(args: argparse.Namespace) -> str:
+    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
+    bers = [float(b) for b in args.bers.split(",")]
+    records = q13_components(evaluator, bers=bers)
+    rows = [
+        [r.label, component_kind(Component(r.label)), f"{r.ber:.0e}",
+         r.score, r.degradation]
+        for r in records
+    ]
+    return format_table(
+        ["component", "kind", "BER", "score", "degradation"], rows,
+        title=f"Q1.3 component resilience — {args.model} / {args.task} "
+              f"(clean={evaluator.clean_score:.4g})",
+    )
+
+
+def cmd_magfreq(args: argparse.Namespace) -> str:
+    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
+    component = Component(args.component)
+    records = q14_magfreq(evaluator, component)
+    rows = [
+        [r.extra["mag"], r.extra["freq"], r.extra["msd"], r.degradation]
+        for r in records
+    ]
+    return format_table(
+        ["mag", "freq", "MSD", "degradation"], rows,
+        title=f"Q1.4 magnitude/frequency grid — {component.value} "
+              f"({component_kind(component)})",
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    pipe = _pipeline(args)
+    runs = pipe.voltage_sweep(args.method, None)
+    rows = [
+        [f"{r.voltage:.2f}", f"{r.ber:.1e}", r.metric, r.degradation,
+         f"{100*r.recovery_rate:.1f}%", r.energy_j * 1e6,
+         "yes" if r.feasible else "NO"]
+        for r in runs
+    ]
+    return format_table(
+        ["V", "BER", "metric", "degradation", "recovery", "energy (uJ)", "feasible"],
+        rows,
+        title=f"voltage sweep — {args.method} on {args.model} (whole model)",
+    )
+
+
+def cmd_sweetspots(args: argparse.Namespace) -> str:
+    pipe = _pipeline(args)
+    rows_raw = pipe.sweet_spot_table(list(pipe.bundle.config.components))
+    rows = [
+        [r.component, r.kind, f"{r.optimal_voltage:.2f}", r.energy_j * 1e9,
+         r.baseline_method, f"{r.saving_pct:.2f}%"]
+        for r in rows_raw
+    ]
+    return format_table(
+        ["component", "kind", "our V*", "our E (nJ)", "baseline", "saving"],
+        rows,
+        title=f"Tab. II sweet spots — {args.model}",
+    )
+
+
+def cmd_overhead(args: argparse.Namespace) -> str:
+    rows = [
+        [r.dataflow, r.scheme, r.area_mm2, f"{r.area_overhead_pct:.3f}%",
+         r.power_mw, f"{r.power_overhead_pct:.3f}%"]
+        for r in overhead_report(args.size)
+    ]
+    return format_table(
+        ["dataflow", "scheme", "area (mm^2)", "area ovh", "power (mW)", "power ovh"],
+        rows,
+        title=f"Fig. 8 circuit overhead at {args.size}x{args.size}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ReaLM (DAC 2025) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("zoo", help="list (and optionally pre-train) zoo models")
+    p.add_argument("--train", action="store_true", help="train every model now")
+    p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser("characterize", help="Q1.3 per-component BER sweep")
+    _add_model_arg(p)
+    p.add_argument("--task", default="perplexity")
+    p.add_argument("--bers", default="1e-4,1e-3,1e-2", help="comma-separated BERs")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("magfreq", help="Q1.4 magnitude/frequency grid")
+    _add_model_arg(p)
+    p.add_argument("--task", default="perplexity")
+    p.add_argument("--component", default="O",
+                   choices=[c.value for c in Component])
+    p.set_defaults(func=cmd_magfreq)
+
+    p = sub.add_parser("sweep", help="Fig. 9 voltage sweep for one method")
+    _add_model_arg(p)
+    p.add_argument("--task", default="perplexity")
+    p.add_argument("--budget", type=float, default=0.3)
+    p.add_argument("--method", default="statistical-abft", choices=method_names())
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("sweetspots", help="Tab. II per-component sweet spots")
+    _add_model_arg(p)
+    p.add_argument("--task", default="perplexity")
+    p.add_argument("--budget", type=float, default=0.3)
+    p.set_defaults(func=cmd_sweetspots)
+
+    p = sub.add_parser("overhead", help="Fig. 8 circuit overhead report")
+    p.add_argument("--size", type=int, default=256)
+    p.set_defaults(func=cmd_overhead)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""ReaLM core: the end-to-end algorithm/circuit co-design pipeline."""
+
+from repro.core.methods import MethodSpec, METHODS, method_names
+from repro.core.realm import ReaLMConfig, ReaLMPipeline, MethodRun, SweetSpotRow
+
+__all__ = [
+    "MethodSpec",
+    "METHODS",
+    "method_names",
+    "ReaLMConfig",
+    "ReaLMPipeline",
+    "MethodRun",
+    "SweetSpotRow",
+]

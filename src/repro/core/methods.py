@@ -1,0 +1,122 @@
+"""Method registry for the Fig. 9 comparison.
+
+Each :class:`MethodSpec` couples a behavioral protector (for the ABFT
+family) or an analytic recovery model (for the circuit-level baselines)
+with its detection power overhead and compute-energy factor:
+
+- **no-protection** — raw underscaled execution.
+- **ThunderVolt** [13] — timing-speculation FFs; detected timing errors are
+  replayed in place, so recovery charges a short per-error replay; the
+  scheme corrects everything it detects (metric = fault-free).
+- **DMR** [9], [10] — duplicate execution (compute x2); disagreement
+  triggers re-execution of the affected output element (k MACs per error).
+- **classical ABFT** [18], [46] — behavioral checksum protector; any
+  discrepancy recovers the whole GEMM.
+- **ApproxABFT** [45] — behavioral MSD-threshold protector, threshold
+  calibrated from the characterization grid under the same budget.
+- **statistical ABFT (ours)** — behavioral protector with fitted
+  per-component critical regions.
+
+Detection power overheads for the ABFT family come from the circuit model
+(:mod:`repro.circuits`); for ThunderVolt/DMR they come from the Tab. I
+profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abft.baselines import METHOD_PROFILES
+from repro.circuits.area import ProtectionScheme
+from repro.circuits.power import power_overhead
+from repro.systolic.dataflow import Dataflow
+
+#: MACs re-executed per detected error by the analytic baselines.
+THUNDERVOLT_REPLAY_MACS = 8
+#: DMR re-executes the faulty output element: one dot product of length k
+#: (filled in at runtime with the model's d_model as the typical k).
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Static description of one compared method."""
+
+    key: str
+    display: str
+    behavioral: bool           # True: run with a checksum protector attached
+    exact_correction: bool     # True: end metric equals the fault-free score
+    compute_factor: float
+    detection_overhead: float
+    scheme: ProtectionScheme | None = None
+
+
+def _abft_overhead(scheme: ProtectionScheme, n: int = 256) -> float:
+    return power_overhead(n, Dataflow.WS, scheme)
+
+
+METHODS: dict[str, MethodSpec] = {
+    "no-protection": MethodSpec(
+        key="no-protection",
+        display="No protection",
+        behavioral=False,
+        exact_correction=False,
+        compute_factor=1.0,
+        detection_overhead=0.0,
+        scheme=ProtectionScheme.NONE,
+    ),
+    "thundervolt": MethodSpec(
+        key="thundervolt",
+        display="ThunderVolt",
+        behavioral=False,
+        exact_correction=True,
+        compute_factor=1.0,
+        detection_overhead=METHOD_PROFILES["thundervolt"].power_overhead,
+    ),
+    "dmr": MethodSpec(
+        key="dmr",
+        display="DMR",
+        behavioral=False,
+        exact_correction=True,
+        compute_factor=2.0,
+        detection_overhead=0.0,
+    ),
+    "classical-abft": MethodSpec(
+        key="classical-abft",
+        display="Classical ABFT",
+        behavioral=True,
+        exact_correction=False,
+        compute_factor=1.0,
+        detection_overhead=_abft_overhead(ProtectionScheme.CLASSICAL),
+        scheme=ProtectionScheme.CLASSICAL,
+    ),
+    "approx-abft": MethodSpec(
+        key="approx-abft",
+        display="ApproxABFT",
+        behavioral=True,
+        exact_correction=False,
+        compute_factor=1.0,
+        detection_overhead=_abft_overhead(ProtectionScheme.APPROX),
+        scheme=ProtectionScheme.APPROX,
+    ),
+    "statistical-abft": MethodSpec(
+        key="statistical-abft",
+        display="Statistical ABFT (ours)",
+        behavioral=True,
+        exact_correction=False,
+        compute_factor=1.0,
+        detection_overhead=_abft_overhead(ProtectionScheme.STATISTICAL),
+        scheme=ProtectionScheme.STATISTICAL,
+    ),
+}
+
+
+def method_names() -> list[str]:
+    """Keys in the paper's Fig. 9 presentation order."""
+    return [
+        "no-protection",
+        "thundervolt",
+        "dmr",
+        "classical-abft",
+        "approx-abft",
+        "statistical-abft",
+    ]

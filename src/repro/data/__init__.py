@@ -1,0 +1,35 @@
+"""Synthetic data substrate.
+
+Stands in for the paper's evaluation corpora (WikiText-2, LAMBADA, X-Sum,
+GSM8K, HellaSwag) with generator-built equivalents over a small integer
+vocabulary; see DESIGN.md section 2 for the substitution rationale. All
+generators are deterministic in (seed, parameters).
+"""
+
+from repro.data.markov import MarkovTextSource
+from repro.data.tasks import (
+    LanguageModelingData,
+    LastTokenTask,
+    SummarizationTask,
+    ArithmeticTask,
+    MultipleChoiceTask,
+    build_lm_data,
+    build_lambada_like,
+    build_xsum_like,
+    build_gsm8k_like,
+    build_hellaswag_like,
+)
+
+__all__ = [
+    "MarkovTextSource",
+    "LanguageModelingData",
+    "LastTokenTask",
+    "SummarizationTask",
+    "ArithmeticTask",
+    "MultipleChoiceTask",
+    "build_lm_data",
+    "build_lambada_like",
+    "build_xsum_like",
+    "build_gsm8k_like",
+    "build_hellaswag_like",
+]

@@ -1,0 +1,175 @@
+"""Task builders standing in for the paper's benchmarks (Sec. III-C).
+
+Every task is derived from the same Markov source the LM was trained on, so
+a single trained model serves all benchmarks (as the paper's pretrained LLMs
+do):
+
+- **Language modeling** (WikiText-2 substitute): held-out sequences scored
+  by perplexity.
+- **Last-token prediction** (LAMBADA substitute): contexts whose final
+  transition is near-deterministic in the source; accuracy of predicting
+  the most likely successor.
+- **Summarization** (X-Sum substitute): greedy generation from a prompt,
+  scored by ROUGE-1 against the *fault-free* model's generation — the
+  relative-degradation protocol the paper's Fig. 4(i)(k) uses.
+- **Arithmetic-style exact match** (GSM8K substitute): greedy generation
+  scored by exact sequence match against the fault-free generation, giving
+  the same brittle all-or-nothing metric as GSM8K answer checking.
+- **Multiple choice** (HellaSwag substitute): pick the true continuation of
+  a context among distractors by total log-likelihood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.markov import MarkovTextSource
+from repro.utils.seeding import derive_rng
+
+
+@dataclass
+class LanguageModelingData:
+    """Held-out sequences for perplexity evaluation."""
+
+    sequences: list[np.ndarray]
+
+
+@dataclass
+class LastTokenTask:
+    """Contexts plus the (near-deterministic) correct final token."""
+
+    contexts: list[np.ndarray]
+    targets: np.ndarray
+
+
+@dataclass
+class SummarizationTask:
+    """Prompts for generation scored by ROUGE-1 vs. the clean model."""
+
+    prompts: list[np.ndarray]
+    gen_len: int
+
+
+@dataclass
+class ArithmeticTask:
+    """Prompts for generation scored by exact match vs. the clean model."""
+
+    prompts: list[np.ndarray]
+    gen_len: int
+
+
+@dataclass
+class MultipleChoiceTask:
+    """Contexts, candidate continuations, and the index of the true one."""
+
+    contexts: list[np.ndarray]
+    choices: list[list[np.ndarray]]
+    labels: np.ndarray
+
+
+def build_lm_data(
+    source: MarkovTextSource, n_sequences: int = 8, seq_len: int = 48, key: str = "lm-eval"
+) -> LanguageModelingData:
+    """Held-out LM sequences (disjoint RNG stream from any training key)."""
+    batch = source.sample_batch(n_sequences, seq_len, key=key)
+    return LanguageModelingData(sequences=[row for row in batch])
+
+
+def build_lambada_like(
+    source: MarkovTextSource,
+    n_examples: int = 32,
+    context_len: int = 24,
+    min_confidence: float = 0.6,
+    key: str = "lambada",
+) -> LastTokenTask:
+    """Contexts ending in a state whose top successor dominates.
+
+    The target is the argmax successor of the final context token; contexts
+    whose final state is too uncertain (top transition probability below
+    ``min_confidence``) are rejection-sampled away so that a fault-free
+    model can score highly.
+    """
+    rng = derive_rng(source.seed, f"task/{key}")
+    contexts: list[np.ndarray] = []
+    targets: list[int] = []
+    attempts = 0
+    while len(contexts) < n_examples and attempts < n_examples * 200:
+        attempts += 1
+        seq = source.sample_sequence(context_len, rng)
+        last = int(seq[-1])
+        best = int(np.argmax(source.probs[last]))
+        if source.probs[last, best] < min_confidence:
+            continue
+        contexts.append(seq)
+        targets.append(int(source.successors[last, best]))
+    if not contexts:
+        raise RuntimeError(
+            "no sufficiently deterministic states; lower min_confidence"
+        )
+    return LastTokenTask(contexts=contexts, targets=np.asarray(targets))
+
+
+def build_xsum_like(
+    source: MarkovTextSource,
+    n_prompts: int = 8,
+    prompt_len: int = 16,
+    gen_len: int = 16,
+    key: str = "xsum",
+) -> SummarizationTask:
+    batch = source.sample_batch(n_prompts, prompt_len, key=f"task/{key}")
+    return SummarizationTask(prompts=[row for row in batch], gen_len=gen_len)
+
+
+def build_gsm8k_like(
+    source: MarkovTextSource,
+    n_prompts: int = 12,
+    prompt_len: int = 12,
+    gen_len: int = 8,
+    key: str = "gsm8k",
+) -> ArithmeticTask:
+    batch = source.sample_batch(n_prompts, prompt_len, key=f"task/{key}")
+    return ArithmeticTask(prompts=[row for row in batch], gen_len=gen_len)
+
+
+def build_hellaswag_like(
+    source: MarkovTextSource,
+    n_examples: int = 16,
+    context_len: int = 16,
+    cont_len: int = 8,
+    n_choices: int = 4,
+    key: str = "hellaswag",
+) -> MultipleChoiceTask:
+    """True continuation continues the chain; distractors restart it from
+    random states, so only context-consistent scoring identifies the label."""
+    rng = derive_rng(source.seed, f"task/{key}")
+    contexts: list[np.ndarray] = []
+    choices: list[list[np.ndarray]] = []
+    labels: list[int] = []
+    for _ in range(n_examples):
+        seq = source.sample_sequence(context_len + cont_len, rng)
+        context, true_cont = seq[:context_len], seq[context_len:]
+        candidates = [true_cont]
+        for _ in range(n_choices - 1):
+            start = int(rng.integers(1, source.vocab_size))
+            distractor = _continue_from(source, start, cont_len, rng)
+            candidates.append(distractor)
+        label = int(rng.integers(n_choices))
+        candidates[0], candidates[label] = candidates[label], candidates[0]
+        contexts.append(context)
+        choices.append(candidates)
+        labels.append(label)
+    return MultipleChoiceTask(contexts=contexts, choices=choices, labels=np.asarray(labels))
+
+
+def _continue_from(
+    source: MarkovTextSource, start: int, length: int, rng: np.random.Generator
+) -> np.ndarray:
+    out = np.empty(length, dtype=np.int64)
+    token = start
+    for i in range(length):
+        nxt = rng.choice(source.spec.branching, p=source.probs[token])
+        token = int(source.successors[token, nxt])
+        out[i] = token
+    return out

@@ -1,0 +1,13 @@
+"""Energy accounting and voltage sweet-spot search (paper Sec. VI-C/D/E)."""
+
+from repro.energy.model import EnergyParams, EnergyModel, EnergyBreakdown
+from repro.energy.sweetspot import VoltagePoint, sweep_voltages, find_sweet_spot
+
+__all__ = [
+    "EnergyParams",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "VoltagePoint",
+    "sweep_voltages",
+    "find_sweet_spot",
+]

@@ -1,0 +1,70 @@
+"""Workload energy model.
+
+Total energy of running a workload at operating voltage ``V`` (paper
+Sec. VI-A): compute energy scales as ``(V / V_nom)^2``; error recovery is
+re-computation at *nominal* voltage, charged for every recovered MAC;
+detection hardware adds its power-overhead fraction on top of compute; DMR
+doubles compute outright.
+
+All energies are in joules, derived from a per-MAC energy at nominal
+voltage (``e_mac_pj``, a representative INT8-MAC figure for 14nm including
+local data movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Knobs of the energy model."""
+
+    e_mac_pj: float = 0.30          # pJ per INT8 MAC at nominal voltage
+    v_nominal: float = 0.9
+    detection_overhead: float = 0.0  # fractional power overhead of detection
+    compute_factor: float = 1.0      # 2.0 for DMR
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy components of one run (joules)."""
+
+    compute_j: float
+    detection_j: float
+    recovery_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.detection_j + self.recovery_j
+
+
+class EnergyModel:
+    """Computes :class:`EnergyBreakdown` for (macs, recovered_macs, V)."""
+
+    def __init__(self, params: EnergyParams) -> None:
+        self.params = params
+
+    def mac_energy_j(self, voltage: float) -> float:
+        """Energy of one MAC at the given voltage (CV^2 scaling)."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        scale = (voltage / self.params.v_nominal) ** 2
+        return self.params.e_mac_pj * 1e-12 * scale
+
+    def breakdown(
+        self, macs: int, recovered_macs: int, voltage: float
+    ) -> EnergyBreakdown:
+        """Energy of a workload with ``macs`` total MACs, of which
+        ``recovered_macs`` were re-executed at nominal voltage."""
+        if macs < 0 or recovered_macs < 0:
+            raise ValueError("MAC counts must be non-negative")
+        compute = macs * self.mac_energy_j(voltage) * self.params.compute_factor
+        detection = compute * self.params.detection_overhead
+        recovery = recovered_macs * self.mac_energy_j(self.params.v_nominal)
+        return EnergyBreakdown(
+            compute_j=compute, detection_j=detection, recovery_j=recovery
+        )
+
+    def total_j(self, macs: int, recovered_macs: int, voltage: float) -> float:
+        return self.breakdown(macs, recovered_macs, voltage).total_j

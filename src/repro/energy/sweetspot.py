@@ -1,0 +1,80 @@
+"""Voltage sweeps and sweet-spot search (paper Fig. 9, Tab. II).
+
+The caller supplies an evaluation callable mapping an operating voltage to
+the observed model-quality degradation and the recovery statistics; this
+module handles the energy accounting and the constrained minimization
+("sweet spot" = minimum-energy voltage whose degradation stays within the
+acceptable budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.energy.model import EnergyModel
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one evaluation at a fixed voltage produced."""
+
+    degradation: float
+    macs: int
+    recovered_macs: int
+    metric: float = float("nan")
+    recovery_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class VoltagePoint:
+    """One voltage of a sweep, with quality and energy attached."""
+
+    voltage: float
+    ber: float
+    metric: float
+    degradation: float
+    recovery_rate: float
+    energy_j: float
+    feasible: bool
+
+
+EvaluateFn = Callable[[float], RunOutcome]
+
+
+def sweep_voltages(
+    evaluate: EvaluateFn,
+    voltages: Sequence[float],
+    energy_model: EnergyModel,
+    budget: float,
+    ber_of: Callable[[float], float],
+) -> list[VoltagePoint]:
+    """Evaluate every voltage and attach energy + feasibility."""
+    points: list[VoltagePoint] = []
+    for v in voltages:
+        outcome = evaluate(v)
+        energy = energy_model.total_j(outcome.macs, outcome.recovered_macs, v)
+        points.append(
+            VoltagePoint(
+                voltage=v,
+                ber=ber_of(v),
+                metric=outcome.metric,
+                degradation=outcome.degradation,
+                recovery_rate=outcome.recovery_rate,
+                energy_j=energy,
+                feasible=outcome.degradation <= budget,
+            )
+        )
+    return points
+
+
+def find_sweet_spot(points: Sequence[VoltagePoint]) -> VoltagePoint:
+    """Minimum-energy feasible point (paper's per-component sweet spot).
+
+    Raises ``ValueError`` when no voltage satisfies the budget — the caller
+    should widen the sweep toward nominal, where degradation vanishes.
+    """
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise ValueError("no feasible operating point in the sweep")
+    return min(feasible, key=lambda p: p.energy_j)

@@ -1,0 +1,25 @@
+"""Error-injection framework (paper Sec. III).
+
+Transient computational faults are modeled as bit flips in the INT32 GEMM
+accumulation results, with severity controlled by a bit-error rate, following
+the paper's protocol. A second, analysis-oriented model injects identical
+additive errors with controlled magnitude and frequency so that
+``MSD = freq * mag`` (Sec. III-B), enabling the Q1.4 trade-off study.
+"""
+
+from repro.errors.sites import Component, Stage, GemmSite, SiteFilter
+from repro.errors.models import BitFlipModel, MagFreqModel, StuckHighBitModel, ErrorModel
+from repro.errors.injector import ErrorInjector, InjectionStats
+
+__all__ = [
+    "Component",
+    "Stage",
+    "GemmSite",
+    "SiteFilter",
+    "BitFlipModel",
+    "MagFreqModel",
+    "StuckHighBitModel",
+    "ErrorModel",
+    "ErrorInjector",
+    "InjectionStats",
+]

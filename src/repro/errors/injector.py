@@ -1,0 +1,83 @@
+"""Dynamic error injector routing error models onto GEMM sites.
+
+The inference engine calls :meth:`ErrorInjector.corrupt` with every INT32
+GEMM result and its :class:`~repro.errors.sites.GemmSite`; the injector
+decides (via its :class:`~repro.errors.sites.SiteFilter`) whether the site is
+targeted and applies the configured error model, keeping running statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors.models import ErrorModel
+from repro.errors.sites import GemmSite, SiteFilter
+from repro.utils.seeding import derive_rng
+
+
+@dataclass
+class InjectionStats:
+    """Aggregate counters kept by an injector across a run."""
+
+    gemm_calls: int = 0
+    targeted_calls: int = 0
+    corrupted_calls: int = 0
+    injected_errors: int = 0
+    per_site_errors: dict[str, int] = field(default_factory=dict)
+
+    def record(self, site: GemmSite, targeted: bool, n_errors: int) -> None:
+        self.gemm_calls += 1
+        if targeted:
+            self.targeted_calls += 1
+        if n_errors > 0:
+            self.corrupted_calls += 1
+            self.injected_errors += n_errors
+            key = str(site)
+            self.per_site_errors[key] = self.per_site_errors.get(key, 0) + n_errors
+
+
+class ErrorInjector:
+    """Applies an :class:`ErrorModel` to GEMM results matching a filter.
+
+    Parameters
+    ----------
+    model:
+        The error model (``BitFlipModel``, ``MagFreqModel``, ...).
+    site_filter:
+        Which sites to target; defaults to everywhere.
+    seed:
+        Root seed; every (site, call-index) pair derives an independent
+        stream so runs are reproducible regardless of evaluation order.
+    """
+
+    def __init__(
+        self,
+        model: ErrorModel,
+        site_filter: SiteFilter | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.site_filter = site_filter or SiteFilter.everywhere()
+        self.seed = seed
+        self.stats = InjectionStats()
+        self._call_index = 0
+        self.enabled = True
+
+    def reset(self) -> None:
+        """Clear statistics and the call counter (fresh experiment)."""
+        self.stats = InjectionStats()
+        self._call_index = 0
+
+    def corrupt(self, acc: np.ndarray, site: GemmSite) -> np.ndarray:
+        """Return the (possibly corrupted) accumulator array for ``site``."""
+        self._call_index += 1
+        targeted = self.enabled and self.site_filter.matches(site)
+        if not targeted:
+            self.stats.record(site, False, 0)
+            return acc
+        rng = derive_rng(self.seed, f"inject/{site}/{self._call_index}")
+        corrupted, n_errors = self.model.corrupt(acc, rng)
+        self.stats.record(site, True, n_errors)
+        return corrupted

@@ -1,0 +1,123 @@
+"""Taxonomy of GEMM injection sites.
+
+Every quantized GEMM executed by the inference engine is tagged with a
+:class:`GemmSite` naming its transformer layer, network component (paper
+Fig. 2 labels: Q, K, V, QK^T, SV, O, FC1/FC2 for OPT; Gate/Up/Down for
+LLaMA) and generation stage (prefill vs. decode). Filters select subsets of
+sites for targeted injection, which is how the characterization questions
+(Q1.1-Q2.2) are expressed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+class Component(enum.Enum):
+    """Network components of the Transformer block (paper Fig. 2)."""
+
+    Q = "Q"
+    K = "K"
+    V = "V"
+    QKT = "QKT"
+    SV = "SV"
+    O = "O"
+    FC1 = "FC1"
+    FC2 = "FC2"
+    GATE = "Gate"
+    UP = "Up"
+    DOWN = "Down"
+    LM_HEAD = "LMHead"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Components whose outputs feed a normalization layer via the residual
+#: stream; the paper identifies these as *sensitive* (Insight 1).
+SENSITIVE_COMPONENTS = frozenset(
+    {Component.O, Component.FC2, Component.DOWN}
+)
+
+#: All other matmul components are *resilient*.
+RESILIENT_COMPONENTS = frozenset(
+    {
+        Component.Q,
+        Component.K,
+        Component.V,
+        Component.QKT,
+        Component.SV,
+        Component.FC1,
+        Component.GATE,
+        Component.UP,
+    }
+)
+
+
+def component_kind(component: Component) -> str:
+    """Classify a component as ``"sensitive"`` or ``"resilient"`` (Insight 1)."""
+    return "sensitive" if component in SENSITIVE_COMPONENTS else "resilient"
+
+
+class Stage(enum.Enum):
+    """Generation stage of an LLM forward pass."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GemmSite:
+    """Identity of one GEMM invocation inside the model."""
+
+    layer: int
+    component: Component
+    stage: Stage
+
+    def __str__(self) -> str:
+        return f"L{self.layer}/{self.component.value}/{self.stage.value}"
+
+
+@dataclass
+class SiteFilter:
+    """Predicate over :class:`GemmSite` used to scope error injection.
+
+    ``None`` for a field means "match everything". This directly encodes the
+    experimental protocols of Sec. IV: e.g. Q1.1 sets ``layers={k}``, Q1.3
+    sets ``components={c}``, Q2.1 sets ``stages={...}``.
+    """
+
+    layers: Optional[frozenset[int]] = None
+    components: Optional[frozenset[Component]] = None
+    stages: Optional[frozenset[Stage]] = None
+
+    @classmethod
+    def everywhere(cls) -> "SiteFilter":
+        return cls()
+
+    @classmethod
+    def only(
+        cls,
+        layers: Optional[Sequence[int]] = None,
+        components: Optional[Sequence[Component]] = None,
+        stages: Optional[Sequence[Stage]] = None,
+    ) -> "SiteFilter":
+        return cls(
+            layers=frozenset(layers) if layers is not None else None,
+            components=frozenset(components) if components is not None else None,
+            stages=frozenset(stages) if stages is not None else None,
+        )
+
+    def matches(self, site: GemmSite) -> bool:
+        if self.layers is not None and site.layer not in self.layers:
+            return False
+        if self.components is not None and site.component not in self.components:
+            return False
+        if self.stages is not None and site.stage not in self.stages:
+            return False
+        return True

@@ -1,0 +1,20 @@
+"""Evaluation suite: metrics and the task harness (paper Sec. III-C)."""
+
+from repro.evalsuite.metrics import perplexity_from_nll, rouge1, exact_match, accuracy
+from repro.evalsuite.harness import (
+    EvalHarness,
+    evaluate_perplexity,
+    evaluate_last_token_accuracy,
+    evaluate_multiple_choice,
+)
+
+__all__ = [
+    "perplexity_from_nll",
+    "rouge1",
+    "exact_match",
+    "accuracy",
+    "EvalHarness",
+    "evaluate_perplexity",
+    "evaluate_last_token_accuracy",
+    "evaluate_multiple_choice",
+]

@@ -1,0 +1,101 @@
+"""Task harness running the quantized model over the benchmark suite.
+
+The generation tasks (summarization / arithmetic) follow the paper's
+degradation protocol: the *reference* output is produced once by the
+fault-free model, cached by :class:`EvalHarness`, and every injected
+configuration is scored against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.tasks import (
+    ArithmeticTask,
+    LanguageModelingData,
+    LastTokenTask,
+    MultipleChoiceTask,
+    SummarizationTask,
+)
+from repro.evalsuite.metrics import exact_match, perplexity_from_nll, rouge1
+from repro.models.quantized import QuantizedTransformerLM
+
+
+def evaluate_perplexity(model: QuantizedTransformerLM, data: LanguageModelingData) -> float:
+    """Corpus perplexity (paper's WikiText-2 metric, lower is better)."""
+    nlls = [model.sequence_nll(seq) for seq in data.sequences]
+    return perplexity_from_nll(nlls)
+
+
+def evaluate_last_token_accuracy(model: QuantizedTransformerLM, task: LastTokenTask) -> float:
+    """LAMBADA-style final-token accuracy in percent (higher is better)."""
+    correct = 0
+    for context, target in zip(task.contexts, task.targets):
+        logits = model.forward_full(context)
+        if int(np.argmax(logits[-1])) == int(target):
+            correct += 1
+    return 100.0 * correct / len(task.contexts)
+
+
+def evaluate_multiple_choice(model: QuantizedTransformerLM, task: MultipleChoiceTask) -> float:
+    """HellaSwag-style accuracy by per-choice log-likelihood, in percent."""
+    correct = 0
+    for context, choices, label in zip(task.contexts, task.choices, task.labels):
+        scores = [model.choice_logprob(context, cont) for cont in choices]
+        if int(np.argmax(scores)) == int(label):
+            correct += 1
+    return 100.0 * correct / len(task.contexts)
+
+
+@dataclass
+class EvalHarness:
+    """Caches fault-free reference generations for the generation tasks.
+
+    Create one harness per (clean model, task suite); then call the
+    ``*_score`` methods with injected/protected model configurations.
+    """
+
+    clean_model: QuantizedTransformerLM
+    _summary_refs: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    _arith_refs: dict[int, list[np.ndarray]] = field(default_factory=dict)
+
+    def _references(
+        self, prompts: list[np.ndarray], gen_len: int, cache: dict[int, list[np.ndarray]]
+    ) -> list[np.ndarray]:
+        key = id(prompts)
+        if key not in cache:
+            saved_injector = self.clean_model.injector
+            saved_protector = self.clean_model.protector
+            self.clean_model.attach(None, None)
+            try:
+                cache[key] = [
+                    self.clean_model.generate(p, gen_len) for p in prompts
+                ]
+            finally:
+                self.clean_model.attach(saved_injector, saved_protector)
+        return cache[key]
+
+    def summarization_score(
+        self, model: QuantizedTransformerLM, task: SummarizationTask
+    ) -> float:
+        """Mean ROUGE-1 vs. the clean model's generations (X-Sum metric)."""
+        refs = self._references(task.prompts, task.gen_len, self._summary_refs)
+        scores = [
+            rouge1(model.generate(p, task.gen_len), ref)
+            for p, ref in zip(task.prompts, refs)
+        ]
+        return float(np.mean(scores))
+
+    def arithmetic_score(
+        self, model: QuantizedTransformerLM, task: ArithmeticTask
+    ) -> float:
+        """Exact-match accuracy (%) vs. clean generations (GSM8K metric)."""
+        refs = self._references(task.prompts, task.gen_len, self._arith_refs)
+        matches = [
+            exact_match(model.generate(p, task.gen_len), ref)
+            for p, ref in zip(task.prompts, refs)
+        ]
+        return float(100.0 * np.mean(matches))

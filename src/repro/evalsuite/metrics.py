@@ -1,0 +1,60 @@
+"""Scalar metrics: perplexity, accuracy, ROUGE-1, exact match.
+
+ROUGE-1 is implemented from scratch (unigram-overlap F1 over token ids),
+since no external evaluation package is available offline; for the
+degradation-vs-reference protocol used here it is the exact analogue of the
+paper's ROUGE-1 on X-Sum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Perplexities are clipped here: with a tiny vocabulary, a destroyed model
+#: cannot exceed vocab-sized perplexity anyway, and the cap keeps tables
+#: readable (the paper similarly reports saturated values like 1e5).
+PPL_CAP = 1e9
+
+
+def perplexity_from_nll(nlls: Iterable[float]) -> float:
+    """Perplexity = exp(mean per-token NLL), capped at :data:`PPL_CAP`."""
+    values = np.asarray(list(nlls), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no NLL values supplied")
+    mean_nll = min(values.mean(), np.log(PPL_CAP))  # avoid exp overflow
+    return float(min(np.exp(mean_nll), PPL_CAP))
+
+
+def accuracy(predictions: Sequence[int], targets: Sequence[int]) -> float:
+    """Fraction of exact scalar matches, in percent (paper reports %)."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError("prediction/target shape mismatch")
+    if predictions.size == 0:
+        raise ValueError("empty prediction set")
+    return float(100.0 * np.mean(predictions == targets))
+
+
+def rouge1(candidate: Sequence[int], reference: Sequence[int]) -> float:
+    """Unigram-overlap F1 between two token sequences, in [0, 100]."""
+    cand = Counter(int(t) for t in candidate)
+    ref = Counter(int(t) for t in reference)
+    if not cand or not ref:
+        return 0.0
+    overlap = sum((cand & ref).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(cand.values())
+    recall = overlap / sum(ref.values())
+    return 100.0 * 2.0 * precision * recall / (precision + recall)
+
+
+def exact_match(candidate: Sequence[int], reference: Sequence[int]) -> bool:
+    """True iff the two token sequences are identical."""
+    candidate = np.asarray(candidate)
+    reference = np.asarray(reference)
+    return candidate.shape == reference.shape and bool(np.all(candidate == reference))

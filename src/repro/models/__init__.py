@@ -1,0 +1,28 @@
+"""Transformer LM substrate: OPT-style and LLaMA-style blocks (paper Fig. 2).
+
+Two execution paths share one configuration and one set of weights:
+
+- :class:`FloatTransformerLM` — float64 autograd model used for *training*
+  the tiny LLMs on synthetic corpora (substitute for pretrained OPT/LLaMA
+  checkpoints, see DESIGN.md).
+- :class:`QuantizedTransformerLM` — plain-NumPy W8A8 inference engine whose
+  every GEMM routes through the error injector and ABFT protector; this is
+  the device-under-test for all experiments.
+"""
+
+from repro.models.config import ModelConfig, OPT_COMPONENTS, LLAMA_COMPONENTS
+from repro.models.float_model import FloatTransformerLM
+from repro.models.quantized import QuantizedTransformerLM, GemmExecutor
+from repro.models.kv_cache import KVCache
+from repro.models.export import quantize_model
+
+__all__ = [
+    "ModelConfig",
+    "OPT_COMPONENTS",
+    "LLAMA_COMPONENTS",
+    "FloatTransformerLM",
+    "QuantizedTransformerLM",
+    "GemmExecutor",
+    "KVCache",
+    "quantize_model",
+]

@@ -1,0 +1,126 @@
+"""Model configuration shared by the float and quantized execution paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors.sites import Component
+
+#: Matmul components of one OPT block (paper Fig. 2a), plus attention matmuls.
+OPT_COMPONENTS: tuple[Component, ...] = (
+    Component.Q,
+    Component.K,
+    Component.V,
+    Component.QKT,
+    Component.SV,
+    Component.O,
+    Component.FC1,
+    Component.FC2,
+)
+
+#: Matmul components of one LLaMA block (paper Fig. 2b).
+LLAMA_COMPONENTS: tuple[Component, ...] = (
+    Component.Q,
+    Component.K,
+    Component.V,
+    Component.QKT,
+    Component.SV,
+    Component.O,
+    Component.GATE,
+    Component.UP,
+    Component.DOWN,
+)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters for a tiny OPT-style or LLaMA-style LM.
+
+    Attributes
+    ----------
+    arch:
+        ``"opt"`` (LayerNorm + ReLU FC1/FC2, learned positions) or
+        ``"llama"`` (RMSNorm + SiLU Gate/Up/Down, rotary positions).
+    outlier_channels / outlier_scale:
+        Number of embedding channels amplified by a fixed gain, reproducing
+        the outlier-dominated hidden-state statistics of real LLMs that the
+        paper's Fig. 5 mechanism rests on. The gain is a fixed (untrained)
+        elementwise multiplier applied identically in both execution paths.
+    """
+
+    arch: str
+    vocab_size: int
+    d_model: int
+    n_heads: int
+    n_layers: int
+    d_ff: int
+    max_seq_len: int
+    norm_eps: float = 1e-5
+    outlier_channels: int = 0
+    outlier_scale: float = 8.0
+    rope_base: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("opt", "llama"):
+            raise ValueError(f"arch must be 'opt' or 'llama', got {self.arch!r}")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.arch == "llama" and (self.d_model // self.n_heads) % 2 != 0:
+            raise ValueError("llama arch needs an even head dimension for RoPE")
+        if self.outlier_channels > self.d_model:
+            raise ValueError("outlier_channels cannot exceed d_model")
+        if self.outlier_channels < 0 or self.outlier_scale <= 0:
+            raise ValueError("invalid outlier configuration")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        """Injectable matmul components of this architecture."""
+        return OPT_COMPONENTS if self.arch == "opt" else LLAMA_COMPONENTS
+
+    @property
+    def mlp_components(self) -> tuple[Component, ...]:
+        if self.arch == "opt":
+            return (Component.FC1, Component.FC2)
+        return (Component.GATE, Component.UP, Component.DOWN)
+
+    def macs_per_token(self) -> int:
+        """Multiply-accumulate count per token per forward pass (one layer
+        stack, excluding the LM head, at full context ``max_seq_len`` for
+        attention matmuls)."""
+        d, f, s = self.d_model, self.d_ff, self.max_seq_len
+        attn_proj = 4 * d * d  # Q, K, V, O
+        attn_mm = 2 * s * d  # QK^T and SV at full context
+        mlp = 2 * d * f if self.arch == "opt" else 3 * d * f
+        return self.n_layers * (attn_proj + attn_mm + mlp)
+
+
+def tiny_opt_config(vocab_size: int = 128, outliers: bool = True) -> ModelConfig:
+    """A fast OPT-style config used across tests and examples."""
+    return ModelConfig(
+        arch="opt",
+        vocab_size=vocab_size,
+        d_model=64,
+        n_heads=4,
+        n_layers=2,
+        d_ff=128,
+        max_seq_len=64,
+        outlier_channels=4 if outliers else 0,
+    )
+
+
+def tiny_llama_config(vocab_size: int = 128, outliers: bool = True) -> ModelConfig:
+    """A fast LLaMA-style config used across tests and examples."""
+    return ModelConfig(
+        arch="llama",
+        vocab_size=vocab_size,
+        d_model=64,
+        n_heads=4,
+        n_layers=2,
+        d_ff=96,
+        max_seq_len=64,
+        outlier_channels=4 if outliers else 0,
+    )

@@ -1,0 +1,37 @@
+"""Conversion from the trained float model to the quantized engine."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.float_model import FloatTransformerLM
+from repro.models.quantized import QuantizedTransformerLM
+
+
+def quantize_model(
+    model_or_state: Union[FloatTransformerLM, dict[str, np.ndarray]],
+    config: ModelConfig | None = None,
+    calibration: Optional[list[np.ndarray]] = None,
+) -> QuantizedTransformerLM:
+    """Build a :class:`QuantizedTransformerLM` from a trained float model
+    (or its exported ``state_dict``).
+
+    When ``calibration`` sequences are supplied, static per-site activation
+    scales are calibrated immediately (the deployed W8A8 configuration);
+    otherwise the engine starts in dynamic-quantization mode and
+    ``calibrate_activations`` can be called later.
+    """
+    if isinstance(model_or_state, FloatTransformerLM):
+        state = model_or_state.state_dict()
+        config = model_or_state.config
+    else:
+        state = model_or_state
+        if config is None:
+            raise ValueError("config is required when passing a raw state dict")
+    model = QuantizedTransformerLM(config, state)
+    if calibration is not None:
+        model.calibrate_activations(calibration)
+    return model

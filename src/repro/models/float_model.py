@@ -1,0 +1,201 @@
+"""Float (training-time) transformer language model.
+
+Implements both block variants of paper Fig. 2 on the autograd substrate:
+
+- **OPT block**: pre-LayerNorm attention and a ReLU MLP (FC1 -> ReLU -> FC2),
+  learned absolute positional embeddings.
+- **LLaMA block**: pre-RMSNorm attention with rotary positions and a SiLU
+  gated MLP (Down(SiLU(Gate(x)) * Up(x))).
+
+The model is trained with :mod:`repro.training` and exported to the
+quantized inference engine via :func:`repro.models.export.quantize_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    RMSNorm,
+)
+from repro.autograd.tensor import Tensor
+from repro.models.config import ModelConfig
+from repro.models.rope import rope_tables
+from repro.utils.seeding import derive_rng
+
+
+def outlier_gain(config: ModelConfig) -> np.ndarray:
+    """Fixed per-channel gain reproducing LLM outlier channels (Fig. 5).
+
+    The first ``outlier_channels`` embedding channels are amplified by
+    ``outlier_scale``; the gain is constant (not trained) and applied
+    identically by both execution paths right after the token embedding.
+    """
+    gain = np.ones(config.d_model)
+    if config.outlier_channels:
+        gain[: config.outlier_channels] = config.outlier_scale
+    return gain
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention with separate Q/K/V/O projections.
+
+    Projections are bias-free to match the quantized engine's GEMM-only
+    view of each component.
+    """
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        d = config.d_model
+        self.config = config
+        self.wq = Linear(d, d, rng, bias=False)
+        self.wk = Linear(d, d, rng, bias=False)
+        self.wv = Linear(d, d, rng, bias=False)
+        self.wo = Linear(d, d, rng, bias=False)
+        self.wo.weight.data = init.scaled_residual(rng, (d, d), config.n_layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        cfg = self.config
+        seq_len = x.shape[-2]
+        q = self._split_heads(self.wq(x), seq_len)
+        k = self._split_heads(self.wk(x), seq_len)
+        v = self._split_heads(self.wv(x), seq_len)
+        if cfg.arch == "llama":
+            cos, sin = rope_tables(seq_len, cfg.head_dim, cfg.rope_base)
+            q = q * cos + self._rotate_half(q) * sin
+            k = k * cos + self._rotate_half(k) * sin
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(cfg.head_dim))
+        mask = np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+        scores = scores.masked_fill(mask, -1e30)
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v
+        return self.wo(self._merge_heads(context, seq_len))
+
+    def _split_heads(self, x: Tensor, seq_len: int) -> Tensor:
+        cfg = self.config
+        batched = x.ndim == 3
+        if batched:
+            batch = x.shape[0]
+            x = x.reshape(batch, seq_len, cfg.n_heads, cfg.head_dim)
+            return x.transpose(0, 2, 1, 3)
+        x = x.reshape(seq_len, cfg.n_heads, cfg.head_dim)
+        return x.transpose(1, 0, 2)
+
+    def _merge_heads(self, x: Tensor, seq_len: int) -> Tensor:
+        cfg = self.config
+        if x.ndim == 4:
+            batch = x.shape[0]
+            return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, cfg.d_model)
+        return x.transpose(1, 0, 2).reshape(seq_len, cfg.d_model)
+
+    @staticmethod
+    def _rotate_half(x: Tensor) -> Tensor:
+        half = x.shape[-1] // 2
+        lead = (slice(None),) * (x.ndim - 1)
+        return Tensor.concatenate(
+            [-x[lead + (slice(half, None),)], x[lead + (slice(None, half),)]],
+            axis=x.ndim - 1,
+        )
+
+
+class OptMLP(Module):
+    """FC1 -> ReLU -> FC2 (paper Fig. 2a)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.fc1 = Linear(config.d_model, config.d_ff, rng, bias=False)
+        self.fc2 = Linear(config.d_ff, config.d_model, rng, bias=False)
+        self.fc2.weight.data = init.scaled_residual(
+            rng, (config.d_ff, config.d_model), config.n_layers
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.relu(self.fc1(x)))
+
+
+class LlamaMLP(Module):
+    """Down(SiLU(Gate(x)) * Up(x)) (paper Fig. 2b)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.gate = Linear(config.d_model, config.d_ff, rng, bias=False)
+        self.up = Linear(config.d_model, config.d_ff, rng, bias=False)
+        self.down = Linear(config.d_ff, config.d_model, rng, bias=False)
+        self.down.weight.data = init.scaled_residual(
+            rng, (config.d_ff, config.d_model), config.n_layers
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down(F.silu(self.gate(x)) * self.up(x))
+
+
+class TransformerBlock(Module):
+    """One pre-norm residual block of either architecture."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        if config.arch == "opt":
+            self.norm1 = LayerNorm(config.d_model, config.norm_eps)
+            self.norm2 = LayerNorm(config.d_model, config.norm_eps)
+            self.mlp: Module = OptMLP(config, rng)
+        else:
+            self.norm1 = RMSNorm(config.d_model, config.norm_eps)
+            self.norm2 = RMSNorm(config.d_model, config.norm_eps)
+            self.mlp = LlamaMLP(config, rng)
+        self.attn = MultiHeadAttention(config, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class FloatTransformerLM(Module):
+    """Trainable tiny LM with tied input/output embeddings."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = derive_rng(seed, "float-model")
+        self.embed = Embedding(config.vocab_size, config.d_model, rng)
+        if config.arch == "opt":
+            self.pos_embed = Embedding(config.max_seq_len, config.d_model, rng)
+        else:
+            self.pos_embed = None
+        self.blocks = ModuleList(
+            TransformerBlock(config, derive_rng(seed, f"block/{i}"))
+            for i in range(config.n_layers)
+        )
+        if config.arch == "opt":
+            self.final_norm: Module = LayerNorm(config.d_model, config.norm_eps)
+        else:
+            self.final_norm = RMSNorm(config.d_model, config.norm_eps)
+        self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
+        self._gain = outlier_gain(config)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """Logits of shape ``token_ids.shape + (vocab,)`` (causal LM)."""
+        token_ids = np.asarray(token_ids)
+        seq_len = token_ids.shape[-1]
+        if seq_len > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max {self.config.max_seq_len}"
+            )
+        h = self.embed(token_ids)
+        if self.pos_embed is not None:
+            h = h + self.pos_embed(np.arange(seq_len))
+        h = h * self._gain
+        for block in self.blocks:
+            h = block(h)
+        h = self.final_norm(h)
+        return self.lm_head(h)
+
+    def loss(self, token_ids: np.ndarray) -> Tensor:
+        """Next-token cross entropy over the sequence (shift by one)."""
+        token_ids = np.asarray(token_ids)
+        logits = self.forward(token_ids[..., :-1])
+        return F.cross_entropy(logits, token_ids[..., 1:])

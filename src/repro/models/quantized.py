@@ -1,0 +1,448 @@
+"""W8A8 quantized inference engine with fault injection and ABFT hooks.
+
+This is the device-under-test of the whole reproduction. Every matrix
+multiplication of the transformer (paper Fig. 2 components Q, K, V, QK^T,
+SV, O and the MLP GEMMs) executes as INT8 x INT8 -> INT32 through
+:class:`GemmExecutor`, which:
+
+1. quantizes activations per-tensor (weights are pre-quantized per-channel),
+2. computes the INT32 result with wraparound accumulators,
+3. lets the attached :class:`~repro.errors.injector.ErrorInjector` corrupt
+   the accumulators (transient timing faults),
+4. lets the attached :class:`~repro.abft.protectors.Protector` inspect the
+   checksum report and, if recovery is requested, replaces the output with a
+   clean recomputation (charged to recovery cost), and
+5. dequantizes back to float for the nonlinear functions (softmax, norms,
+   activations), which stay in floating point per paper Sec. II-A.
+
+The LM head and embeddings run in float: the paper's component taxonomy
+covers only the block GEMMs, and vocabulary projection is typically executed
+on protected vector units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.abft.checksums import checksum_report
+from repro.abft.protectors import Protector
+from repro.errors.injector import ErrorInjector
+from repro.errors.sites import Component, GemmSite, Stage
+from repro.models.config import ModelConfig
+from repro.models.float_model import outlier_gain
+from repro.models.kv_cache import KVCache, LayerKV
+from repro.models.rope import apply_rope_np, rope_tables
+from repro.quant.gemm import gemm_int32
+from repro.quant.quantizer import (
+    QuantParams,
+    quantize_activation,
+    quantize_weight_per_channel,
+    quantize_with_scale,
+)
+
+
+def softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax on plain arrays (inference path)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def layer_norm_np(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * weight + bias
+
+
+def rms_norm_np(x: np.ndarray, weight: np.ndarray, eps: float) -> np.ndarray:
+    ms = np.mean(x * x, axis=-1, keepdims=True)
+    return x / np.sqrt(ms + eps) * weight
+
+
+def silu_np(x: np.ndarray) -> np.ndarray:
+    # overflow-safe sigmoid: exp of a non-positive argument only
+    positive = x >= 0
+    exp_neg = np.exp(np.where(positive, -x, x))
+    sigmoid = np.where(positive, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+    return x * sigmoid
+
+
+@dataclass
+class QuantizedWeight:
+    """Pre-quantized weight: int8 codes ``(in, out)`` + per-column scales."""
+
+    q: np.ndarray
+    params: QuantParams
+
+    @classmethod
+    def from_float(cls, w: np.ndarray) -> "QuantizedWeight":
+        q, params = quantize_weight_per_channel(w)
+        return cls(q=q, params=params)
+
+
+class GemmExecutor:
+    """Runs every protected/injectable GEMM of the quantized model.
+
+    Activation quantization modes:
+
+    - ``"dynamic"`` — per-tensor scale from the tensor's own max-abs (no
+      calibration required; an ablation — a single large injected error
+      inflates the scale and washes out every other value).
+    - ``"calibrate"`` — transparent float pass that records per-site
+      activation max-abs into ``scale_store``.
+    - ``"static"`` — calibrated per-site scales; out-of-range values
+      (e.g. injected faults flowing through) saturate at the int8 boundary,
+      as deployed W8A8 inference does. This is the default experimental
+      setting, matching the paper's SmoothQuant-style quantization.
+    """
+
+    def __init__(self, wraparound: bool = True) -> None:
+        self.injector: Optional[ErrorInjector] = None
+        self.protector: Optional[Protector] = None
+        self.wraparound = wraparound
+        self.total_macs = 0
+        self.macs_by_component: dict[str, int] = {}
+        self.mode = "dynamic"
+        self.scale_store: dict[str, float] = {}
+
+    @staticmethod
+    def _scale_key(site: GemmSite, operand: str) -> str:
+        # Stage-independent: decode reuses the scales calibrated in prefill.
+        return f"L{site.layer}/{site.component.value}/{operand}"
+
+    def _quantize(
+        self, x: np.ndarray, site: GemmSite, operand: str
+    ) -> tuple[np.ndarray, QuantParams]:
+        if self.mode == "static":
+            key = self._scale_key(site, operand)
+            scale = self.scale_store.get(key)
+            if scale is None:
+                raise RuntimeError(
+                    f"no calibrated scale for {key}; run calibration first"
+                )
+            return quantize_with_scale(x, scale)
+        if self.mode == "calibrate":
+            key = self._scale_key(site, operand)
+            observed = float(np.max(np.abs(x))) / 127.0
+            self.scale_store[key] = max(self.scale_store.get(key, 0.0), observed, 1e-12)
+        return quantize_activation(x)
+
+    def attach(
+        self,
+        injector: Optional[ErrorInjector] = None,
+        protector: Optional[Protector] = None,
+    ) -> None:
+        self.injector = injector
+        self.protector = protector
+
+    def reset_counters(self) -> None:
+        """Zero the MAC accounting (fresh energy measurement)."""
+        self.total_macs = 0
+        self.macs_by_component = {}
+
+    def _execute(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        out_scale: np.ndarray,
+        site: GemmSite,
+    ) -> np.ndarray:
+        macs = a_q.shape[0] * a_q.shape[1] * b_q.shape[1]
+        self.total_macs += macs
+        key = site.component.value
+        self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
+        clean = gemm_int32(a_q, b_q, wraparound=self.wraparound)
+        acc = clean
+        if self.injector is not None:
+            acc = self.injector.corrupt(clean, site)
+        if self.protector is not None:
+            report = checksum_report(a_q, b_q, acc)
+            if self.protector.inspect(report, site, macs):
+                acc = clean  # recovery: recompute at nominal voltage
+        return acc.astype(np.float64) * out_scale
+
+    def linear(self, x: np.ndarray, weight: QuantizedWeight, site: GemmSite) -> np.ndarray:
+        """Weight GEMM ``x @ W`` with 2-D ``x`` of shape ``(m, in)``."""
+        a_q, a_params = self._quantize(x, site, "a")
+        out_scale = a_params.scale * weight.params.scale
+        return self._execute(a_q, weight.q, out_scale, site)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, site: GemmSite) -> np.ndarray:
+        """Activation-activation GEMM (QK^T, SV) with 2-D operands."""
+        a_q, a_params = self._quantize(a, site, "a")
+        b_q, b_params = self._quantize(b, site, "b")
+        out_scale = np.asarray(a_params.scale * b_params.scale)
+        return self._execute(a_q, b_q, out_scale, site)
+
+
+class QuantizedTransformerLM:
+    """Quantized inference engine built from trained float weights.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`ModelConfig`.
+    state:
+        ``FloatTransformerLM.state_dict()`` arrays.
+    """
+
+    def __init__(self, config: ModelConfig, state: dict[str, np.ndarray]) -> None:
+        self.config = config
+        self.executor = GemmExecutor()
+        self._gain = outlier_gain(config)
+        self.embed = state["embed.weight"]
+        self.pos_embed = state.get("pos_embed.weight")
+        self.lm_head = state["lm_head.weight"]
+        self.final_norm_w = state["final_norm.weight"]
+        self.final_norm_b = state.get("final_norm.bias")
+        self.layers: list[dict[str, object]] = []
+        for i in range(config.n_layers):
+            prefix = f"blocks.{i}"
+            layer: dict[str, object] = {
+                "norm1_w": state[f"{prefix}.norm1.weight"],
+                "norm2_w": state[f"{prefix}.norm2.weight"],
+                "wq": QuantizedWeight.from_float(state[f"{prefix}.attn.wq.weight"]),
+                "wk": QuantizedWeight.from_float(state[f"{prefix}.attn.wk.weight"]),
+                "wv": QuantizedWeight.from_float(state[f"{prefix}.attn.wv.weight"]),
+                "wo": QuantizedWeight.from_float(state[f"{prefix}.attn.wo.weight"]),
+            }
+            if config.arch == "opt":
+                layer["norm1_b"] = state[f"{prefix}.norm1.bias"]
+                layer["norm2_b"] = state[f"{prefix}.norm2.bias"]
+                layer["fc1"] = QuantizedWeight.from_float(state[f"{prefix}.mlp.fc1.weight"])
+                layer["fc2"] = QuantizedWeight.from_float(state[f"{prefix}.mlp.fc2.weight"])
+            else:
+                layer["gate"] = QuantizedWeight.from_float(state[f"{prefix}.mlp.gate.weight"])
+                layer["up"] = QuantizedWeight.from_float(state[f"{prefix}.mlp.up.weight"])
+                layer["down"] = QuantizedWeight.from_float(state[f"{prefix}.mlp.down.weight"])
+            self.layers.append(layer)
+
+    # ------------------------------------------------------------- plumbing
+    def attach(
+        self,
+        injector: Optional[ErrorInjector] = None,
+        protector: Optional[Protector] = None,
+    ) -> None:
+        """Attach/replace the error injector and ABFT protector."""
+        self.executor.attach(injector, protector)
+
+    @property
+    def injector(self) -> Optional[ErrorInjector]:
+        return self.executor.injector
+
+    @property
+    def protector(self) -> Optional[Protector]:
+        return self.executor.protector
+
+    def _norm(self, x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray]) -> np.ndarray:
+        if self.config.arch == "opt":
+            assert b is not None
+            return layer_norm_np(x, w, b, self.config.norm_eps)
+        return rms_norm_np(x, w, self.config.norm_eps)
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(seq, d_model) -> (n_heads, seq, head_dim)."""
+        seq = x.shape[0]
+        cfg = self.config
+        return x.reshape(seq, cfg.n_heads, cfg.head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(n_heads, seq, head_dim) -> (seq, d_model)."""
+        n_heads, seq, head_dim = x.shape
+        return x.transpose(1, 0, 2).reshape(seq, n_heads * head_dim)
+
+    # ------------------------------------------------------------- attention
+    def _attention(
+        self,
+        layer: dict[str, object],
+        layer_idx: int,
+        h_norm: np.ndarray,
+        stage: Stage,
+        cache: Optional[LayerKV],
+        position: int,
+    ) -> np.ndarray:
+        cfg = self.config
+        ex = self.executor
+
+        def site(component: Component) -> GemmSite:
+            return GemmSite(layer=layer_idx, component=component, stage=stage)
+
+        q = ex.linear(h_norm, layer["wq"], site(Component.Q))
+        k = ex.linear(h_norm, layer["wk"], site(Component.K))
+        v = ex.linear(h_norm, layer["wv"], site(Component.V))
+        q = self._split_heads(q)
+        k = self._split_heads(k)
+        v = self._split_heads(v)
+        if cfg.arch == "llama":
+            cos, sin = rope_tables(q.shape[1], cfg.head_dim, cfg.rope_base, offset=position)
+            q = apply_rope_np(q, cos, sin)
+            k = apply_rope_np(k, cos, sin)
+
+        if cache is not None:
+            cache.append(k, v)
+            k_all, v_all = cache.k, cache.v
+        else:
+            k_all, v_all = k, v
+
+        seq_q = q.shape[1]
+        seq_k = k_all.shape[1]
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        context = np.empty((cfg.n_heads, seq_q, cfg.head_dim))
+        causal = stage is Stage.PREFILL and seq_q > 1
+        if causal:
+            mask = np.triu(np.ones((seq_q, seq_k), dtype=bool), k=1 + (seq_k - seq_q))
+        for head in range(cfg.n_heads):
+            scores = ex.matmul(q[head], k_all[head].T, site(Component.QKT)) * scale
+            if causal:
+                scores = np.where(mask, -1e30, scores)
+            attn = softmax_np(scores, axis=-1)
+            context[head] = ex.matmul(attn, v_all[head], site(Component.SV))
+        merged = self._merge_heads(context)
+        return ex.linear(merged, layer["wo"], site(Component.O))
+
+    def _mlp(
+        self,
+        layer: dict[str, object],
+        layer_idx: int,
+        h_norm: np.ndarray,
+        stage: Stage,
+    ) -> np.ndarray:
+        ex = self.executor
+
+        def site(component: Component) -> GemmSite:
+            return GemmSite(layer=layer_idx, component=component, stage=stage)
+
+        if self.config.arch == "opt":
+            hidden = ex.linear(h_norm, layer["fc1"], site(Component.FC1))
+            hidden = np.maximum(hidden, 0.0)
+            return ex.linear(hidden, layer["fc2"], site(Component.FC2))
+        gate = ex.linear(h_norm, layer["gate"], site(Component.GATE))
+        up = ex.linear(h_norm, layer["up"], site(Component.UP))
+        return ex.linear(silu_np(gate) * up, layer["down"], site(Component.DOWN))
+
+    def _block(
+        self,
+        layer: dict[str, object],
+        layer_idx: int,
+        h: np.ndarray,
+        stage: Stage,
+        cache: Optional[LayerKV],
+        position: int,
+    ) -> np.ndarray:
+        h_norm = self._norm(h, layer["norm1_w"], layer.get("norm1_b"))
+        h = h + self._attention(layer, layer_idx, h_norm, stage, cache, position)
+        h_norm = self._norm(h, layer["norm2_w"], layer.get("norm2_b"))
+        return h + self._mlp(layer, layer_idx, h_norm, stage)
+
+    def _embed_tokens(self, token_ids: np.ndarray, position: int) -> np.ndarray:
+        h = self.embed[token_ids]
+        if self.pos_embed is not None:
+            h = h + self.pos_embed[position : position + token_ids.shape[0]]
+        return h * self._gain
+
+    def _logits(self, h: np.ndarray) -> np.ndarray:
+        h = self._norm(h, self.final_norm_w, self.final_norm_b)
+        return h @ self.lm_head
+
+    def calibrate_activations(self, token_batches: list[np.ndarray]) -> None:
+        """Calibrate static per-site activation scales from clean runs.
+
+        Runs the supplied sequences fault-free in calibration mode, covering
+        both prefill (full-sequence scoring) and decode (a short greedy
+        generation), then switches the executor to static quantization —
+        the deployed-inference configuration used by all experiments.
+        """
+        saved = (self.executor.injector, self.executor.protector)
+        self.attach(None, None)
+        self.executor.mode = "calibrate"
+        try:
+            for seq in token_batches:
+                seq = np.asarray(seq)
+                self.forward_full(seq)
+                prompt_len = max(2, seq.size // 2)
+                gen_budget = min(4, self.config.max_seq_len - prompt_len)
+                if gen_budget > 0:
+                    self.generate(seq[:prompt_len], gen_budget)
+        finally:
+            self.executor.mode = "static"
+            self.attach(*saved)
+
+    # ------------------------------------------------------------- inference
+    def forward_full(self, token_ids: np.ndarray, stage: Stage = Stage.PREFILL) -> np.ndarray:
+        """Full-sequence forward (scoring/perplexity path); returns logits
+        of shape ``(seq, vocab)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1:
+            raise ValueError("forward_full expects a 1-D token sequence")
+        h = self._embed_tokens(token_ids, position=0)
+        for i, layer in enumerate(self.layers):
+            h = self._block(layer, i, h, stage, cache=None, position=0)
+        return self._logits(h)
+
+    def prefill(self, token_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
+        """Prefill stage: consume the prompt, build the KV cache, return the
+        logits of the final position."""
+        token_ids = np.asarray(token_ids)
+        cache = KVCache(
+            layers=[
+                LayerKV(
+                    k=np.empty((self.config.n_heads, 0, self.config.head_dim)),
+                    v=np.empty((self.config.n_heads, 0, self.config.head_dim)),
+                )
+                for _ in self.layers
+            ]
+        )
+        h = self._embed_tokens(token_ids, position=0)
+        for i, layer in enumerate(self.layers):
+            h = self._block(layer, i, h, Stage.PREFILL, cache.layers[i], position=0)
+        return self._logits(h[-1:])[0], cache
+
+    def decode_step(self, token_id: int, cache: KVCache) -> np.ndarray:
+        """Decode stage: one token in, next-token logits out."""
+        position = cache.seq_len
+        h = self._embed_tokens(np.array([token_id]), position=position)
+        for i, layer in enumerate(self.layers):
+            h = self._block(layer, i, h, Stage.DECODE, cache.layers[i], position=position)
+        return self._logits(h)[0]
+
+    def generate(self, prompt: np.ndarray, max_new_tokens: int) -> np.ndarray:
+        """Greedy autoregressive generation; returns the new tokens only."""
+        prompt = np.asarray(prompt)
+        if prompt.size + max_new_tokens > self.config.max_seq_len:
+            raise ValueError("prompt + generation exceeds max_seq_len")
+        logits, cache = self.prefill(prompt)
+        out = []
+        token = int(np.argmax(logits))
+        for _ in range(max_new_tokens):
+            out.append(token)
+            if len(out) == max_new_tokens:
+                break
+            logits = self.decode_step(token, cache)
+            token = int(np.argmax(logits))
+        return np.asarray(out, dtype=np.int64)
+
+    def sequence_nll(self, token_ids: np.ndarray) -> float:
+        """Mean next-token negative log likelihood (perplexity = exp(nll))."""
+        token_ids = np.asarray(token_ids)
+        logits = self.forward_full(token_ids[:-1])
+        log_probs = log_softmax_np(logits, axis=-1)
+        picked = log_probs[np.arange(token_ids.size - 1), token_ids[1:]]
+        return float(-picked.mean())
+
+    def choice_logprob(self, context: np.ndarray, continuation: np.ndarray) -> float:
+        """Total log-probability of ``continuation`` given ``context``
+        (HellaSwag-style multiple-choice scoring)."""
+        full = np.concatenate([context, continuation])
+        logits = self.forward_full(full[:-1])
+        log_probs = log_softmax_np(logits, axis=-1)
+        start = context.size - 1
+        idx = np.arange(start, full.size - 1)
+        return float(log_probs[idx, full[idx + 1]].sum())

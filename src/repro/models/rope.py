@@ -1,0 +1,40 @@
+"""Rotary positional embeddings (RoPE) used by the LLaMA-style architecture.
+
+Implemented once over plain NumPy cos/sin tables; the float (autograd) path
+applies them through differentiable elementwise ops and the quantized path
+through direct array math, guaranteeing the two paths agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_tables(
+    seq_len: int, head_dim: int, base: float = 10000.0, offset: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cos/sin tables of shape ``(seq_len, head_dim)``.
+
+    ``offset`` shifts absolute positions, which is how the decode stage
+    rotates a single new token at position ``t``.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError("RoPE requires an even head dimension")
+    half = head_dim // 2
+    inv_freq = base ** (-np.arange(half) / half)
+    positions = np.arange(offset, offset + seq_len)[:, None]
+    angles = positions * inv_freq[None, :]
+    # Duplicate the angle for the (x1, x2) pair layout: [a0..a_{h-1}, a0..].
+    angles = np.concatenate([angles, angles], axis=-1)
+    return np.cos(angles), np.sin(angles)
+
+
+def rotate_half_np(x: np.ndarray) -> np.ndarray:
+    """``(-x2, x1)`` pairing over the last dimension (NumPy arrays)."""
+    half = x.shape[-1] // 2
+    return np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+
+
+def apply_rope_np(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary embedding to ``x`` with shape ``(..., seq, head_dim)``."""
+    return x * cos + rotate_half_np(x) * sin

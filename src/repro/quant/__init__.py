@@ -1,0 +1,27 @@
+"""W8A8 quantization substrate.
+
+Implements the paper's quantized-inference setting (Sec. II-A / III-B):
+GEMM inputs are symmetric INT8 (per-channel weights, per-tensor dynamic
+activations, following SmoothQuant-style W8A8), accumulation is INT32 with
+hardware wraparound, and nonlinear functions stay in floating point.
+Errors are injected into the INT32 GEMM results.
+"""
+
+from repro.quant.quantizer import (
+    QuantParams,
+    quantize_activation,
+    quantize_weight_per_channel,
+    dequantize,
+)
+from repro.quant.gemm import gemm_int32, wrap_int32, saturate_int32, GemmOutput
+
+__all__ = [
+    "QuantParams",
+    "quantize_activation",
+    "quantize_weight_per_channel",
+    "dequantize",
+    "gemm_int32",
+    "wrap_int32",
+    "saturate_int32",
+    "GemmOutput",
+]

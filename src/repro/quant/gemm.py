@@ -1,0 +1,63 @@
+"""Integer GEMM kernels with hardware accumulator semantics.
+
+The systolic array the paper targets accumulates INT8xINT8 products in 32-bit
+registers. We therefore compute products exactly in int64 and *wrap* to int32
+(two's-complement overflow), matching silicon. A saturating variant exists as
+an ablation (see DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+_MOD = 2**32
+
+
+def wrap_int32(x: np.ndarray) -> np.ndarray:
+    """Two's-complement wraparound of an int64 array into int32 range."""
+    return ((np.asarray(x, dtype=np.int64) - INT32_MIN) % _MOD + INT32_MIN).astype(
+        np.int64
+    )
+
+
+def saturate_int32(x: np.ndarray) -> np.ndarray:
+    """Clamp an int64 array into int32 range (ablation accumulator)."""
+    return np.clip(np.asarray(x, dtype=np.int64), INT32_MIN, INT32_MAX)
+
+
+@dataclass
+class GemmOutput:
+    """Result of an integer GEMM: int32-valued accumulators (stored as int64
+    for safe downstream arithmetic) plus the float scale that dequantizes
+    them (``real ~= acc * scale``, broadcasting per output column)."""
+
+    acc: np.ndarray
+    scale: np.ndarray
+
+
+def gemm_int32(
+    a_q: np.ndarray,
+    b_q: np.ndarray,
+    wraparound: bool = True,
+) -> np.ndarray:
+    """``a_q @ b_q`` with INT32 accumulator semantics.
+
+    Parameters
+    ----------
+    a_q, b_q:
+        Integer matrices (int8 codes, any integer dtype accepted).
+    wraparound:
+        True (default) emulates two's-complement 32-bit overflow; False
+        saturates instead.
+
+    Returns
+    -------
+    np.ndarray
+        int64 array whose values all lie within int32 range.
+    """
+    exact = a_q.astype(np.int64) @ b_q.astype(np.int64)
+    return wrap_int32(exact) if wraparound else saturate_int32(exact)

@@ -1,0 +1,87 @@
+"""Symmetric INT8 quantizers.
+
+Two flavours are used by the inference engine:
+
+- **Activations**: per-tensor dynamic symmetric quantization — the scale is
+  computed from the tensor's max-abs at runtime, as low-cost accelerators do.
+- **Weights**: per-output-channel symmetric quantization computed offline,
+  matching the W8A8 recipe of SmoothQuant that the paper follows [30].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale(s) mapping int8 codes back to real values: ``x ~= q * scale``.
+
+    ``scale`` is a scalar for per-tensor quantization or a 1-D array of
+    length ``out_channels`` for per-channel weight quantization.
+    """
+
+    scale: np.ndarray
+
+    @property
+    def per_channel(self) -> bool:
+        return np.ndim(self.scale) > 0 and np.size(self.scale) > 1
+
+
+def _safe_scale(max_abs: np.ndarray) -> np.ndarray:
+    """Scale for symmetric int8; degenerate all-zero tensors get scale 1."""
+    max_abs = np.asarray(max_abs, dtype=np.float64)
+    return np.where(max_abs > 0, max_abs / INT8_MAX, 1.0)
+
+
+def quantize_activation(x: np.ndarray) -> tuple[np.ndarray, QuantParams]:
+    """Per-tensor dynamic symmetric quantization to int8."""
+    scale = _safe_scale(np.max(np.abs(x)))
+    q = np.clip(np.rint(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return q, QuantParams(scale=scale)
+
+
+def quantize_with_scale(x: np.ndarray, scale: float) -> tuple[np.ndarray, QuantParams]:
+    """Per-tensor *static* symmetric quantization with a calibrated scale.
+
+    Values beyond ``127 * scale`` saturate at the int8 boundary — the
+    mechanism behind the paper's Q1.2 finding that large injected errors
+    "reach a saturation point due to re-quantization" (Fig. 4c). Static
+    scales are the SmoothQuant-style deployment the paper evaluates;
+    dynamic quantization remains available as an ablation.
+    """
+    if scale <= 0:
+        raise ValueError("static scale must be positive")
+    q = np.clip(np.rint(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return q, QuantParams(scale=np.asarray(scale, dtype=np.float64))
+
+
+def quantize_weight_per_channel(w: np.ndarray) -> tuple[np.ndarray, QuantParams]:
+    """Per-output-channel symmetric quantization of a 2-D weight ``(in, out)``."""
+    if w.ndim != 2:
+        raise ValueError(f"expected 2-D weight, got shape {w.shape}")
+    scale = _safe_scale(np.max(np.abs(w), axis=0))
+    q = np.clip(np.rint(w / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return q, QuantParams(scale=scale)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map int codes back to float: ``q * scale`` (broadcast over channels)."""
+    return q.astype(np.float64) * params.scale
+
+
+def requantize_int32_to_int8(
+    acc: np.ndarray, acc_scale: np.ndarray
+) -> tuple[np.ndarray, QuantParams]:
+    """Re-quantize an INT32 GEMM result to INT8 for the next quantized GEMM.
+
+    This is the saturation path the paper's Q1.2 study identifies: large
+    injected errors in high accumulator bits clip at the int8 boundary,
+    bounding their downstream effect (Fig. 4c).
+    """
+    real = acc.astype(np.float64) * acc_scale
+    return quantize_activation(real)

@@ -1,0 +1,28 @@
+"""Systolic-array substrate (paper Sec. V-B, Fig. 7).
+
+Tile-level functional simulation of an n x n systolic array running integer
+GEMMs under weight-stationary (WS) or output-stationary (OS) dataflow, with
+the checksum hardware and the statistical unit attached. Provides the cycle
+/ latency accounting used for recovery-cost evaluation and the
+hardware-faithful Log2LinearFunction ablation.
+"""
+
+from repro.systolic.dataflow import Dataflow, WS, OS, tile_latency_cycles
+from repro.systolic.tiling import TileJob, iter_tiles, tile_counts
+from repro.systolic.array import SystolicArray, GemmRunReport
+from repro.systolic.stat_unit import Log2LinearUnit, StatisticalUnit, StatUnitReading
+
+__all__ = [
+    "Dataflow",
+    "WS",
+    "OS",
+    "tile_latency_cycles",
+    "TileJob",
+    "iter_tiles",
+    "tile_counts",
+    "SystolicArray",
+    "GemmRunReport",
+    "Log2LinearUnit",
+    "StatisticalUnit",
+    "StatUnitReading",
+]

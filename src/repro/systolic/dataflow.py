@@ -1,0 +1,70 @@
+"""Dataflow definitions and cycle models for the systolic array.
+
+Latency formulas follow the standard systolic pipelines:
+
+- **WS** (weight stationary, Fig. 7a): weights preloaded column-major
+  (``k`` cycles), activations streamed row by row; the last of ``m`` input
+  rows drains after crossing ``n`` columns, giving
+  ``k + m + n - 1`` cycles per tile. The ABFT checksum column rides along
+  the same wavefront and the bottom adder row adds one pipeline stage.
+- **OS** (output stationary, Fig. 7b): operands stream in along ``k``; the
+  result matrix forms in place after ``k + m + n - 2`` cycles and drains
+  over ``min(m, n)`` diagonals; the extra checksum-PE row adds one stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Dataflow(enum.Enum):
+    """Systolic dataflow variants supported by the paper's design.
+
+    The paper details WS and OS and notes the scheme "is also compatible
+    with input stationary (IS) dataflow"; IS is included with the mirrored
+    cycle model (inputs resident, weights streamed — symmetric to WS with
+    the operand roles swapped).
+    """
+
+    WS = "weight-stationary"
+    OS = "output-stationary"
+    IS = "input-stationary"
+
+
+#: Convenient aliases.
+WS = Dataflow.WS
+OS = Dataflow.OS
+IS = Dataflow.IS
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Dimensions of one GEMM tile mapped onto the array."""
+
+    m: int
+    k: int
+    n: int
+
+
+def tile_latency_cycles(
+    dataflow: Dataflow, m: int, k: int, n: int, with_checksum: bool = False
+) -> int:
+    """Cycles to execute an ``m x k x n`` tile on the array.
+
+    ``with_checksum`` accounts for the ABFT hardware: one extra pipeline
+    stage for the checksum column/row (its computation is overlapped with
+    the normal wavefront, so the overhead is a single drain cycle — the
+    "negligible latency" claim of Sec. V-B).
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("tile dimensions must be positive")
+    if dataflow is Dataflow.WS:
+        cycles = k + m + n - 1
+    elif dataflow is Dataflow.IS:
+        # inputs resident (k preload), weights streamed over n, outputs
+        # drain across m columns — WS with operand roles mirrored
+        cycles = k + n + m - 1
+    else:
+        cycles = k + m + n - 2 + min(m, n)
+    return cycles + (1 if with_checksum else 0)

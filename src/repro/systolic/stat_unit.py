@@ -1,0 +1,113 @@
+"""Behavioral model of the paper's statistical unit (Fig. 7c).
+
+The unit receives the two checksum streams (``e^T W X`` from the checksum
+column and ``e^T Y`` from the output accumulators), subtracts them column by
+column, accumulates the absolute differences into the MSD, stores each
+per-column difference in one of ``n`` buffers, computes ``theta_mag``
+through a **Log2LinearFunction** block, and finally counts buffered
+magnitudes above the threshold with a parallel comparator bank ("countif").
+
+The Log2LinearFunction is modeled bit-faithfully: hardware cannot afford a
+real logarithm, so ``log2(MSD)`` is approximated by leading-one detection
+(the integer part) plus the next ``frac_bits`` mantissa bits (a linear
+interpolation between powers of two). The resulting ``theta_mag`` is a
+power-of-two-times-linear-fraction value, slightly different from the exact
+software threshold — the agreement between the two is covered by tests and
+the Fig. 7 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Log2LinearUnit:
+    """Hardware log2 approximation + the ``theta_mag`` affine map.
+
+    Computes ``theta_mag = 2 ** clamp(b - (a - 1) * log2hw(msd), 0, 31)``
+    where ``log2hw`` uses leading-one detection with ``frac_bits`` of linear
+    mantissa. Coefficients are held in fixed point with ``coeff_frac_bits``
+    fractional bits, as a small multiplier array would.
+    """
+
+    a: float
+    b: float
+    frac_bits: int = 4
+    coeff_frac_bits: int = 8
+
+    def log2_hw(self, value: int) -> float:
+        """Leading-one-detector log2 with linear fractional interpolation."""
+        if value <= 0:
+            return 0.0
+        integer = int(value).bit_length() - 1
+        if integer == 0:
+            return 0.0
+        # Take frac_bits below the leading one; linear mantissa approximation.
+        remainder = value - (1 << integer)
+        frac = remainder / (1 << integer)
+        quantized = np.floor(frac * (1 << self.frac_bits)) / (1 << self.frac_bits)
+        return integer + quantized
+
+    def _fixed(self, x: float) -> float:
+        scale = 1 << self.coeff_frac_bits
+        return np.floor(x * scale) / scale
+
+    def theta_mag(self, msd: int) -> float:
+        """Hardware-computed magnitude threshold for an observed MSD."""
+        if msd <= 0:
+            return 0.0
+        log_msd = self.log2_hw(int(msd))
+        exponent = self._fixed(self.b) - self._fixed(self.a - 1.0) * log_msd
+        exponent = min(max(exponent, 0.0), 31.0)
+        # Hardware realizes 2**e as a shift of the integer part and a linear
+        # fraction for the remainder.
+        integer = int(np.floor(exponent))
+        frac = exponent - integer
+        return float((1 << integer) * (1.0 + frac))
+
+
+@dataclass
+class StatUnitReading:
+    """Outputs latched by the statistical unit after one GEMM tile."""
+
+    msd: int
+    theta_mag: float
+    freq_eff: int
+    buffer_overflowed: bool
+
+
+class StatisticalUnit:
+    """Subtractor + accumulator + Log2LinearFunction + buffers + countif.
+
+    ``n_buffers`` bounds how many per-column differences the silicon can
+    hold (one per array column in the paper's design). Wider GEMM tiles are
+    processed column-stripe by column-stripe, so the model flags (rather
+    than hides) any overflow.
+    """
+
+    def __init__(self, a: float, b: float, theta_freq: float, n_buffers: int) -> None:
+        if n_buffers <= 0:
+            raise ValueError("n_buffers must be positive")
+        self.log2linear = Log2LinearUnit(a=a, b=b)
+        self.theta_freq = theta_freq
+        self.n_buffers = n_buffers
+
+    def evaluate(self, diffs: np.ndarray) -> StatUnitReading:
+        """Process per-column checksum differences exactly as hardware does."""
+        diffs = np.asarray(diffs, dtype=np.int64)
+        overflow = diffs.size > self.n_buffers
+        window = np.abs(diffs[: self.n_buffers])
+        msd = int(window.sum())
+        thr = self.log2linear.theta_mag(msd)
+        freq_eff = int(np.count_nonzero(window > thr))
+        return StatUnitReading(
+            msd=msd, theta_mag=thr, freq_eff=freq_eff, buffer_overflowed=overflow
+        )
+
+    def should_recover(self, diffs: np.ndarray) -> bool:
+        """Recovery decision for one tile (the paper's rule)."""
+        reading = self.evaluate(diffs)
+        return reading.freq_eff > self.theta_freq

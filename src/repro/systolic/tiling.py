@@ -1,0 +1,67 @@
+"""GEMM tiling onto a fixed-size systolic array."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TileJob:
+    """One sub-GEMM: output block (rows i0:i1, cols j0:j1), reduction k0:k1."""
+
+    i0: int
+    i1: int
+    j0: int
+    j1: int
+    k0: int
+    k1: int
+
+    @property
+    def m(self) -> int:
+        return self.i1 - self.i0
+
+    @property
+    def n(self) -> int:
+        return self.j1 - self.j0
+
+    @property
+    def k(self) -> int:
+        return self.k1 - self.k0
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+
+def tile_counts(m: int, k: int, n: int, size: int) -> tuple[int, int, int]:
+    """Number of tiles along each GEMM dimension for an array of ``size``."""
+    return (
+        math.ceil(m / size),
+        math.ceil(k / size),
+        math.ceil(n / size),
+    )
+
+
+def iter_tiles(m: int, k: int, n: int, size: int) -> Iterator[TileJob]:
+    """Yield tile jobs covering an ``m x k x n`` GEMM, k-innermost order.
+
+    The k-innermost order matches accumulate-in-place scheduling: all
+    reduction tiles of one output block run back to back.
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if size <= 0:
+        raise ValueError("array size must be positive")
+    for i0 in range(0, m, size):
+        for j0 in range(0, n, size):
+            for k0 in range(0, k, size):
+                yield TileJob(
+                    i0=i0,
+                    i1=min(i0 + size, m),
+                    j0=j0,
+                    j1=min(j0 + size, n),
+                    k0=k0,
+                    k1=min(k0 + size, k),
+                )

@@ -1,0 +1,13 @@
+"""Training substrate: LM trainer and the cached tiny-model zoo."""
+
+from repro.training.trainer import TrainConfig, Trainer, TrainResult
+from repro.training.zoo import PretrainedBundle, get_pretrained, clear_cache
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "PretrainedBundle",
+    "get_pretrained",
+    "clear_cache",
+]

@@ -1,0 +1,90 @@
+"""Causal-LM trainer for the tiny float models.
+
+Standard recipe: Adam, linear warmup + cosine decay, gradient clipping.
+Training data is streamed from a :class:`~repro.data.markov.MarkovTextSource`
+with per-step derived RNG keys, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.optim import Adam, clip_grad_norm
+from repro.data.markov import MarkovTextSource
+from repro.models.float_model import FloatTransformerLM
+from repro.utils.logging import get_logger
+
+logger = get_logger("training")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one training run."""
+
+    steps: int = 1200
+    batch_size: int = 16
+    seq_len: int = 48
+    lr: float = 3e-3
+    warmup_steps: int = 60
+    clip_norm: float = 1.0
+    weight_decay: float = 0.0
+    log_every: int = 200
+
+
+@dataclass
+class TrainResult:
+    """Loss curve and summary of a completed run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no training steps recorded")
+        tail = self.losses[-20:]
+        return float(np.mean(tail))
+
+
+def lr_at(step: int, config: TrainConfig) -> float:
+    """Linear warmup then cosine decay to 10% of peak."""
+    if step < config.warmup_steps:
+        return config.lr * (step + 1) / config.warmup_steps
+    progress = (step - config.warmup_steps) / max(config.steps - config.warmup_steps, 1)
+    floor = 0.1 * config.lr
+    return floor + (config.lr - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
+
+
+class Trainer:
+    """Trains a :class:`FloatTransformerLM` on a Markov source."""
+
+    def __init__(self, model: FloatTransformerLM, config: TrainConfig) -> None:
+        self.model = model
+        self.config = config
+        self.optimizer = Adam(
+            model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+
+    def train(self, source: MarkovTextSource, run_key: str = "train") -> TrainResult:
+        if source.vocab_size != self.model.config.vocab_size:
+            raise ValueError("source vocabulary does not match the model")
+        if self.config.seq_len > self.model.config.max_seq_len:
+            raise ValueError("seq_len exceeds the model's max_seq_len")
+        result = TrainResult()
+        for step in range(self.config.steps):
+            batch = source.sample_batch(
+                self.config.batch_size, self.config.seq_len, key=f"{run_key}/{step}"
+            )
+            loss = self.model.loss(batch)
+            self.optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.optimizer.params, self.config.clip_norm)
+            self.optimizer.lr = lr_at(step, self.config)
+            self.optimizer.step()
+            result.losses.append(loss.item())
+            if self.config.log_every and (step + 1) % self.config.log_every == 0:
+                logger.info(
+                    "step %d/%d loss %.4f", step + 1, self.config.steps, loss.item()
+                )
+        return result

@@ -1,0 +1,7 @@
+"""Shared utilities: seeding, table formatting, lightweight logging."""
+
+from repro.utils.seeding import derive_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.logging import get_logger
+
+__all__ = ["derive_rng", "spawn_rngs", "format_table", "get_logger"]

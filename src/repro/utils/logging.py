@@ -1,0 +1,17 @@
+"""Minimal logging setup shared across the library."""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger configured once with a terse format."""
+    logger = logging.getLogger(f"repro.{name}")
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+    return logger

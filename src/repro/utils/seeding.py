@@ -1,0 +1,39 @@
+"""Deterministic random-number-generator management.
+
+Every stochastic subsystem (weight init, corpus generation, error injection)
+receives its own :class:`numpy.random.Generator` derived from a root seed plus
+a string key, so experiments are reproducible and subsystems are independent:
+changing the error-injection draw count never perturbs the corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+
+def _key_to_ints(key: str) -> list[int]:
+    """Hash a string key into a list of 32-bit integers for SeedSequence."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+
+def derive_rng(seed: int, key: str = "") -> np.random.Generator:
+    """Return a Generator deterministically derived from ``seed`` and ``key``.
+
+    Parameters
+    ----------
+    seed:
+        Root experiment seed.
+    key:
+        Subsystem label, e.g. ``"weights/layer3"`` or ``"errors/prefill"``.
+    """
+    entropy = [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF] + _key_to_ints(key)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def spawn_rngs(seed: int, keys: Iterable[str]) -> dict[str, np.random.Generator]:
+    """Derive one independent Generator per key."""
+    return {key: derive_rng(seed, key) for key in keys}

@@ -1,0 +1,51 @@
+"""Shared fixtures: cached tiny models and evaluators.
+
+The zoo caches trained weights on disk (``$REPRO_CACHE``), so the first test
+session trains the mini models (~10 s) and later sessions load instantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.evaluator import ModelEvaluator
+from repro.models.export import quantize_model
+from repro.training.zoo import get_pretrained
+
+
+@pytest.fixture(scope="session")
+def opt_bundle():
+    return get_pretrained("opt-mini")
+
+
+@pytest.fixture(scope="session")
+def llama_bundle():
+    return get_pretrained("llama-mini")
+
+
+@pytest.fixture(scope="session")
+def opt_quant(opt_bundle):
+    """Calibrated quantized OPT-style model (session-shared, read-mostly).
+
+    Tests that attach injectors/protectors must detach afterwards; prefer
+    the ``opt_evaluator`` fixture's run() which does so automatically.
+    """
+    calibration = [row for row in opt_bundle.source.sample_batch(2, 32, key="calibration")]
+    return quantize_model(opt_bundle.state, opt_bundle.config, calibration=calibration)
+
+
+@pytest.fixture(scope="session")
+def llama_quant(llama_bundle):
+    calibration = [row for row in llama_bundle.source.sample_batch(2, 32, key="calibration")]
+    return quantize_model(llama_bundle.state, llama_bundle.config, calibration=calibration)
+
+
+@pytest.fixture(scope="session")
+def opt_evaluator(opt_bundle):
+    return ModelEvaluator(opt_bundle, "perplexity")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

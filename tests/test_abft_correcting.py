@@ -1,0 +1,106 @@
+"""Tests for two-sided single-error correction, including the measurement
+that justifies the paper's detection-only design choice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft.correcting import (
+    correction_success_rate,
+    try_correct_single_error,
+)
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, GemmSite, Stage
+from repro.quant.gemm import gemm_int32
+from repro.utils.seeding import derive_rng
+
+SITE = GemmSite(0, Component.K, Stage.PREFILL)
+
+
+@pytest.fixture
+def operands(rng):
+    a = rng.integers(-50, 50, size=(6, 10)).astype(np.int8)
+    b = rng.integers(-50, 50, size=(10, 8)).astype(np.int8)
+    return a, b, gemm_int32(a, b)
+
+
+class TestSingleErrorCorrection:
+    def test_clean_output_reported_clean(self, operands):
+        a, b, y = operands
+        result = try_correct_single_error(a, b, y)
+        assert result.status == "clean"
+        np.testing.assert_array_equal(result.corrected, y)
+
+    def test_single_error_located_and_repaired(self, operands):
+        a, b, y = operands
+        bad = np.array(y)
+        bad[2, 5] += 1 << 21
+        result = try_correct_single_error(a, b, bad)
+        assert result.status == "corrected"
+        assert (result.row, result.col) == (2, 5)
+        assert result.delta == -(1 << 21)
+        np.testing.assert_array_equal(result.corrected, y)
+
+    def test_negative_error_repaired(self, operands):
+        a, b, y = operands
+        bad = np.array(y)
+        bad[0, 0] -= 12345
+        result = try_correct_single_error(a, b, bad)
+        assert result.status == "corrected"
+        np.testing.assert_array_equal(result.corrected, y)
+
+    def test_two_errors_different_cells_uncorrectable(self, operands):
+        a, b, y = operands
+        bad = np.array(y)
+        bad[1, 2] += 100
+        bad[3, 6] += 200
+        result = try_correct_single_error(a, b, bad)
+        assert result.status == "uncorrectable"
+
+    def test_two_errors_same_row_uncorrectable(self, operands):
+        a, b, y = operands
+        bad = np.array(y)
+        bad[1, 2] += 100
+        bad[1, 6] += 200
+        assert try_correct_single_error(a, b, bad).status == "uncorrectable"
+
+    def test_sign_bit_flip_repaired_with_wraparound(self, operands):
+        """Bit-31 flips wrap; correction must repair modulo 2^32."""
+        a, b, y = operands
+        bad = np.array(y)
+        bad[4, 4] = int(
+            np.int64(np.uint32(bad[4, 4]) ^ np.uint32(1 << 31)).astype(np.int32)
+        )
+        result = try_correct_single_error(a, b, bad)
+        assert result.status == "corrected"
+        np.testing.assert_array_equal(result.corrected, y)
+
+
+class TestWhyThePaperChoosesDetection:
+    def test_correction_rate_collapses_at_high_ber(self, operands):
+        """At low BER most faulty GEMMs carry one error (correctable); at
+        high BER multi-error patterns dominate and correction fails — the
+        quantitative basis for detection + recomputation."""
+        a, b, y = operands
+
+        def corrupted_set(ber, n=40):
+            outputs = []
+            injector = ErrorInjector(BitFlipModel(ber), seed=11)
+            while len(outputs) < n:
+                candidate = injector.corrupt(y, SITE)
+                if np.any(candidate != y):
+                    outputs.append(candidate)
+            return outputs
+
+        low = correction_success_rate(a, b, y, corrupted_set(2e-4))
+        high = correction_success_rate(a, b, y, corrupted_set(3e-2))
+        assert low > 0.7
+        assert high < 0.5
+        assert low > high
+
+    def test_empty_corrupted_set_rejected(self, operands):
+        a, b, y = operands
+        with pytest.raises(ValueError):
+            correction_success_rate(a, b, y, [])

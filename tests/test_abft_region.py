@@ -1,0 +1,127 @@
+"""Tests for the critical-region model and its fitting procedure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft.region import CriticalRegion, GridPoint, fit_critical_region, theta_mag
+
+
+class TestThetaMag:
+    def test_zero_msd_gives_zero_threshold(self):
+        assert theta_mag(1.5, 10.0, 0) == 0.0
+
+    def test_threshold_decreases_with_msd(self):
+        a, b = 1.5, 12.0
+        thresholds = [theta_mag(a, b, 2.0**p) for p in (8, 12, 16, 20)]
+        assert all(x >= y for x, y in zip(thresholds, thresholds[1:]))
+
+    def test_threshold_floor_is_one(self):
+        # Exponent clamps at 0 => threshold never below 1 LSB.
+        assert theta_mag(3.0, -50.0, 2**20) == 1.0
+
+    def test_published_form(self):
+        a, b, msd = 1.5, 12.0, 2.0**10
+        expected = 2.0 ** (b - (a - 1.0) * 10.0)
+        assert theta_mag(a, b, msd) == pytest.approx(expected)
+
+    @given(
+        st.floats(min_value=1.05, max_value=3.0),
+        st.floats(min_value=-8, max_value=32),
+        st.floats(min_value=1, max_value=1e12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_non_negative_finite(self, a, b, msd):
+        value = theta_mag(a, b, msd)
+        assert np.isfinite(value) and value >= 0
+
+
+class TestCriticalRegionValidation:
+    def test_rejects_bad_slope(self):
+        with pytest.raises(ValueError):
+            CriticalRegion(a=0.0, b=1.0, theta_freq=1.0)
+
+    def test_rejects_negative_theta_freq(self):
+        with pytest.raises(ValueError):
+            CriticalRegion(a=1.5, b=1.0, theta_freq=-1.0)
+
+    def test_predicts_recovery_semantics(self):
+        region = CriticalRegion(a=1.5, b=12.0, theta_freq=4.0)
+        # sporadic large: freq below theta_freq => safe
+        assert not region.predicts_recovery(mag=2**24, freq=2)
+        # nothing injected
+        assert not region.predicts_recovery(mag=0, freq=10)
+
+
+def synthetic_grid(theta_freq=4.0, mag_knee=2**10):
+    """A grid with the paper's resilient shape: safe below theta_freq, safe
+    for tiny magnitudes, critical in the medium-mag / high-freq corner."""
+    points = []
+    for p in range(2, 26, 4):
+        for q in range(0, 10, 2):
+            mag, freq = 2.0**p, 2.0**q
+            critical = freq > theta_freq and mag > mag_knee
+            points.append(GridPoint(mag=mag, freq=freq, degradation=10.0 if critical else 0.0))
+    return points
+
+
+class TestFitCriticalRegion:
+    def test_fit_classifies_synthetic_grid_perfectly(self):
+        points = synthetic_grid()
+        region = fit_critical_region(points, budget=0.5)
+        for p in points:
+            predicted = region.predicts_recovery(p.mag, p.freq)
+            assert predicted == (p.degradation > 0.5), (p.mag, p.freq)
+
+    def test_fit_never_misses_critical_when_separable(self):
+        points = synthetic_grid(theta_freq=2.0, mag_knee=2**14)
+        region = fit_critical_region(points, budget=0.5)
+        missed = [
+            p
+            for p in points
+            if p.degradation > 0.5 and not region.predicts_recovery(p.mag, p.freq)
+        ]
+        assert not missed
+
+    def test_all_acceptable_grid_never_recovers(self):
+        points = [
+            GridPoint(mag=2.0**p, freq=2.0**q, degradation=0.0)
+            for p in range(2, 20, 4)
+            for q in range(0, 8, 2)
+        ]
+        region = fit_critical_region(points, budget=0.5)
+        assert not any(region.predicts_recovery(p.mag, p.freq) for p in points)
+
+    def test_all_critical_grid_always_recovers(self):
+        points = [
+            GridPoint(mag=2.0**p, freq=2.0**q, degradation=9.0)
+            for p in range(8, 20, 4)
+            for q in range(0, 8, 2)
+        ]
+        region = fit_critical_region(points, budget=0.5)
+        assert all(region.predicts_recovery(p.mag, p.freq) for p in points)
+
+    def test_sensitive_kind_recorded(self):
+        region = fit_critical_region(synthetic_grid(), budget=0.5, kind="sensitive")
+        assert region.kind == "sensitive"
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            fit_critical_region([], budget=0.5)
+
+    def test_budget_monotonicity(self):
+        """A looser budget can only shrink (or keep) the set of patterns
+        flagged for recovery."""
+        base = synthetic_grid()
+        graded = [
+            GridPoint(p.mag, p.freq, p.degradation * (np.log2(p.mag) / 10.0))
+            for p in base
+        ]
+        tight = fit_critical_region(graded, budget=0.5)
+        loose = fit_critical_region(graded, budget=15.0)
+        tight_flags = sum(tight.predicts_recovery(p.mag, p.freq) for p in graded)
+        loose_flags = sum(loose.predicts_recovery(p.mag, p.freq) for p in graded)
+        assert loose_flags <= tight_flags

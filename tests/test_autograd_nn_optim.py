@@ -1,0 +1,150 @@
+"""Tests for the nn module system and the optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.nn import Embedding, LayerNorm, Linear, Module, ModuleList, Parameter, RMSNorm
+from repro.autograd.optim import SGD, Adam, clip_grad_norm
+from repro.utils.seeding import derive_rng
+
+
+class TinyNet(Module):
+    def __init__(self, rng):
+        self.fc1 = Linear(4, 8, rng)
+        self.fc2 = Linear(8, 2, rng)
+        self.blocks = ModuleList([Linear(2, 2, rng) for _ in range(2)])
+
+    def forward(self, x):
+        h = self.fc1(x).relu()
+        h = self.fc2(h)
+        for block in self.blocks:
+            h = block(h)
+        return h
+
+
+class TestModuleSystem:
+    def test_named_parameters_cover_nested_modules(self):
+        net = TinyNet(derive_rng(0, "t"))
+        names = {n for n, _ in net.named_parameters()}
+        assert "fc1.weight" in names and "fc1.bias" in names
+        assert "blocks.0.weight" in names and "blocks.1.bias" in names
+        assert len(names) == 8
+
+    def test_state_dict_roundtrip(self):
+        net = TinyNet(derive_rng(0, "a"))
+        other = TinyNet(derive_rng(1, "b"))
+        other.load_state_dict(net.state_dict())
+        x = Tensor(np.ones((3, 4)))
+        np.testing.assert_allclose(net(x).numpy(), other(x).numpy())
+
+    def test_load_state_dict_rejects_mismatch(self):
+        net = TinyNet(derive_rng(0, "a"))
+        state = net.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        net = TinyNet(derive_rng(0, "a"))
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_num_parameters(self):
+        net = TinyNet(derive_rng(0, "a"))
+        assert net.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2) + 2 * (2 * 2 + 2)
+
+    def test_zero_grad_clears(self):
+        net = TinyNet(derive_rng(0, "a"))
+        net(Tensor(np.ones((1, 4)))).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(6, 3, derive_rng(0, "l"))
+        out = layer(Tensor(np.ones((5, 6))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(6, 3, derive_rng(0, "l"), bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 6))))
+        np.testing.assert_allclose(out.numpy(), np.zeros((2, 3)))
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, derive_rng(0, "e"))
+        out = emb(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.numpy()[0, 0], emb.weight.numpy()[1])
+
+    def test_norm_layers_learnable(self):
+        ln = LayerNorm(8)
+        rms = RMSNorm(8)
+        assert len(list(ln.named_parameters())) == 2
+        assert len(list(rms.named_parameters())) == 1
+
+
+class TestOptimizers:
+    def _quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        return p
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-6)
+
+    def test_sgd_momentum_converges(self):
+        p = self._quadratic()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-4)
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic()
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-3)
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=10.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert abs(float(p.numpy()[0])) < 1.0
+
+    def test_empty_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        total = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(total, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.array([0.3]))
+        p.grad = np.array([0.3])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3])

@@ -1,0 +1,225 @@
+"""Unit tests for the autograd core: gradients checked against finite
+differences for every primitive operation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    g = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        g[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x: np.ndarray, atol: float = 1e-5) -> None:
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = numeric_grad(lambda a: float(op(Tensor(a)).sum().numpy()), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestArithmetic:
+    def test_add_broadcast_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_grad(self, rng):
+        x = rng.normal(size=(2, 3))
+        y = rng.normal(size=(2, 3))
+        a = Tensor(x, requires_grad=True)
+        b = Tensor(y, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, y)
+        np.testing.assert_allclose(b.grad, x)
+
+    def test_div_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(3, 3)) + 3.0
+        check_unary(lambda t: 1.0 / t, x)
+
+    def test_sub_and_neg(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, -np.ones((2, 2)))
+
+    def test_pow_grad(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_unary(lambda t: t**3.0, x)
+
+    def test_rsub_rdiv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (5.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        (6.0 / b).backward()
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_scalar_exponent_only(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** np.ones(2)
+
+
+class TestMatmul:
+    def test_matmul_grads(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 5)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((3, 5)))
+
+    def test_batched_matmul_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4, 5)
+        np.testing.assert_allclose(
+            b.grad, sum(a.data[i].T @ np.ones((3, 5)) for i in range(2))
+        )
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt"]
+    )
+    def test_matches_numeric(self, name, rng):
+        x = rng.normal(size=(3, 3))
+        if name == "sqrt":
+            x = np.abs(x) + 0.5
+        if name in ("relu", "abs"):
+            x += 0.05 * np.sign(x)  # keep away from the kink
+        check_unary(lambda t: getattr(t, name)(), x)
+
+    def test_log_grad(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_unary(lambda t: t.log(), x)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        a.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_mean_scaling(self, rng):
+        a = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(5, 0.2))
+
+    def test_max_routes_gradient_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([3.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        a.reshape(3, 4).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 6)))
+
+    def test_transpose_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.transpose(1, 0, 2)
+        assert out.shape == (3, 2, 4)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 2.0))
+
+    def test_getitem_slice_grad(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        a[1:3].sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_take_rows_accumulates_duplicates(self):
+        table = Tensor(np.eye(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        table.take_rows(idx).sum().backward()
+        # every column of a gathered row receives gradient 1 per occurrence
+        np.testing.assert_allclose(table.grad[:, 0], [2.0, 0.0, 1.0])
+
+    def test_concatenate_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 3.0))
+
+    def test_masked_fill_blocks_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        a.masked_fill(mask, -9.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 - mask)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_builds_no_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2 + 1
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        out = a.detach() * a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [3.0])  # only one path contributes
+
+    def test_deep_chain_does_not_recurse(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_diamond_graph_gradient(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        left = a * 3.0
+        right = a * 4.0
+        (left + right).backward()
+        np.testing.assert_allclose(a.grad, [7.0])

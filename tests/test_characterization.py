@@ -1,0 +1,159 @@
+"""Integration tests for the characterization harness: the paper's insights
+must actually emerge from the built system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft.region import GridPoint
+from repro.characterization.evaluator import ModelEvaluator, TaskSizing
+from repro.characterization.fitting import (
+    characterization_grid_points,
+    fit_component_region,
+    fit_msd_threshold,
+)
+from repro.characterization.questions import (
+    q12_bitwise,
+    q13_components,
+    q14_magfreq,
+)
+from repro.characterization.sweeps import ber_sweep, magfreq_grid
+from repro.errors.sites import Component, SiteFilter
+
+
+class TestModelEvaluator:
+    def test_unknown_task_rejected(self, opt_bundle):
+        with pytest.raises(KeyError):
+            ModelEvaluator(opt_bundle, "mmlu")
+
+    def test_clean_score_cached_and_sane(self, opt_evaluator):
+        first = opt_evaluator.clean_score
+        second = opt_evaluator.clean_score
+        assert first == second
+        assert 1.0 < first < 10.0  # trained tiny model perplexity
+
+    def test_run_detaches_afterwards(self, opt_evaluator):
+        from repro.errors.injector import ErrorInjector
+        from repro.errors.models import BitFlipModel
+
+        opt_evaluator.run(ErrorInjector(BitFlipModel(1e-3), seed=0))
+        assert opt_evaluator.model.injector is None
+        assert opt_evaluator.model.protector is None
+
+    def test_degradation_orientation_perplexity(self, opt_evaluator):
+        # higher perplexity = worse => positive degradation
+        assert opt_evaluator.degradation(opt_evaluator.clean_score + 1.0) == pytest.approx(1.0)
+
+    def test_degradation_orientation_accuracy(self, opt_bundle):
+        ev = ModelEvaluator(opt_bundle, "lambada")
+        assert ev.degradation(ev.clean_score - 5.0) == pytest.approx(5.0)
+
+
+class TestInsight1SensitiveVsResilient:
+    """Paper Insight 1: components followed by normalization (O, FC2) are
+    far less resilient than the others."""
+
+    def test_component_split_on_perplexity(self, opt_evaluator):
+        records = q13_components(
+            opt_evaluator,
+            components=[Component.K, Component.SV, Component.O, Component.FC2],
+            bers=(1e-3,),
+        )
+        by_label = {r.label: r.degradation for r in records}
+        assert by_label["O"] > 10 * max(by_label["K"], 1e-6)
+        assert by_label["FC2"] > 10 * max(by_label["SV"], 1e-6)
+
+    def test_split_holds_for_llama_arch(self, llama_bundle):
+        ev = ModelEvaluator(llama_bundle, "perplexity")
+        records = q13_components(
+            ev, components=[Component.V, Component.UP, Component.O, Component.DOWN],
+            bers=(1e-3,),
+        )
+        by_label = {r.label: r.degradation for r in records}
+        sensitive = max(by_label["O"], by_label["Down"])
+        resilient = max(by_label["V"], by_label["Up"])
+        assert sensitive > 5 * max(resilient, 1e-6)
+
+
+class TestInsight2MagFreqTradeoff:
+    def test_sensitive_component_fails_on_few_large_errors(self, opt_evaluator):
+        records = q14_magfreq(
+            opt_evaluator, Component.O, mags=(2**24,), freqs=(2,)
+        )
+        assert records[0].degradation > 0.3
+
+    def test_resilient_component_tolerates_sporadic_large(self, opt_evaluator):
+        records = q14_magfreq(
+            opt_evaluator, Component.K, mags=(2**24,), freqs=(2,)
+        )
+        assert records[0].degradation < 0.3
+
+    def test_grid_monotone_in_frequency_for_sensitive(self, opt_evaluator):
+        records = q14_magfreq(
+            opt_evaluator, Component.FC2, mags=(2**20,), freqs=(1, 64)
+        )
+        assert records[-1].degradation >= records[0].degradation - 0.05
+
+
+class TestQ12Bitwise:
+    def test_low_bits_harmless_high_bits_harmful_on_sensitive(self, opt_evaluator):
+        records = q12_bitwise(
+            opt_evaluator, bits=(10, 30), components=(Component.O,), bers=(1e-3,)
+        )
+        by_label = {r.label: r.degradation for r in records}
+        assert by_label["O/bit10"] < 0.3
+        assert by_label["O/bit30"] > 0.3  # beyond the paper's budget
+        assert by_label["O/bit30"] > 10 * max(by_label["O/bit10"], 0.01)
+
+    def test_requantization_saturates_k_errors(self, opt_evaluator):
+        """High-bit flips on K are bounded by the next static quantizer."""
+        records = q12_bitwise(
+            opt_evaluator, bits=(30,), components=(Component.K,), bers=(1e-3,)
+        )
+        assert records[0].degradation < 0.3
+
+
+class TestFitting:
+    def test_grid_points_conversion(self, opt_evaluator):
+        records = magfreq_grid(
+            opt_evaluator, mags=(2**8,), freqs=(1, 4),
+            site_filter=SiteFilter.only(components=[Component.K]),
+        )
+        points = characterization_grid_points(records)
+        assert len(points) == 2
+        assert {p.freq for p in points} == {1.0, 4.0}
+
+    def test_conversion_rejects_non_grid_records(self, opt_evaluator):
+        records = ber_sweep(opt_evaluator, [1e-4])
+        with pytest.raises(ValueError):
+            characterization_grid_points(records)
+
+    def test_fit_component_region_kinds(self, opt_evaluator):
+        region_k, points_k = fit_component_region(
+            opt_evaluator, Component.K, budget=0.3,
+            mags=(2**8, 2**26), freqs=(1, 16),
+        )
+        region_o, points_o = fit_component_region(
+            opt_evaluator, Component.O, budget=0.3,
+            mags=(2**8, 2**26), freqs=(1, 16),
+        )
+        assert region_k.kind == "resilient"
+        assert region_o.kind == "sensitive"
+        # sensitive component must trip recovery at large-mag patterns
+        assert any(p.degradation > 0.3 for p in points_o)
+        critical = [p for p in points_o if p.degradation > 0.3]
+        assert all(region_o.predicts_recovery(p.mag, p.freq) for p in critical)
+
+    def test_fit_msd_threshold_guards_critical_points(self):
+        points = [
+            GridPoint(mag=2**10, freq=1, degradation=0.0),
+            GridPoint(mag=2**20, freq=1, degradation=5.0),
+        ]
+        thr = fit_msd_threshold(points, budget=0.3)
+        assert thr < 2**20
+        assert thr >= 2**10
+
+    def test_fit_msd_threshold_all_acceptable(self):
+        points = [GridPoint(mag=2**10, freq=2, degradation=0.0)]
+        assert fit_msd_threshold(points, budget=0.3) == 2**11

@@ -1,0 +1,129 @@
+"""Tests for the circuit area/power model and the BER-voltage map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.area import (
+    ProtectionScheme,
+    area_overhead,
+    array_area_um2,
+    checksum_pe_area_um2,
+    pe_area_um2,
+    protection_area_um2,
+)
+from repro.circuits.power import array_power_mw, power_overhead, protection_power_mw
+from repro.circuits.synthesis import overhead_report
+from repro.circuits.tech import TECH_14NM
+from repro.circuits.voltage import VoltageBerModel
+from repro.systolic.dataflow import WS, OS
+
+
+class TestAreaModel:
+    def test_array_area_scales_quadratically(self):
+        assert array_area_um2(256, WS) == pytest.approx(4 * array_area_um2(128, WS))
+
+    def test_checksum_pe_larger_than_base_pe(self):
+        assert checksum_pe_area_um2(TECH_14NM) > pe_area_um2(TECH_14NM, WS)
+
+    def test_no_protection_has_zero_overhead(self):
+        assert protection_area_um2(256, WS, ProtectionScheme.NONE) == 0.0
+
+    @pytest.mark.parametrize("dataflow", [WS, OS])
+    def test_scheme_ordering(self, dataflow):
+        """approx <= classical < statistical: the statistical unit adds
+        buffers, countif and the Log2LinearFunction on top."""
+        approx = area_overhead(256, dataflow, ProtectionScheme.APPROX)
+        classical = area_overhead(256, dataflow, ProtectionScheme.CLASSICAL)
+        statistical = area_overhead(256, dataflow, ProtectionScheme.STATISTICAL)
+        assert approx <= classical < statistical
+
+    @pytest.mark.parametrize("dataflow", [WS, OS])
+    def test_statistical_overhead_matches_paper_ballpark(self, dataflow):
+        """Paper: 1.42-1.43% area overhead at 256x256."""
+        overhead = area_overhead(256, dataflow, ProtectionScheme.STATISTICAL)
+        assert 0.010 < overhead < 0.020
+
+    def test_overhead_shrinks_with_array_size(self):
+        """Checksum hardware is O(n) vs the O(n^2) array."""
+        small = area_overhead(64, WS, ProtectionScheme.STATISTICAL)
+        large = area_overhead(512, WS, ProtectionScheme.STATISTICAL)
+        assert large < small
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            array_area_um2(0, WS)
+
+
+class TestPowerModel:
+    def test_power_scales_with_voltage_squared(self):
+        full = array_power_mw(128, WS, voltage=0.9)
+        low = array_power_mw(128, WS, voltage=0.45)
+        # dynamic part scales 4x; leakage does not, so ratio slightly < 4
+        assert 3.0 < full / low <= 4.0
+
+    @pytest.mark.parametrize("dataflow", [WS, OS])
+    def test_statistical_power_overhead_matches_paper_ballpark(self, dataflow):
+        """Paper: 1.79-1.82% power overhead at 256x256."""
+        overhead = power_overhead(256, dataflow, ProtectionScheme.STATISTICAL)
+        assert 0.012 < overhead < 0.025
+
+    def test_power_overhead_exceeds_area_overhead(self):
+        """Checksum logic toggles more than the average PE (accumulates
+        every cycle), so power overhead > area overhead — as in the paper
+        (1.79% power vs 1.42% area)."""
+        a = area_overhead(256, WS, ProtectionScheme.STATISTICAL)
+        p = power_overhead(256, WS, ProtectionScheme.STATISTICAL)
+        assert p > a
+
+    def test_overhead_report_structure(self):
+        rows = overhead_report(128)
+        assert len(rows) == 8  # 2 dataflows x 4 schemes
+        unprotected = [r for r in rows if r.scheme == "no-protection"]
+        assert all(r.area_overhead_pct == 0.0 for r in unprotected)
+        assert all(r.power_mw > 0 for r in rows)
+
+
+class TestVoltageBerModel:
+    def test_anchor_points(self):
+        model = VoltageBerModel()
+        assert model.ber(0.84) == pytest.approx(1e-8)
+        assert model.ber(0.60) == pytest.approx(1e-2)
+
+    def test_monotone_decreasing_in_voltage(self):
+        model = VoltageBerModel()
+        voltages = np.linspace(0.55, 0.95, 30)
+        bers = [model.ber(v) for v in voltages]
+        assert all(x >= y for x, y in zip(bers, bers[1:]))
+
+    def test_floor_and_cap(self):
+        model = VoltageBerModel()
+        assert model.ber(2.0) == model.ber_floor
+        assert model.ber(0.05) == model.ber_cap
+
+    def test_inverse_roundtrip(self):
+        model = VoltageBerModel()
+        for ber in (1e-7, 1e-5, 1e-3):
+            assert model.ber(model.voltage_for_ber(ber)) == pytest.approx(ber)
+
+    def test_energy_scale(self):
+        model = VoltageBerModel()
+        assert model.energy_scale(0.9) == pytest.approx(1.0)
+        assert model.energy_scale(0.45) == pytest.approx(0.25)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            VoltageBerModel(v_hi=0.5, v_lo=0.6)
+        with pytest.raises(ValueError):
+            VoltageBerModel(ber_hi=1e-2, ber_lo=1e-8)
+        with pytest.raises(ValueError):
+            VoltageBerModel().ber(-1.0)
+
+    @given(st.floats(min_value=0.3, max_value=1.2))
+    @settings(max_examples=100, deadline=None)
+    def test_ber_always_valid_probability(self, voltage):
+        ber = VoltageBerModel().ber(voltage)
+        assert 0.0 < ber <= 0.5

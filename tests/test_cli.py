@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--model", "gpt4"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--method", "magic"])
+
+
+class TestCommands:
+    def test_zoo_lists_models(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-mini" in out and "llama-tiny" in out
+
+    def test_overhead_prints_fig8(self, capsys):
+        assert main(["overhead", "--size", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "statistical-abft" in out
+        assert "WS" in out and "OS" in out
+
+    def test_characterize_runs(self, opt_bundle, capsys):
+        assert main(["characterize", "--model", "opt-mini", "--bers", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "O" in out and "sensitive" in out
+
+    def test_magfreq_runs(self, opt_bundle, capsys):
+        assert main(["magfreq", "--model", "opt-mini", "--component", "K"]) == 0
+        out = capsys.readouterr().out
+        assert "MSD" in out
+
+    def test_sweep_runs(self, opt_bundle, capsys):
+        assert main(["sweep", "--model", "opt-mini",
+                     "--method", "no-protection"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out

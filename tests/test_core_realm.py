@@ -1,0 +1,142 @@
+"""End-to-end tests of the ReaLM pipeline: the headline claims must hold on
+the built system (shape-level, per EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.methods import METHODS, method_names
+from repro.core.realm import ReaLMConfig, ReaLMPipeline
+from repro.energy.sweetspot import find_sweet_spot
+from repro.errors.sites import Component
+
+FAST_CFG = dict(
+    task="perplexity",
+    budget=0.3,
+    voltages=(0.84, 0.78, 0.72, 0.66, 0.60),
+    calib_mags=tuple(2**p for p in (4, 10, 16, 22, 28)),
+    calib_freqs=(1, 8, 64, 256),
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(opt_bundle):
+    return ReaLMPipeline(opt_bundle, ReaLMConfig(**FAST_CFG))
+
+
+class TestMethodRegistry:
+    def test_all_methods_present(self):
+        assert set(method_names()) <= set(METHODS)
+        assert METHODS["dmr"].compute_factor == 2.0
+        assert METHODS["statistical-abft"].behavioral
+
+    def test_abft_detection_overheads_ordered(self):
+        assert (
+            METHODS["approx-abft"].detection_overhead
+            <= METHODS["classical-abft"].detection_overhead
+            < METHODS["statistical-abft"].detection_overhead
+        )
+
+
+class TestCalibration:
+    def test_calibrate_fits_region_and_threshold(self, pipeline):
+        pipeline.calibrate([Component.K, Component.O])
+        assert "K" in pipeline.regions and "O" in pipeline.regions
+        assert pipeline.regions["K"].kind == "resilient"
+        assert pipeline.regions["O"].kind == "sensitive"
+        assert pipeline.msd_thresholds["O"] > 0
+
+    def test_calibration_cached(self, pipeline):
+        pipeline.calibrate([Component.K])
+        region = pipeline.regions["K"]
+        pipeline.calibrate([Component.K])
+        assert pipeline.regions["K"] is region
+
+    def test_approx_global_threshold_is_sensitive_bound(self, pipeline):
+        thr = pipeline.approx_global_threshold()
+        pipeline.calibrate([Component.O, Component.FC2])
+        assert thr == min(
+            pipeline.msd_thresholds["O"], pipeline.msd_thresholds["FC2"]
+        )
+
+
+class TestHeadlineClaims:
+    def test_no_protection_infeasible_at_low_voltage(self, pipeline):
+        run = pipeline.evaluate_method_at("no-protection", None, 0.60)
+        assert not run.feasible
+        assert run.degradation > 1.0
+
+    def test_statistical_abft_restores_performance(self, pipeline):
+        """The paper's headline: perplexity degradation collapses (18.54 ->
+        0.29 there; here: large -> within budget) under our protection."""
+        unprotected = pipeline.evaluate_method_at("no-protection", None, 0.60)
+        ours = pipeline.evaluate_method_at("statistical-abft", None, 0.60)
+        assert unprotected.degradation > 10 * max(ours.degradation, 0.01)
+        assert ours.feasible
+
+    def test_statistical_recovers_less_than_classical(self, pipeline):
+        classical = pipeline.evaluate_method_at("classical-abft", None, 0.66)
+        ours = pipeline.evaluate_method_at("statistical-abft", None, 0.66)
+        assert ours.recovered_macs < classical.recovered_macs
+        assert ours.feasible and classical.feasible
+
+    def test_sweet_spot_beats_prior_art(self, pipeline):
+        """Fig. 9 protocol on the whole model: min feasible energy of ours
+        vs. the best prior-art ABFT."""
+        ours = [r.as_voltage_point() for r in pipeline.voltage_sweep("statistical-abft", None)]
+        classical = [r.as_voltage_point() for r in pipeline.voltage_sweep("classical-abft", None)]
+        best_ours = find_sweet_spot(ours)
+        best_classical = find_sweet_spot(classical)
+        assert best_ours.energy_j < best_classical.energy_j
+
+    def test_dmr_always_feasible_but_expensive(self, pipeline):
+        run_high = pipeline.evaluate_method_at("dmr", None, 0.84)
+        run_none = pipeline.evaluate_method_at("no-protection", None, 0.84)
+        assert run_high.feasible
+        assert run_high.energy_j > 1.8 * run_none.energy_j
+
+
+class TestSweetSpotTable:
+    def test_resilient_saves_more_than_sensitive(self, pipeline):
+        """Tab. II shape: resilient components enjoy much larger savings."""
+        resilient = pipeline.sweet_spot(Component.K)
+        sensitive = pipeline.sweet_spot(Component.O)
+        assert resilient.saving_pct > sensitive.saving_pct + 5.0
+        assert resilient.optimal_voltage <= sensitive.optimal_voltage
+
+    def test_rows_well_formed(self, pipeline):
+        row = pipeline.sweet_spot(Component.K)
+        assert row.component == "K"
+        assert row.kind == "resilient"
+        assert row.energy_j > 0 and row.baseline_energy_j > 0
+
+
+class TestTradeoffCurve:
+    def test_looser_budget_never_increases_recovery(self, pipeline):
+        rows = pipeline.tradeoff_curve(
+            Component.FC2, budgets=(0.1, 1.0, 10.0), latency_voltage=0.66
+        )
+        overheads = [r["recovery_overhead_at_v"] for r in rows]
+        assert all(x >= y - 1e-9 for x, y in zip(overheads, overheads[1:]))
+
+    def test_rows_have_energy_and_voltage(self, pipeline):
+        rows = pipeline.tradeoff_curve(
+            Component.FC2, budgets=(0.3,), latency_voltage=0.66
+        )
+        assert np.isfinite(rows[0]["total_energy_j"])
+        assert 0.59 <= rows[0]["optimal_voltage"] <= 0.85
+
+
+class TestScopeHandling:
+    def test_single_component_scope(self, pipeline):
+        run = pipeline.evaluate_method_at("no-protection", Component.K, 0.72)
+        assert run.component == "K"
+
+    def test_component_list_scope(self, pipeline):
+        run = pipeline.evaluate_method_at(
+            "no-protection", [Component.K, Component.O], 0.72
+        )
+        assert run.component == "all"
+        single = pipeline.evaluate_method_at("no-protection", Component.K, 0.72)
+        assert run.macs > single.macs

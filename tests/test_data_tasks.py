@@ -1,0 +1,110 @@
+"""Tests for the synthetic data substrate (Markov source + task builders)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.markov import MarkovTextSource
+from repro.data.tasks import (
+    build_gsm8k_like,
+    build_hellaswag_like,
+    build_lambada_like,
+    build_lm_data,
+    build_xsum_like,
+)
+from repro.utils.seeding import derive_rng
+
+
+@pytest.fixture(scope="module")
+def source():
+    return MarkovTextSource(vocab_size=64, branching=4, concentration=0.3, seed=0)
+
+
+class TestMarkovSource:
+    def test_deterministic_structure(self):
+        a = MarkovTextSource(seed=5)
+        b = MarkovTextSource(seed=5)
+        np.testing.assert_array_equal(a.successors, b.successors)
+        np.testing.assert_allclose(a.probs, b.probs)
+
+    def test_different_seeds_differ(self):
+        a = MarkovTextSource(seed=5)
+        b = MarkovTextSource(seed=6)
+        assert not np.array_equal(a.successors, b.successors)
+
+    def test_probabilities_normalized(self, source):
+        np.testing.assert_allclose(source.probs.sum(axis=1), np.ones(64), atol=1e-12)
+
+    def test_sequences_follow_transition_structure(self, source):
+        seq = source.sample_sequence(100, derive_rng(0, "x"))
+        for prev, nxt in zip(seq[:-1], seq[1:]):
+            assert nxt in source.successors[prev]
+
+    def test_sample_batch_deterministic_in_key(self, source):
+        a = source.sample_batch(3, 20, key="k1")
+        b = source.sample_batch(3, 20, key="k1")
+        c = source.sample_batch(3, 20, key="k2")
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_entropy_rate_bounds(self, source):
+        h = source.entropy_rate()
+        assert 0.0 < h < np.log(source.spec.branching) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovTextSource(vocab_size=2)
+        with pytest.raises(ValueError):
+            MarkovTextSource(vocab_size=16, branching=16)
+
+
+class TestTaskBuilders:
+    def test_lm_data_shapes(self, source):
+        data = build_lm_data(source, n_sequences=5, seq_len=30)
+        assert len(data.sequences) == 5
+        assert all(seq.shape == (30,) for seq in data.sequences)
+
+    def test_lambada_targets_are_argmax_successors(self, source):
+        task = build_lambada_like(source, n_examples=10, context_len=12)
+        assert len(task.contexts) == 10
+        for context, target in zip(task.contexts, task.targets):
+            last = int(context[-1])
+            best = int(np.argmax(source.probs[last]))
+            assert target == source.successors[last, best]
+            assert source.probs[last, best] >= 0.6
+
+    def test_lambada_impossible_confidence_raises(self, source):
+        with pytest.raises(RuntimeError):
+            build_lambada_like(source, n_examples=5, min_confidence=1.01)
+
+    def test_xsum_and_gsm8k_prompts(self, source):
+        xsum = build_xsum_like(source, n_prompts=4, prompt_len=10, gen_len=8)
+        gsm = build_gsm8k_like(source, n_prompts=4, prompt_len=10, gen_len=5)
+        assert len(xsum.prompts) == 4 and xsum.gen_len == 8
+        assert len(gsm.prompts) == 4 and gsm.gen_len == 5
+        # different keys => different prompt sets
+        assert not np.array_equal(xsum.prompts[0], gsm.prompts[0])
+
+    def test_hellaswag_structure(self, source):
+        task = build_hellaswag_like(source, n_examples=6, context_len=10, cont_len=5)
+        assert len(task.contexts) == len(task.choices) == len(task.labels) == 6
+        for choices, label in zip(task.choices, task.labels):
+            assert len(choices) == 4
+            assert 0 <= label < 4
+            assert all(c.shape == (5,) for c in choices)
+
+    def test_hellaswag_true_continuation_consistent_with_chain(self, source):
+        task = build_hellaswag_like(source, n_examples=6, context_len=10, cont_len=5)
+        for context, choices, label in zip(task.contexts, task.choices, task.labels):
+            true = choices[label]
+            prev = int(context[-1])
+            for token in true:
+                assert token in source.successors[prev]
+                prev = int(token)
+
+    def test_builders_deterministic(self, source):
+        a = build_hellaswag_like(source, n_examples=3)
+        b = build_hellaswag_like(source, n_examples=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.contexts[0], b.contexts[0])

@@ -1,0 +1,85 @@
+"""Tests for the energy model and sweet-spot search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.energy.sweetspot import RunOutcome, VoltagePoint, find_sweet_spot, sweep_voltages
+
+
+class TestEnergyModel:
+    def test_compute_scales_with_v_squared(self):
+        model = EnergyModel(EnergyParams())
+        full = model.total_j(10**9, 0, 0.9)
+        half = model.total_j(10**9, 0, 0.45)
+        assert full / half == pytest.approx(4.0)
+
+    def test_recovery_charged_at_nominal(self):
+        model = EnergyModel(EnergyParams(e_mac_pj=1.0))
+        breakdown = model.breakdown(macs=0, recovered_macs=10**6, voltage=0.6)
+        assert breakdown.recovery_j == pytest.approx(1e-12 * 10**6)
+
+    def test_detection_overhead_fraction(self):
+        model = EnergyModel(EnergyParams(detection_overhead=0.02))
+        b = model.breakdown(10**6, 0, 0.9)
+        assert b.detection_j == pytest.approx(0.02 * b.compute_j)
+
+    def test_dmr_doubles_compute(self):
+        plain = EnergyModel(EnergyParams()).total_j(10**6, 0, 0.8)
+        dmr = EnergyModel(EnergyParams(compute_factor=2.0)).total_j(10**6, 0, 0.8)
+        assert dmr == pytest.approx(2 * plain)
+
+    def test_total_is_sum_of_parts(self):
+        model = EnergyModel(EnergyParams(detection_overhead=0.05))
+        b = model.breakdown(10**6, 10**4, 0.7)
+        assert b.total_j == pytest.approx(b.compute_j + b.detection_j + b.recovery_j)
+
+    def test_invalid_inputs_rejected(self):
+        model = EnergyModel(EnergyParams())
+        with pytest.raises(ValueError):
+            model.total_j(-1, 0, 0.9)
+        with pytest.raises(ValueError):
+            model.mac_energy_j(0.0)
+
+
+class TestSweetSpot:
+    def _points(self):
+        """U-shaped energy: infeasible at the lowest voltages."""
+        rows = []
+        for v, e, deg in [(0.9, 10.0, 0.0), (0.8, 8.0, 0.0), (0.7, 6.0, 0.1),
+                          (0.65, 7.0, 0.2), (0.6, 5.0, 9.0)]:
+            rows.append(VoltagePoint(voltage=v, ber=0.0, metric=0.0, degradation=deg,
+                                     recovery_rate=0.0, energy_j=e, feasible=deg <= 0.3))
+        return rows
+
+    def test_picks_min_energy_feasible(self):
+        best = find_sweet_spot(self._points())
+        assert best.voltage == 0.7
+        assert best.energy_j == 6.0
+
+    def test_infeasible_points_excluded_even_if_cheaper(self):
+        best = find_sweet_spot(self._points())
+        assert best.energy_j > 5.0  # the 0.6V point is cheaper but infeasible
+
+    def test_no_feasible_point_raises(self):
+        points = [
+            VoltagePoint(0.6, 0.0, 0.0, 5.0, 0.0, 1.0, False),
+        ]
+        with pytest.raises(ValueError):
+            find_sweet_spot(points)
+
+    def test_sweep_voltages_assembles_points(self):
+        energy_model = EnergyModel(EnergyParams())
+
+        def evaluate(v):
+            return RunOutcome(degradation=0.0 if v > 0.7 else 1.0,
+                              macs=10**6, recovered_macs=0, metric=2.5)
+
+        points = sweep_voltages(
+            evaluate, [0.9, 0.8, 0.6], energy_model, budget=0.3, ber_of=lambda v: 1e-6
+        )
+        assert len(points) == 3
+        assert points[0].feasible and not points[2].feasible
+        assert points[0].energy_j > points[2].energy_j  # lower V cheaper

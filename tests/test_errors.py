@@ -1,0 +1,215 @@
+"""Tests for the error-injection framework (models, sites, injector)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel, MagFreqModel, StuckHighBitModel, flip_bits
+from repro.errors.sites import (
+    Component,
+    GemmSite,
+    SENSITIVE_COMPONENTS,
+    SiteFilter,
+    Stage,
+    component_kind,
+)
+from repro.quant.gemm import INT32_MAX, INT32_MIN
+from repro.utils.seeding import derive_rng
+
+SITE = GemmSite(layer=0, component=Component.K, stage=Stage.PREFILL)
+
+
+class TestFlipBits:
+    def test_single_bit_flip_changes_by_power_of_two(self):
+        acc = np.array([1000], dtype=np.int64)
+        mask = np.array([1 << 20], dtype=np.uint32)
+        out = flip_bits(acc, mask)
+        assert abs(int(out[0]) - 1000) == 2**20
+
+    def test_sign_bit_flip(self):
+        acc = np.array([0], dtype=np.int64)
+        mask = np.array([1 << 31], dtype=np.uint32)
+        out = flip_bits(acc, mask)
+        assert out[0] == INT32_MIN
+
+    def test_double_flip_restores(self):
+        acc = np.array([12345], dtype=np.int64)
+        mask = np.array([(1 << 30) | (1 << 17)], dtype=np.uint32)
+        once = flip_bits(acc, mask)
+        twice = flip_bits(once, mask)
+        np.testing.assert_array_equal(twice, acc)
+
+
+class TestBitFlipModel:
+    def test_zero_ber_is_identity(self, rng):
+        acc = rng.integers(-(2**20), 2**20, size=(8, 8)).astype(np.int64)
+        out, n = BitFlipModel(0.0).corrupt(acc, rng)
+        assert n == 0
+        np.testing.assert_array_equal(out, acc)
+
+    def test_does_not_mutate_input(self, rng):
+        acc = np.zeros((16, 16), dtype=np.int64)
+        snapshot = acc.copy()
+        BitFlipModel(0.5).corrupt(acc, rng)
+        np.testing.assert_array_equal(acc, snapshot)
+
+    def test_single_targeted_bit(self, rng):
+        acc = np.zeros((64, 64), dtype=np.int64)
+        out, n = BitFlipModel(0.05, bits=(30,)).corrupt(acc, rng)
+        changed = out[out != 0]
+        assert n == changed.size > 0
+        np.testing.assert_array_equal(np.abs(changed), 2**30)
+
+    def test_flip_count_statistics(self):
+        acc = np.zeros((100, 100), dtype=np.int64)
+        rng = derive_rng(7, "stats")
+        ber = 0.01
+        bits = (20, 25, 30)
+        _, n = BitFlipModel(ber, bits=bits).corrupt(acc, rng)
+        expected = acc.size * len(bits) * ber
+        assert 0.5 * expected < n < 1.5 * expected
+
+    def test_results_stay_in_int32_range(self, rng):
+        acc = np.full((32, 32), INT32_MAX, dtype=np.int64)
+        out, _ = BitFlipModel(0.3).corrupt(acc, rng)
+        assert out.max() <= INT32_MAX and out.min() >= INT32_MIN
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlipModel(1.5)
+        with pytest.raises(ValueError):
+            BitFlipModel(0.1, bits=(40,))
+
+
+class TestMagFreqModel:
+    def test_exact_count_and_msd(self, rng):
+        acc = np.zeros((50, 50), dtype=np.int64)
+        mag, freq = 2**12, 17
+        out, n = MagFreqModel(mag=mag, freq=freq).corrupt(acc, rng)
+        assert n == freq
+        diffs = out - acc
+        assert np.count_nonzero(diffs) == freq
+        assert int(np.abs(diffs).sum()) == mag * freq  # MSD = freq * mag
+
+    def test_identical_positive_errors(self, rng):
+        acc = np.zeros((10, 10), dtype=np.int64)
+        out, _ = MagFreqModel(mag=100, freq=5, sign=1).corrupt(acc, rng)
+        assert set(np.unique(out)) <= {0, 100}
+
+    def test_random_signs(self, rng):
+        acc = np.zeros((40, 40), dtype=np.int64)
+        out, _ = MagFreqModel(mag=64, freq=200, sign=0).corrupt(acc, rng)
+        assert (out > 0).any() and (out < 0).any()
+
+    def test_freq_capped_at_tensor_size(self, rng):
+        acc = np.zeros((2, 2), dtype=np.int64)
+        out, n = MagFreqModel(mag=8, freq=100).corrupt(acc, rng)
+        assert n == 4
+        assert np.count_nonzero(out) == 4
+
+    def test_zero_freq_or_mag_identity(self, rng):
+        acc = np.ones((3, 3), dtype=np.int64)
+        for model in (MagFreqModel(0, 5), MagFreqModel(5, 0)):
+            out, n = model.corrupt(acc, rng)
+            assert n == 0
+            np.testing.assert_array_equal(out, acc)
+
+    @given(
+        st.integers(min_value=1, max_value=2**20),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_msd_invariant_property(self, mag, freq):
+        rng = derive_rng(mag * 31 + freq, "prop")
+        acc = np.zeros((8, 8), dtype=np.int64)
+        out, n = MagFreqModel(mag=mag, freq=freq).corrupt(acc, rng)
+        assert int(np.abs(out).sum()) == mag * n
+
+
+class TestStuckHighBit:
+    def test_same_columns_across_calls(self, rng):
+        model = StuckHighBitModel(bit=28, column_fraction=0.25)
+        acc = np.zeros((4, 16), dtype=np.int64)
+        out1, _ = model.corrupt(acc, rng)
+        out2, _ = model.corrupt(acc, rng)
+        np.testing.assert_array_equal(out1 != 0, out2 != 0)
+
+    def test_bit_actually_stuck_high(self, rng):
+        model = StuckHighBitModel(bit=20, column_fraction=1.0)
+        acc = np.zeros((2, 4), dtype=np.int64)
+        out, _ = model.corrupt(acc, rng)
+        np.testing.assert_array_equal(out, np.full((2, 4), 2**20))
+
+
+class TestSiteFilter:
+    def test_everywhere_matches_all(self):
+        f = SiteFilter.everywhere()
+        assert f.matches(SITE)
+        assert f.matches(GemmSite(5, Component.DOWN, Stage.DECODE))
+
+    def test_component_filter(self):
+        f = SiteFilter.only(components=[Component.O])
+        assert not f.matches(SITE)
+        assert f.matches(GemmSite(0, Component.O, Stage.PREFILL))
+
+    def test_layer_and_stage_filter(self):
+        f = SiteFilter.only(layers=[1], stages=[Stage.DECODE])
+        assert f.matches(GemmSite(1, Component.Q, Stage.DECODE))
+        assert not f.matches(GemmSite(1, Component.Q, Stage.PREFILL))
+        assert not f.matches(GemmSite(0, Component.Q, Stage.DECODE))
+
+    def test_component_kind_split(self):
+        assert component_kind(Component.O) == "sensitive"
+        assert component_kind(Component.DOWN) == "sensitive"
+        assert component_kind(Component.K) == "resilient"
+        assert Component.FC2 in SENSITIVE_COMPONENTS
+
+
+class TestErrorInjector:
+    def test_untargeted_site_passes_through(self, rng):
+        inj = ErrorInjector(BitFlipModel(0.5), SiteFilter.only(components=[Component.O]))
+        acc = np.zeros((8, 8), dtype=np.int64)
+        out = inj.corrupt(acc, SITE)  # SITE is K, filter wants O
+        np.testing.assert_array_equal(out, acc)
+        assert inj.stats.targeted_calls == 0
+        assert inj.stats.gemm_calls == 1
+
+    def test_targeted_site_corrupted_and_counted(self):
+        inj = ErrorInjector(BitFlipModel(0.2), seed=3)
+        acc = np.zeros((16, 16), dtype=np.int64)
+        out = inj.corrupt(acc, SITE)
+        assert np.any(out != 0)
+        assert inj.stats.injected_errors > 0
+        assert str(SITE) in inj.stats.per_site_errors
+
+    def test_deterministic_given_seed(self):
+        acc = np.zeros((16, 16), dtype=np.int64)
+        outs = []
+        for _ in range(2):
+            inj = ErrorInjector(BitFlipModel(0.1), seed=42)
+            outs.append(inj.corrupt(acc, SITE))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_call_index_decorrelates_repeated_calls(self):
+        inj = ErrorInjector(BitFlipModel(0.1), seed=42)
+        acc = np.zeros((16, 16), dtype=np.int64)
+        a = inj.corrupt(acc, SITE)
+        b = inj.corrupt(acc, SITE)
+        assert np.any(a != b)
+
+    def test_reset_clears_stats(self):
+        inj = ErrorInjector(BitFlipModel(0.5), seed=1)
+        inj.corrupt(np.zeros((8, 8), dtype=np.int64), SITE)
+        inj.reset()
+        assert inj.stats.gemm_calls == 0
+        assert inj.stats.injected_errors == 0
+
+    def test_disabled_injector_is_identity(self):
+        inj = ErrorInjector(BitFlipModel(0.5), seed=1)
+        inj.enabled = False
+        acc = np.zeros((8, 8), dtype=np.int64)
+        np.testing.assert_array_equal(inj.corrupt(acc, SITE), acc)

@@ -1,0 +1,118 @@
+"""Tests for metrics and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tasks import (
+    build_gsm8k_like,
+    build_hellaswag_like,
+    build_lambada_like,
+    build_lm_data,
+    build_xsum_like,
+)
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, SiteFilter
+from repro.evalsuite.harness import (
+    EvalHarness,
+    evaluate_last_token_accuracy,
+    evaluate_multiple_choice,
+    evaluate_perplexity,
+)
+from repro.evalsuite.metrics import accuracy, exact_match, perplexity_from_nll, rouge1
+
+
+class TestMetrics:
+    def test_perplexity_from_nll(self):
+        assert perplexity_from_nll([0.0, 0.0]) == pytest.approx(1.0)
+        assert perplexity_from_nll([np.log(4.0)]) == pytest.approx(4.0)
+
+    def test_perplexity_capped(self):
+        assert perplexity_from_nll([1e6]) == pytest.approx(1e9, rel=1e-9)
+
+    def test_perplexity_empty_rejected(self):
+        with pytest.raises(ValueError):
+            perplexity_from_nll([])
+
+    def test_accuracy_percent(self):
+        assert accuracy([1, 2, 3, 4], [1, 2, 0, 4]) == pytest.approx(75.0)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_rouge1_identical_is_100(self):
+        assert rouge1([1, 2, 3], [1, 2, 3]) == pytest.approx(100.0)
+
+    def test_rouge1_disjoint_is_0(self):
+        assert rouge1([1, 2], [3, 4]) == 0.0
+
+    def test_rouge1_order_invariant(self):
+        assert rouge1([1, 2, 3], [3, 2, 1]) == pytest.approx(100.0)
+
+    def test_rouge1_partial_overlap(self):
+        # candidate {1,2}, reference {2,3}: overlap 1, P=R=0.5 => F1=0.5
+        assert rouge1([1, 2], [2, 3]) == pytest.approx(50.0)
+
+    def test_rouge1_counts_multiplicity(self):
+        assert rouge1([5, 5], [5]) == pytest.approx(2 / 3 * 100.0)
+
+    def test_exact_match(self):
+        assert exact_match([1, 2], [1, 2])
+        assert not exact_match([1, 2], [1, 3])
+        assert not exact_match([1], [1, 2])
+
+
+class TestHarness:
+    def test_clean_model_scores_well_on_all_tasks(self, opt_bundle, opt_quant):
+        source = opt_bundle.source
+        ppl = evaluate_perplexity(opt_quant, build_lm_data(source, 3, 24))
+        assert ppl < np.exp(source.entropy_rate()) * 2.0
+        acc = evaluate_last_token_accuracy(
+            opt_quant, build_lambada_like(source, 10, 12)
+        )
+        assert acc >= 80.0
+        mc = evaluate_multiple_choice(
+            opt_quant, build_hellaswag_like(source, 8, 10, 5)
+        )
+        assert mc >= 60.0
+
+    def test_generation_tasks_score_perfect_against_self(self, opt_bundle, opt_quant):
+        harness = EvalHarness(opt_quant)
+        xsum = build_xsum_like(opt_bundle.source, 3, 10, 6)
+        gsm = build_gsm8k_like(opt_bundle.source, 3, 10, 4)
+        assert harness.summarization_score(opt_quant, xsum) == pytest.approx(100.0)
+        assert harness.arithmetic_score(opt_quant, gsm) == pytest.approx(100.0)
+
+    def test_generation_references_computed_fault_free(self, opt_bundle, opt_quant):
+        """Even if the harness's clean model currently has an injector
+        attached, references must be generated without faults."""
+        harness = EvalHarness(opt_quant)
+        xsum = build_xsum_like(opt_bundle.source, 2, 10, 6)
+        injector = ErrorInjector(BitFlipModel(0.05), seed=1)
+        opt_quant.attach(injector, None)
+        try:
+            score = harness.summarization_score(opt_quant, xsum)
+        finally:
+            opt_quant.attach(None, None)
+        # the generation runs are faulty, but references were clean, so the
+        # score reflects degradation rather than being trivially 100
+        assert 0.0 <= score <= 100.0
+        clean_again = harness.summarization_score(opt_quant, xsum)
+        assert clean_again == pytest.approx(100.0)
+
+    def test_sensitive_injection_degrades_task_scores(self, opt_bundle, opt_quant):
+        source = opt_bundle.source
+        lm = build_lm_data(source, 3, 24)
+        clean = evaluate_perplexity(opt_quant, lm)
+        injector = ErrorInjector(
+            BitFlipModel(5e-3), SiteFilter.only(components=[Component.O]), seed=2
+        )
+        opt_quant.attach(injector, None)
+        try:
+            faulty = evaluate_perplexity(opt_quant, lm)
+        finally:
+            opt_quant.attach(None, None)
+        assert faulty > clean + 0.5

@@ -1,0 +1,140 @@
+"""Cross-module integration and failure-injection tests.
+
+These exercise full paths a downstream user would hit: model-level runs on
+the systolic array, protectors inside the inference engine, zoo cache
+robustness, and end-to-end invariants that tie several subsystems together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft.checksums import checksum_report
+from repro.abft.protectors import ClassicalABFT, StatisticalABFT
+from repro.abft.region import CriticalRegion
+from repro.circuits.voltage import VoltageBerModel
+from repro.data.tasks import build_lm_data
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, GemmSite, SiteFilter, Stage
+from repro.evalsuite.harness import evaluate_perplexity
+from repro.models.export import quantize_model
+from repro.quant.quantizer import quantize_activation
+from repro.systolic.array import SystolicArray
+from repro.systolic.dataflow import IS, OS, WS
+from repro.training.zoo import _cache_path, get_pretrained
+
+
+class TestModelGemmOnSystolicArray:
+    """The model-level GEMM path and the tile-level array path must agree
+    on fault-free results (same integer semantics)."""
+
+    def test_model_weights_through_array(self, opt_bundle, opt_quant, rng):
+        layer = opt_quant.layers[0]
+        weight = layer["wq"]
+        x = rng.normal(size=(16, opt_bundle.config.d_model))
+        a_q, a_params = quantize_activation(x)
+        for dataflow in (WS, OS, IS):
+            array = SystolicArray(8, dataflow)
+            tiled, report = array.gemm(a_q, weight.q)
+            monolithic = a_q.astype(np.int64) @ weight.q.astype(np.int64)
+            np.testing.assert_array_equal(tiled, monolithic)
+            assert report.macs == a_q.shape[0] * a_q.shape[1] * weight.q.shape[1]
+
+
+class TestProtectorInsideEngine:
+    def test_statistical_abft_keeps_perplexity_within_budget(self, opt_bundle):
+        """End to end: fit regions offline, attach the protector, inject at
+        a harsh BER, and verify the surviving degradation is within budget
+        while recovery stays below classical's."""
+        from repro.characterization.evaluator import ModelEvaluator
+        from repro.characterization.fitting import fit_component_region
+
+        evaluator = ModelEvaluator(opt_bundle, "perplexity")
+        budget = 0.3
+        regions = {}
+        for component in (Component.O, Component.FC2):
+            region, _ = fit_component_region(
+                evaluator, component, budget,
+                mags=(2**10, 2**18, 2**26), freqs=(1, 16, 256),
+            )
+            regions[component.value] = region
+        # resilient components: permissive region (never recover)
+        for component in (Component.Q, Component.K, Component.V,
+                          Component.QKT, Component.SV, Component.FC1):
+            regions[component.value] = CriticalRegion(
+                a=1.05, b=-8.0, theta_freq=10**9, kind="resilient"
+            )
+
+        ber = 3e-4
+        ours = StatisticalABFT(regions)
+        score_ours = evaluator.run(ErrorInjector(BitFlipModel(ber), seed=1), ours)
+        classical = ClassicalABFT()
+        evaluator.run(ErrorInjector(BitFlipModel(ber), seed=1), classical)
+
+        assert evaluator.degradation(score_ours) <= budget + 0.05
+        assert ours.stats.recovered < classical.stats.recovered
+
+    def test_voltage_model_drives_model_level_failure(self, opt_bundle):
+        """BER(V) + injection + evaluation compose: at nominal-ish voltage
+        nothing happens; deep underscaling destroys perplexity."""
+        model = quantize_model(
+            opt_bundle.state, opt_bundle.config,
+            calibration=[r for r in opt_bundle.source.sample_batch(2, 32, key="calibration")],
+        )
+        lm = build_lm_data(opt_bundle.source, 3, 24)
+        vm = VoltageBerModel()
+        clean = evaluate_perplexity(model, lm)
+        for voltage, should_degrade in ((0.84, False), (0.58, True)):
+            model.attach(ErrorInjector(BitFlipModel(vm.ber(voltage)), seed=2), None)
+            try:
+                score = evaluate_perplexity(model, lm)
+            finally:
+                model.attach(None, None)
+            degraded = score > clean + 1.0
+            assert degraded == should_degrade, voltage
+
+
+class TestZooCacheFailureInjection:
+    def test_corrupted_cache_triggers_retrain(self, opt_bundle, tmp_path, monkeypatch):
+        """A truncated/garbage cache file must not crash get_pretrained —
+        it should fall back to retraining (fresh, equivalent bundle)."""
+        import repro.training.zoo as zoo
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        path = zoo._cache_path("opt-mini", 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        try:
+            bundle = zoo.get_pretrained("opt-mini")
+        except Exception as err:  # noqa: BLE001 - any clean error is fine too
+            pytest.fail(f"corrupted cache crashed get_pretrained: {err}")
+        assert bundle.final_loss == pytest.approx(opt_bundle.final_loss, abs=1e-9)
+
+
+class TestChecksumEngineConsistency:
+    def test_engine_reports_match_offline_checksums(self, opt_bundle, rng):
+        """The protector inside the engine must see exactly the checksum
+        report an offline computation produces for the same corruption."""
+        captured = {}
+
+        class Spy(ClassicalABFT):
+            def should_recover(self, report, site):
+                captured.setdefault(str(site), report)
+                return super().should_recover(report, site)
+
+        model = quantize_model(
+            opt_bundle.state, opt_bundle.config,
+            calibration=[r for r in opt_bundle.source.sample_batch(1, 16, key="calibration")],
+        )
+        injector = ErrorInjector(
+            BitFlipModel(1e-3), SiteFilter.only(components=[Component.Q]), seed=5
+        )
+        model.attach(injector, Spy())
+        model.forward_full(np.arange(12) % opt_bundle.config.vocab_size)
+        model.attach(None, None)
+        q_sites = [k for k in captured if "/Q/" in k]
+        assert q_sites
+        report = captured[q_sites[0]]
+        assert report.msd == int(np.abs(report.diffs).sum())

@@ -1,0 +1,160 @@
+"""Tests for the float transformer models (both architectures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.models.config import ModelConfig, tiny_llama_config, tiny_opt_config
+from repro.models.float_model import FloatTransformerLM, outlier_gain
+from repro.models.rope import apply_rope_np, rope_tables, rotate_half_np
+
+
+@pytest.fixture(scope="module")
+def opt_model():
+    return FloatTransformerLM(tiny_opt_config(vocab_size=64), seed=0)
+
+
+@pytest.fixture(scope="module")
+def llama_model():
+    return FloatTransformerLM(tiny_llama_config(vocab_size=64), seed=0)
+
+
+class TestConfig:
+    def test_rejects_unknown_arch(self):
+        with pytest.raises(ValueError):
+            ModelConfig(arch="gpt", vocab_size=8, d_model=8, n_heads=2, n_layers=1,
+                        d_ff=8, max_seq_len=8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(arch="opt", vocab_size=8, d_model=10, n_heads=3, n_layers=1,
+                        d_ff=8, max_seq_len=8)
+
+    def test_llama_needs_even_head_dim(self):
+        with pytest.raises(ValueError):
+            ModelConfig(arch="llama", vocab_size=8, d_model=6, n_heads=2, n_layers=1,
+                        d_ff=8, max_seq_len=8)
+
+    def test_component_lists_per_arch(self):
+        opt = tiny_opt_config()
+        llama = tiny_llama_config()
+        assert {c.value for c in opt.mlp_components} == {"FC1", "FC2"}
+        assert {c.value for c in llama.mlp_components} == {"Gate", "Up", "Down"}
+        assert len(opt.components) == 8
+        assert len(llama.components) == 9
+
+    def test_macs_per_token_positive_and_arch_dependent(self):
+        assert tiny_opt_config().macs_per_token() > 0
+        assert tiny_llama_config().macs_per_token() > 0
+
+
+class TestOutlierGain:
+    def test_gain_shape_and_values(self):
+        cfg = tiny_opt_config()
+        gain = outlier_gain(cfg)
+        assert gain.shape == (cfg.d_model,)
+        assert np.all(gain[: cfg.outlier_channels] == cfg.outlier_scale)
+        assert np.all(gain[cfg.outlier_channels :] == 1.0)
+
+    def test_no_outliers_is_identity(self):
+        cfg = tiny_opt_config(outliers=False)
+        np.testing.assert_array_equal(outlier_gain(cfg), np.ones(cfg.d_model))
+
+    def test_outliers_visible_in_hidden_state_statistics(self, opt_model):
+        """The induced outlier channels dominate hidden-state max-abs, the
+        premise of the paper's Fig. 5 normalization analysis."""
+        tokens = np.arange(16) % 32
+        h = opt_model.embed(tokens)
+        h = (h + opt_model.pos_embed(np.arange(16))) * opt_model._gain
+        per_channel = np.abs(h.numpy()).max(axis=0)
+        k = opt_model.config.outlier_channels
+        assert per_channel[:k].min() > per_channel[k:].max()
+
+
+class TestRope:
+    def test_tables_shapes(self):
+        cos, sin = rope_tables(10, 8)
+        assert cos.shape == (10, 8) and sin.shape == (10, 8)
+
+    def test_rotation_preserves_norm(self, rng):
+        x = rng.normal(size=(2, 6, 8))
+        cos, sin = rope_tables(6, 8)
+        out = apply_rope_np(x, cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-9
+        )
+
+    def test_offset_matches_shifted_table(self, rng):
+        x = rng.normal(size=(1, 1, 8))
+        cos_full, sin_full = rope_tables(6, 8)
+        cos_off, sin_off = rope_tables(1, 8, offset=5)
+        a = apply_rope_np(x, cos_full[5:6], sin_full[5:6])
+        b = apply_rope_np(x, cos_off, sin_off)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_relative_position_property(self, rng):
+        """RoPE dot products depend only on relative positions."""
+        q = rng.normal(size=(8,))
+        k = rng.normal(size=(8,))
+        def score(pos_q, pos_k):
+            cq, sq = rope_tables(1, 8, offset=pos_q)
+            ck, sk = rope_tables(1, 8, offset=pos_k)
+            rotated_q = apply_rope_np(q[None], cq, sq)
+            rotated_k = apply_rope_np(k[None], ck, sk)
+            return float((rotated_q @ rotated_k.T).item())
+        np.testing.assert_allclose(score(3, 1), score(7, 5), atol=1e-9)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_tables(4, 7)
+
+    def test_rotate_half(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(rotate_half_np(x), [-3.0, -4.0, 1.0, 2.0])
+
+
+@pytest.mark.parametrize("fixture_name", ["opt_model", "llama_model"])
+class TestForward:
+    def test_logits_shape(self, fixture_name, request):
+        model = request.getfixturevalue(fixture_name)
+        tokens = np.arange(12) % 64
+        logits = model(tokens)
+        assert logits.shape == (12, 64)
+        assert np.all(np.isfinite(logits.numpy()))
+
+    def test_batched_forward(self, fixture_name, request):
+        model = request.getfixturevalue(fixture_name)
+        tokens = np.arange(24).reshape(2, 12) % 64
+        logits = model(tokens)
+        assert logits.shape == (2, 12, 64)
+
+    def test_causality(self, fixture_name, request):
+        """Changing a future token must not affect earlier logits."""
+        model = request.getfixturevalue(fixture_name)
+        tokens = (np.arange(10) * 7) % 64
+        base = model(tokens).numpy()
+        altered = tokens.copy()
+        altered[-1] = (altered[-1] + 1) % 64
+        changed = model(altered).numpy()
+        np.testing.assert_allclose(base[:-1], changed[:-1], atol=1e-9)
+
+    def test_loss_is_finite_and_decreases_with_training_signal(self, fixture_name, request):
+        model = request.getfixturevalue(fixture_name)
+        tokens = np.tile(np.array([3, 9]), 8)
+        loss = model.loss(tokens)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0
+
+    def test_sequence_too_long_rejected(self, fixture_name, request):
+        model = request.getfixturevalue(fixture_name)
+        with pytest.raises(ValueError):
+            model(np.zeros(model.config.max_seq_len + 1, dtype=int))
+
+    def test_gradients_reach_all_parameters(self, fixture_name, request):
+        model = request.getfixturevalue(fixture_name)
+        model.zero_grad()
+        model.loss(np.arange(8) % 64).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing

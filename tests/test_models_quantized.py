@@ -1,0 +1,180 @@
+"""Tests for the quantized inference engine: float/quant agreement, KV-cache
+consistency, injection/protection plumbing, MAC accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft.protectors import ClassicalABFT
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, SiteFilter, Stage
+from repro.models.export import quantize_model
+from repro.models.float_model import FloatTransformerLM
+from repro.models.quantized import log_softmax_np, softmax_np
+
+
+class TestNumpyHelpers:
+    def test_softmax_np_matches_naive(self, rng):
+        x = rng.normal(size=(3, 7))
+        naive = np.exp(x) / np.exp(x).sum(axis=-1, keepdims=True)
+        np.testing.assert_allclose(softmax_np(x), naive, atol=1e-12)
+
+    def test_softmax_np_stability(self):
+        out = softmax_np(np.array([[1e5, 0.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(
+            log_softmax_np(x), np.log(softmax_np(x)), atol=1e-12
+        )
+
+
+@pytest.mark.parametrize("bundle_name", ["opt_bundle", "llama_bundle"])
+class TestQuantFloatAgreement:
+    def test_quantized_logits_close_to_float(self, bundle_name, request):
+        bundle = request.getfixturevalue(bundle_name)
+        fmodel = FloatTransformerLM(bundle.config)
+        fmodel.load_state_dict(bundle.state)
+        qmodel = quantize_model(bundle.state, bundle.config)
+        tokens = bundle.source.sample_batch(1, 24, key="agree")[0]
+        f_logits = fmodel(tokens).numpy()
+        q_logits = qmodel.forward_full(tokens)
+        f_top = f_logits.argmax(axis=-1)
+        q_top = q_logits.argmax(axis=-1)
+        # INT8 quantization should preserve the vast majority of decisions
+        assert (f_top == q_top).mean() > 0.8
+
+    def test_quantized_nll_close_to_float(self, bundle_name, request):
+        bundle = request.getfixturevalue(bundle_name)
+        fmodel = FloatTransformerLM(bundle.config)
+        fmodel.load_state_dict(bundle.state)
+        qmodel = quantize_model(bundle.state, bundle.config)
+        tokens = bundle.source.sample_batch(1, 24, key="agree2")[0]
+        f_nll = float(fmodel.loss(tokens).item())
+        q_nll = qmodel.sequence_nll(tokens)
+        assert abs(f_nll - q_nll) < 0.35
+
+
+@pytest.mark.parametrize("model_fixture", ["opt_quant", "llama_quant"])
+class TestInferencePaths:
+    def test_prefill_matches_forward_full(self, model_fixture, request):
+        model = request.getfixturevalue(model_fixture)
+        tokens = np.arange(10) % model.config.vocab_size
+        full_logits = model.forward_full(tokens)
+        last_logits, cache = model.prefill(tokens)
+        np.testing.assert_allclose(last_logits, full_logits[-1], atol=1e-9)
+        assert cache.seq_len == 10
+
+    def test_decode_matches_prefill_extension(self, model_fixture, request):
+        """Decoding token t+1 with the cache must equal re-running prefill
+        on the extended sequence (KV-cache correctness)."""
+        model = request.getfixturevalue(model_fixture)
+        vocab = model.config.vocab_size
+        tokens = (np.arange(9) * 5) % vocab
+        _, cache = model.prefill(tokens[:-1])
+        decode_logits = model.decode_step(int(tokens[-1]), cache)
+        full_logits = model.forward_full(tokens)
+        np.testing.assert_allclose(decode_logits, full_logits[-1], atol=1e-6)
+
+    def test_generate_deterministic_and_bounded(self, model_fixture, request):
+        model = request.getfixturevalue(model_fixture)
+        prompt = np.arange(6) % model.config.vocab_size
+        out1 = model.generate(prompt, 5)
+        out2 = model.generate(prompt, 5)
+        np.testing.assert_array_equal(out1, out2)
+        assert out1.shape == (5,)
+        assert np.all((0 <= out1) & (out1 < model.config.vocab_size))
+
+    def test_generate_rejects_overflow(self, model_fixture, request):
+        model = request.getfixturevalue(model_fixture)
+        prompt = np.zeros(model.config.max_seq_len - 1, dtype=int)
+        with pytest.raises(ValueError):
+            model.generate(prompt, 10)
+
+    def test_choice_logprob_prefers_likely_continuation(self, model_fixture, request):
+        model = request.getfixturevalue(model_fixture)
+        bundle_name = "opt_bundle" if model_fixture == "opt_quant" else "llama_bundle"
+        bundle = request.getfixturevalue(bundle_name)
+        seq = bundle.source.sample_batch(1, 20, key="choice")[0]
+        context, true_cont = seq[:14], seq[14:]
+        rng = np.random.default_rng(0)
+        random_cont = rng.integers(0, bundle.config.vocab_size, size=6)
+        assert model.choice_logprob(context, true_cont) > model.choice_logprob(
+            context, random_cont
+        )
+
+
+class TestInjectionPlumbing:
+    def test_injector_changes_outputs_and_protector_restores(self, opt_bundle):
+        model = quantize_model(opt_bundle.state, opt_bundle.config)
+        tokens = opt_bundle.source.sample_batch(1, 20, key="plumb")[0]
+        clean = model.forward_full(tokens)
+
+        injector = ErrorInjector(BitFlipModel(2e-3), seed=9)
+        model.attach(injector, None)
+        corrupted = model.forward_full(tokens)
+        model.attach(None, None)
+        assert np.abs(clean - corrupted).max() > 1e-6
+
+        injector = ErrorInjector(BitFlipModel(2e-3), seed=9)
+        model.attach(injector, ClassicalABFT())
+        protected = model.forward_full(tokens)
+        model.attach(None, None)
+        np.testing.assert_allclose(protected, clean, atol=1e-9)
+
+    def test_stage_tagging(self, opt_bundle):
+        """Decode-only filters must leave prefill untouched and vice versa."""
+        model = quantize_model(opt_bundle.state, opt_bundle.config)
+        prompt = opt_bundle.source.sample_batch(1, 12, key="stage")[0]
+        ref = model.generate(prompt, 4)
+
+        injector = ErrorInjector(
+            BitFlipModel(0.02), SiteFilter.only(stages=[Stage.DECODE]), seed=3
+        )
+        model.attach(injector, None)
+        model.generate(prompt, 4)
+        model.attach(None, None)
+        decode_calls = [k for k in injector.stats.per_site_errors if "decode" in k]
+        prefill_calls = [k for k in injector.stats.per_site_errors if "prefill" in k]
+        assert decode_calls and not prefill_calls
+        del ref
+
+    def test_mac_accounting_by_component(self, opt_bundle):
+        model = quantize_model(opt_bundle.state, opt_bundle.config)
+        model.executor.reset_counters()
+        tokens = np.arange(16) % opt_bundle.config.vocab_size
+        model.forward_full(tokens)
+        macs = model.executor.macs_by_component
+        cfg = opt_bundle.config
+        seq = 16
+        # Q projection: layers * seq * d * d exactly
+        assert macs["Q"] == cfg.n_layers * seq * cfg.d_model * cfg.d_model
+        assert macs["FC1"] == cfg.n_layers * seq * cfg.d_model * cfg.d_ff
+        assert model.executor.total_macs == sum(macs.values())
+
+    def test_static_mode_requires_calibration(self, opt_bundle):
+        model = quantize_model(opt_bundle.state, opt_bundle.config)
+        model.executor.mode = "static"
+        with pytest.raises(RuntimeError):
+            model.forward_full(np.arange(8))
+
+    def test_calibration_covers_decode_sites(self, opt_bundle):
+        model = quantize_model(opt_bundle.state, opt_bundle.config)
+        model.calibrate_activations([np.arange(16) % opt_bundle.config.vocab_size])
+        assert model.executor.mode == "static"
+        # decode then works without KeyError (scales are stage-independent)
+        out = model.generate(np.arange(8) % opt_bundle.config.vocab_size, 3)
+        assert out.shape == (3,)
+
+    def test_missing_state_key_rejected(self, opt_bundle):
+        state = dict(opt_bundle.state)
+        state.pop("embed.weight")
+        with pytest.raises(KeyError):
+            quantize_model(state, opt_bundle.config)
+
+    def test_raw_state_requires_config(self, opt_bundle):
+        with pytest.raises(ValueError):
+            quantize_model(dict(opt_bundle.state))

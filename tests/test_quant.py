@@ -1,0 +1,135 @@
+"""Tests for the W8A8 quantization substrate, including hypothesis
+round-trip and accumulator-semantics properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.gemm import INT32_MAX, INT32_MIN, gemm_int32, saturate_int32, wrap_int32
+from repro.quant.quantizer import (
+    INT8_MAX,
+    QuantParams,
+    dequantize,
+    quantize_activation,
+    quantize_weight_per_channel,
+    quantize_with_scale,
+    requantize_int32_to_int8,
+)
+
+floats_2d = arrays(
+    np.float64,
+    (4, 6),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestQuantizers:
+    @given(floats_2d)
+    @settings(max_examples=40, deadline=None)
+    def test_activation_roundtrip_error_bounded(self, x):
+        q, params = quantize_activation(x)
+        restored = dequantize(q, params)
+        max_abs = np.max(np.abs(x))
+        # round-to-nearest => error at most half an LSB
+        assert np.max(np.abs(restored - x)) <= max_abs / INT8_MAX * 0.51 + 1e-12
+
+    def test_activation_codes_in_range(self, rng):
+        q, _ = quantize_activation(rng.normal(size=(8, 8)) * 50)
+        assert q.dtype == np.int8
+        assert q.min() >= -INT8_MAX and q.max() <= INT8_MAX
+
+    def test_zero_tensor_gets_unit_scale(self):
+        q, params = quantize_activation(np.zeros((3, 3)))
+        assert np.all(q == 0)
+        np.testing.assert_allclose(params.scale, 1.0)
+
+    def test_weight_per_channel_scales(self, rng):
+        w = rng.normal(size=(6, 4))
+        w[:, 2] *= 100.0
+        q, params = quantize_weight_per_channel(w)
+        assert params.per_channel
+        assert params.scale.shape == (4,)
+        # each column uses its own scale => all columns hit full range
+        assert np.abs(q).max(axis=0).min() >= INT8_MAX - 1
+
+    def test_weight_quantizer_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_weight_per_channel(np.zeros((2, 2, 2)))
+
+    def test_static_scale_saturates_outliers(self):
+        """The Fig. 4c mechanism: out-of-range values clip at the boundary
+        instead of inflating the scale."""
+        x = np.array([1.0, -2.0, 1e9])
+        q, params = quantize_with_scale(x, scale=0.05)
+        assert q[2] == INT8_MAX
+        restored = dequantize(q, params)
+        np.testing.assert_allclose(restored[:2], [1.0, -2.0], atol=0.05)
+        assert restored[2] == pytest.approx(INT8_MAX * 0.05)
+
+    def test_static_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            quantize_with_scale(np.ones(3), 0.0)
+
+    def test_requantize_int32_to_int8(self):
+        acc = np.array([[1000, -500, 20]], dtype=np.int64)
+        q, params = requantize_int32_to_int8(acc, acc_scale=0.01)
+        restored = dequantize(q, params)
+        np.testing.assert_allclose(restored, acc * 0.01, atol=0.1)
+
+
+class TestAccumulatorSemantics:
+    def test_wrap_int32_identity_in_range(self):
+        x = np.array([0, 1, -1, INT32_MAX, INT32_MIN], dtype=np.int64)
+        np.testing.assert_array_equal(wrap_int32(x), x)
+
+    def test_wrap_int32_overflow(self):
+        np.testing.assert_array_equal(
+            wrap_int32(np.array([INT32_MAX + 1])), [INT32_MIN]
+        )
+        np.testing.assert_array_equal(
+            wrap_int32(np.array([INT32_MIN - 1])), [INT32_MAX]
+        )
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_is_mod_2_32(self, value):
+        wrapped = int(wrap_int32(np.array([value]))[0])
+        assert (wrapped - value) % 2**32 == 0
+        assert INT32_MIN <= wrapped <= INT32_MAX
+
+    def test_saturate_clamps(self):
+        x = np.array([INT32_MAX + 10, INT32_MIN - 10, 5], dtype=np.int64)
+        np.testing.assert_array_equal(
+            saturate_int32(x), [INT32_MAX, INT32_MIN, 5]
+        )
+
+    def test_gemm_matches_exact_for_small_operands(self, rng):
+        a = rng.integers(-127, 128, size=(5, 7)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(7, 3)).astype(np.int8)
+        out = gemm_int32(a, b)
+        np.testing.assert_array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_gemm_wraparound_on_constructed_overflow(self):
+        # k = 2^18 rows of 127*127 exceeds INT32_MAX => must wrap, not clip
+        k = 2**18
+        a = np.full((1, k), 127, dtype=np.int64)
+        b = np.full((k, 1), 127, dtype=np.int64)
+        exact = 127 * 127 * k
+        assert exact > INT32_MAX
+        wrapped = gemm_int32(a, b)[0, 0]
+        assert (int(wrapped) - exact) % 2**32 == 0
+        saturated = gemm_int32(a, b, wraparound=False)[0, 0]
+        assert saturated == INT32_MAX
+
+    @given(
+        arrays(np.int8, (3, 4), elements=st.integers(-127, 127)),
+        arrays(np.int8, (4, 2), elements=st.integers(-127, 127)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gemm_results_always_in_int32_range(self, a, b):
+        out = gemm_int32(a, b)
+        assert out.min() >= INT32_MIN and out.max() <= INT32_MAX

@@ -1,0 +1,166 @@
+"""Tests for the systolic-array simulator, tiling, and the statistical unit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft.protectors import ClassicalABFT, StatisticalABFT
+from repro.abft.region import CriticalRegion
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel, MagFreqModel
+from repro.errors.sites import Component, GemmSite, SiteFilter, Stage
+from repro.quant.gemm import gemm_int32
+from repro.systolic.array import SystolicArray
+from repro.systolic.dataflow import OS, WS, Dataflow, tile_latency_cycles
+from repro.systolic.stat_unit import Log2LinearUnit, StatisticalUnit
+from repro.systolic.tiling import iter_tiles, tile_counts
+
+SITE = GemmSite(0, Component.K, Stage.PREFILL)
+
+
+class TestTiling:
+    def test_tiles_cover_gemm_exactly(self):
+        covered = np.zeros((10, 7, 9), dtype=int)
+        for t in iter_tiles(10, 7, 9, size=4):
+            covered[t.i0 : t.i1, t.k0 : t.k1, t.j0 : t.j1] += 1
+        np.testing.assert_array_equal(covered, np.ones((10, 7, 9), dtype=int))
+
+    def test_tile_counts(self):
+        assert tile_counts(10, 7, 9, 4) == (3, 2, 3)
+        assert tile_counts(8, 8, 8, 8) == (1, 1, 1)
+
+    def test_macs_sum_to_gemm_macs(self):
+        total = sum(t.macs for t in iter_tiles(10, 7, 9, 4))
+        assert total == 10 * 7 * 9
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_tiles(0, 4, 4, 2))
+        with pytest.raises(ValueError):
+            list(iter_tiles(4, 4, 4, 0))
+
+
+class TestLatencyModel:
+    def test_ws_formula(self):
+        assert tile_latency_cycles(WS, 8, 8, 8) == 8 + 8 + 8 - 1
+
+    def test_os_formula(self):
+        assert tile_latency_cycles(OS, 8, 8, 8) == 8 + 8 + 8 - 2 + 8
+
+    def test_checksum_adds_one_cycle(self):
+        base = tile_latency_cycles(WS, 4, 4, 4)
+        assert tile_latency_cycles(WS, 4, 4, 4, with_checksum=True) == base + 1
+
+    def test_rejects_empty_tile(self):
+        with pytest.raises(ValueError):
+            tile_latency_cycles(WS, 0, 4, 4)
+
+
+@pytest.mark.parametrize("dataflow", [WS, OS])
+class TestSystolicGemm:
+    def test_matches_reference_gemm(self, dataflow, rng):
+        array = SystolicArray(4, dataflow)
+        a = rng.integers(-127, 128, size=(9, 11)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(11, 6)).astype(np.int8)
+        out, report = array.gemm(a, b)
+        np.testing.assert_array_equal(out, gemm_int32(a, b))
+        assert report.tiles == 3 * 3 * 2
+        assert report.macs == 9 * 11 * 6
+        assert report.recovery_cycles == 0
+
+    def test_protected_gemm_recovers_exactly(self, dataflow, rng):
+        array = SystolicArray(4, dataflow)
+        a = rng.integers(-50, 50, size=(8, 8)).astype(np.int8)
+        b = rng.integers(-50, 50, size=(8, 8)).astype(np.int8)
+        injector = ErrorInjector(BitFlipModel(0.01), seed=5)
+        out, report = array.gemm(a, b, injector, ClassicalABFT(), SITE)
+        np.testing.assert_array_equal(out, gemm_int32(a, b))
+        assert report.injected_tiles > 0
+        assert report.recovered_tiles == report.injected_tiles
+        assert report.recovery_cycles > 0
+
+    def test_statistical_protection_skips_sporadic_errors(self, dataflow, rng):
+        array = SystolicArray(8, dataflow)
+        a = rng.integers(-50, 50, size=(8, 8)).astype(np.int8)
+        b = rng.integers(-50, 50, size=(8, 8)).astype(np.int8)
+        region = CriticalRegion(a=1.5, b=14.0, theta_freq=4.0, kind="resilient")
+        protector = StatisticalABFT({"K": region})
+        injector = ErrorInjector(MagFreqModel(mag=2**25, freq=2), seed=5)
+        out, report = array.gemm(a, b, injector, protector, SITE)
+        assert report.injected_tiles == 1
+        assert report.recovered_tiles == 0  # sporadic errors accepted
+        assert np.any(out != gemm_int32(a, b))
+
+    def test_incompatible_operands_rejected(self, dataflow):
+        array = SystolicArray(4, dataflow)
+        with pytest.raises(ValueError):
+            array.gemm(np.zeros((2, 3), dtype=np.int8), np.zeros((4, 2), dtype=np.int8))
+
+    def test_wraparound_accumulation_across_k_tiles(self, dataflow):
+        """Partial sums accumulate with int32 wraparound, matching the
+        monolithic wrapped GEMM."""
+        array = SystolicArray(4, dataflow)
+        k = 4096
+        a = np.full((1, k), 127, dtype=np.int8)
+        b = np.full((k, 1), 127, dtype=np.int8)
+        out, _ = array.gemm(a, b)
+        np.testing.assert_array_equal(out, gemm_int32(a, b))
+
+
+class TestLog2LinearUnit:
+    @given(st.integers(min_value=1, max_value=2**31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_hw_log2_close_to_exact(self, value):
+        unit = Log2LinearUnit(a=1.5, b=10.0)
+        approx = unit.log2_hw(value)
+        exact = np.log2(value)
+        # linear-mantissa error (<= 0.0861) + 4-bit floor quantization (1/16)
+        assert abs(approx - exact) <= 0.16
+
+    def test_log2_exact_at_powers_of_two(self):
+        unit = Log2LinearUnit(a=1.5, b=10.0)
+        for p in range(1, 31):
+            assert unit.log2_hw(1 << p) == pytest.approx(p)
+
+    def test_theta_mag_close_to_software(self):
+        from repro.abft.region import theta_mag
+
+        unit = Log2LinearUnit(a=1.5, b=12.0)
+        for msd in (2**8, 2**12, 2**16, 2**20, 123456):
+            hw = unit.theta_mag(msd)
+            sw = theta_mag(1.5, 12.0, msd)
+            assert 0.4 * sw <= hw <= 2.5 * sw  # within ~1 octave
+
+    def test_zero_msd(self):
+        assert Log2LinearUnit(a=1.5, b=10.0).theta_mag(0) == 0.0
+
+
+class TestStatisticalUnit:
+    def test_matches_software_decision_on_typical_patterns(self):
+        unit = StatisticalUnit(a=1.5, b=14.0, theta_freq=4.0, n_buffers=64)
+        region = CriticalRegion(a=1.5, b=14.0, theta_freq=4.0)
+        diffs = np.zeros(64, dtype=np.int64)
+        diffs[:2] = 1 << 26  # sporadic large
+        assert unit.should_recover(diffs) == region.predicts_recovery(2**26, 2)
+        diffs = np.zeros(64, dtype=np.int64)
+        diffs[:32] = 1 << 22  # frequent significant
+        assert unit.should_recover(diffs)
+
+    def test_buffer_overflow_flagged(self):
+        unit = StatisticalUnit(a=1.5, b=10.0, theta_freq=1.0, n_buffers=4)
+        reading = unit.evaluate(np.ones(8, dtype=np.int64))
+        assert reading.buffer_overflowed
+
+    def test_countif_semantics(self):
+        unit = StatisticalUnit(a=1.5, b=0.0, theta_freq=0.0, n_buffers=16)
+        diffs = np.array([0, 5, -50, 500], dtype=np.int64)
+        reading = unit.evaluate(diffs)
+        assert reading.msd == 555
+        assert reading.freq_eff == int(np.count_nonzero(np.abs(diffs) > reading.theta_mag))
+
+    def test_invalid_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticalUnit(a=1.5, b=1.0, theta_freq=0.0, n_buffers=0)

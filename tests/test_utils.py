@@ -1,0 +1,72 @@
+"""Tests for shared utilities."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng, spawn_rngs
+from repro.utils.tables import format_table
+
+
+class TestSeeding:
+    def test_same_seed_key_same_stream(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_independent(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(8, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_large_seeds_supported(self):
+        derive_rng(2**60, "x").random()
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(3, ["a", "b"])
+        assert set(rngs) == {"a", "b"}
+        assert rngs["a"].random() != rngs["b"].random()
+
+
+class TestTables:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "v"], [["aa", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all(len(l) <= max(len(x) for x in lines) for l in lines)
+
+    def test_title_rendered(self):
+        out = format_table(["a"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000012345], [12345.678], [1.5], [0.0]])
+        assert "1.234e-05" in out
+        assert "1.235e+04" in out
+        assert "1.5" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        logger = get_logger("unit")
+        assert logger.name == "repro.unit"
+
+    def test_root_handler_installed_once(self):
+        get_logger("one")
+        get_logger("two")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
