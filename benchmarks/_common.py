@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
-Every ``bench_*`` file regenerates one table or figure of the paper
-(DESIGN.md section 4 maps IDs to files). Output goes to stdout *and* to
+Every ``bench_*`` file regenerates one table or figure of the paper (the
+experiment id in each file names it). Output goes to stdout *and* to
 ``benchmarks/results/<id>.txt`` so the artifacts survive pytest's output
 capture; pytest-benchmark wraps one representative kernel per file.
 """
@@ -52,7 +52,7 @@ def pipeline(model_name: str, task: str = "perplexity") -> ReaLMPipeline:
     # Perplexity budget follows the paper (0.3). Accuracy-style tasks use a
     # one-example budget: with 10-16 evaluation examples the metric moves in
     # 6-10 point steps, so the paper's 0.5% is below the measurement
-    # granularity (see EXPERIMENTS.md).
+    # granularity.
     config = ReaLMConfig(
         task=task,
         budget=0.3 if task == "perplexity" else 10.0,

@@ -3,33 +3,57 @@
 Paper Insight 1: components followed by normalization (O and FC2 in the
 OPT block, O and Down in the LLaMA block) are far more sensitive than the
 rest. Both architectures are swept.
+
+Runs as a declarative campaign through the ``repro.campaigns`` engine (one
+site per component x one bit-flip error per BER), exercising the same
+executor path as ``python -m repro campaign run``.
 """
 
 from __future__ import annotations
 
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import evaluator, table
+from _common import bundle, table
 
-from repro.characterization.questions import q13_components
-from repro.errors.sites import SENSITIVE_COMPONENTS, component_kind
+from repro.campaigns import CampaignSpec, ErrorSpec, ResultStore, SiteSpec
+from repro.campaigns.executor import run_campaign
+from repro.characterization.questions import PROTOCOL_BIT
+from repro.errors.sites import component_kind
 
 BERS = (1e-4, 1e-3, 1e-2)
 
 
 def _run(model_name: str, experiment_id: str, title: str):
-    ev = evaluator(model_name, "perplexity")
-    records = q13_components(ev, bers=BERS)
+    components = bundle(model_name).config.components
+    spec = CampaignSpec(
+        name=f"bench-q13-{model_name}",
+        models=(model_name,),
+        sites=tuple(
+            SiteSpec.only(components=[c], stages=["prefill"]) for c in components
+        ),
+        errors=tuple(ErrorSpec.bitflip(b, bits=(PROTOCOL_BIT,)) for b in BERS),
+        seeds=(0,),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            report = run_campaign(spec, store, workers=0)
+            assert report.failed == 0, report.errors
+            records = store.records()
     rows = []
     worst: dict[str, float] = {}
     for record in records:
-        worst[record.label] = max(worst.get(record.label, 0.0), record.degradation)
-        rows.append([record.label, f"{record.ber:.0e}", record.score, record.degradation])
+        label = record.trial.site.components[0]
+        degradation = record.result.degradation
+        worst[label] = max(worst.get(label, 0.0), degradation)
+        rows.append(
+            [label, f"{record.trial.error.ber:.0e}", record.result.score, degradation]
+        )
     table(experiment_id, ["component", "BER", "perplexity", "degradation"], rows, title=title)
-    kinds = {c.value: component_kind(c) for c in ev.bundle.config.components}
+    kinds = {c.value: component_kind(c) for c in components}
     sensitive_worst = {k: v for k, v in worst.items() if kinds[k] == "sensitive"}
     resilient_worst = {k: v for k, v in worst.items() if kinds[k] == "resilient"}
     # every sensitive component degrades far beyond every resilient one

@@ -3,20 +3,23 @@
 Paper Insight 2: resilient components tolerate both sporadic large and
 frequent small errors (non-monotonic in frequency at fixed MSD); sensitive
 components fail even with few large errors.
+
+Each (mag, freq) cell is one campaign trial through the ``repro.campaigns``
+engine, so the grid shares the executor/dedup path of the campaign CLI.
 """
 
 from __future__ import annotations
 
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-import numpy as np
+from _common import table
 
-from _common import evaluator, table
-
-from repro.characterization.questions import q14_magfreq
+from repro.campaigns import CampaignSpec, ErrorSpec, ResultStore, SiteSpec
+from repro.campaigns.executor import run_campaign
 from repro.errors.sites import Component
 
 MAGS = tuple(2**p for p in (6, 10, 14, 18, 22, 26))
@@ -24,14 +27,25 @@ FREQS = (1, 4, 16, 64, 256)
 
 
 def _grid(component: Component, experiment_id: str, title: str):
-    ev = evaluator("opt-mini", "perplexity")
-    records = q14_magfreq(ev, component, mags=MAGS, freqs=FREQS)
+    spec = CampaignSpec(
+        name=f"bench-q14-{component.value}",
+        models=("opt-mini",),
+        sites=(SiteSpec.only(components=[component]),),
+        errors=tuple(ErrorSpec.magfreq(m, f) for m in MAGS for f in FREQS),
+        seeds=(0,),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            report = run_campaign(spec, store, workers=0)
+            assert report.failed == 0, report.errors
+            records = store.records()
     rows = [
-        [r.extra["mag"], r.extra["freq"], r.extra["msd"], r.score, r.degradation]
+        [r.trial.error.mag, r.trial.error.freq, r.trial.error.mag * r.trial.error.freq,
+         r.result.score, r.result.degradation]
         for r in records
     ]
     table(experiment_id, ["mag", "freq", "MSD", "perplexity", "degradation"], rows, title=title)
-    return {(r.extra["mag"], r.extra["freq"]): r.degradation for r in records}
+    return {(r.trial.error.mag, r.trial.error.freq): r.result.degradation for r in records}
 
 
 def test_q14_resilient_component_grid(benchmark):

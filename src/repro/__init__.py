@@ -2,8 +2,8 @@
 
 Reproduces Xie et al., "ReaLM: Reliable and Efficient Large Language Model
 Inference with Statistical Algorithm-Based Fault Tolerance" (DAC 2025) as a
-pure-Python library. See DESIGN.md for the system inventory and
-EXPERIMENTS.md for the paper-vs-measured record.
+pure-Python library. See README.md for an install/CLI tour and
+``repro.campaigns`` for the parallel, resumable experiment engine.
 
 Typical entry points:
 
@@ -29,6 +29,7 @@ __all__ = [
     "circuits",
     "energy",
     "characterization",
+    "campaigns",
     "core",
     "utils",
     "cli",

@@ -1,0 +1,63 @@
+"""Parallel, resumable fault-injection campaign engine.
+
+Declarative :class:`CampaignSpec` grids expand into content-keyed
+:class:`Trial`\\ s; an append-only :class:`ResultStore` dedups completed
+trials (crash resume for free); serial and multiprocessing executors score
+the rest with per-worker model caching and optional per-cell Monte-Carlo
+early stopping; :mod:`repro.campaigns.report` aggregates the store into
+tables and CSV.
+"""
+
+from repro.campaigns.report import (
+    CellSummary,
+    aggregate,
+    export_csv,
+    report_table,
+    status_table,
+)
+from repro.campaigns.spec import (
+    NO_METHOD,
+    CampaignSpec,
+    ErrorSpec,
+    SiteSpec,
+    Trial,
+    example_spec,
+)
+from repro.campaigns.stopping import CONTINUE, STOP, StoppingPolicy
+from repro.campaigns.store import ResultStore, StoredRecord, TrialResult
+
+#: Executor names resolved lazily: the executor drags in the ReaLM pipeline,
+#: whose calibration path imports the sweeps, which import this package.
+_EXECUTOR_EXPORTS = frozenset({"RunReport", "evaluate_trial", "run_campaign"})
+
+
+def __getattr__(name: str):
+    if name in _EXECUTOR_EXPORTS:
+        from repro.campaigns import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CampaignSpec",
+    "CellSummary",
+    "ErrorSpec",
+    "NO_METHOD",
+    "ResultStore",
+    "RunReport",
+    "SiteSpec",
+    "StoppingPolicy",
+    "StoredRecord",
+    "Trial",
+    "TrialResult",
+    "CONTINUE",
+    "STOP",
+    "aggregate",
+    "evaluate_trial",
+    "example_spec",
+    "export_csv",
+    "report_table",
+    "run_campaign",
+    "status_table",
+]

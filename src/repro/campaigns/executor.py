@@ -1,0 +1,312 @@
+"""Campaign executors: serial and multiprocessing-pool trial runners.
+
+The single-trial primitive :func:`evaluate_trial` is shared by everything
+that scores an injected configuration — the characterization sweeps, the
+benchmarks, and both campaign executors — so a trial means exactly the same
+measurement everywhere.
+
+The pool executor keys its caches per worker process: each worker loads (or
+trains, on a cold cache) every zoo model it touches **once**, builds one
+:class:`~repro.characterization.evaluator.ModelEvaluator` per (model, task)
+— and one calibrated :class:`~repro.core.realm.ReaLMPipeline` where a
+behavioral protection method demands it — and then reuses them for every
+subsequent trial. The parent process is the only writer of the result
+store; results stream back as they finish, so killing a campaign mid-run
+loses at most the in-flight trials.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.abft.protectors import ClassicalABFT, Protector
+from repro.campaigns.spec import NO_METHOD, CampaignSpec, Trial
+from repro.campaigns.stopping import STOP
+from repro.campaigns.store import ResultStore, TrialResult
+from repro.characterization.evaluator import ModelEvaluator
+from repro.circuits.voltage import VoltageBerModel
+from repro.core.methods import METHODS
+from repro.core.realm import ReaLMConfig, ReaLMPipeline
+from repro.errors.injector import ErrorInjector
+from repro.errors.sites import Component
+from repro.training.zoo import get_pretrained
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaigns")
+
+_VOLTAGE_MODEL = VoltageBerModel()
+
+
+def _needs_pipeline(method: str) -> bool:
+    """Methods whose protector requires pipeline calibration state."""
+    if method in (NO_METHOD, "classical-abft") or method not in METHODS:
+        return False
+    return METHODS[method].behavioral
+
+
+def evaluate_trial(
+    trial: Trial,
+    evaluator: ModelEvaluator,
+    pipeline: Optional[ReaLMPipeline] = None,
+) -> TrialResult:
+    """Score one trial on an already-built evaluator.
+
+    ``pipeline`` is only consulted for behavioral protection methods that
+    need calibrated critical regions (statistical/approx ABFT).
+    """
+    start = time.perf_counter()
+    ber = _VOLTAGE_MODEL.ber(trial.voltage) if trial.voltage is not None else None
+    error_model = trial.error.build(ber=ber)
+    injector = (
+        ErrorInjector(error_model, trial.site.to_filter(), seed=trial.seed)
+        if error_model is not None
+        else None
+    )
+
+    protector: Optional[Protector] = None
+    method = trial.method
+    if method not in (NO_METHOD, "no-protection"):
+        spec = METHODS[method]
+        if method == "classical-abft":
+            protector = ClassicalABFT()
+        elif spec.behavioral:
+            if pipeline is None:
+                raise ValueError(f"method {method!r} needs a calibrated pipeline")
+            components = (
+                tuple(Component(c) for c in trial.site.components)
+                if trial.site.components is not None
+                else tuple(evaluator.bundle.config.components)
+            )
+            pipeline.calibrate(components)
+            protector = pipeline.protector_for(method, components)
+
+    score = evaluator.run(injector, protector)
+    if method not in (NO_METHOD,) and METHODS[method].exact_correction:
+        score = evaluator.clean_score  # detected-and-replayed: fault-free output
+    return TrialResult(
+        score=score,
+        degradation=evaluator.degradation(score),
+        clean_score=evaluator.clean_score,
+        injected_errors=injector.stats.injected_errors if injector else 0,
+        gemm_calls=injector.stats.gemm_calls if injector else 0,
+        elapsed_s=time.perf_counter() - start,
+        worker=os.getpid(),
+    )
+
+
+# --------------------------------------------------------------- worker side
+#: Per-process caches — populated lazily inside each pool worker (and by the
+#: serial executor in the parent), so a model is loaded/trained once per
+#: process rather than once per trial.
+_EVALUATORS: dict[tuple[str, str], ModelEvaluator] = {}
+_PIPELINES: dict[tuple[str, str], ReaLMPipeline] = {}
+
+
+def _trial_context(trial: Trial) -> tuple[ModelEvaluator, Optional[ReaLMPipeline]]:
+    key = (trial.model, trial.task)
+    if _needs_pipeline(trial.method):
+        pipeline = _PIPELINES.get(key)
+        if pipeline is None:
+            cached = _EVALUATORS.get(key)
+            bundle = cached.bundle if cached is not None else get_pretrained(trial.model)
+            pipeline = ReaLMPipeline(
+                bundle, ReaLMConfig(task=trial.task), evaluator=cached
+            )
+            _PIPELINES[key] = pipeline
+            _EVALUATORS[key] = pipeline.evaluator
+        return pipeline.evaluator, pipeline
+    evaluator = _EVALUATORS.get(key)
+    if evaluator is None:
+        if key in _PIPELINES:
+            evaluator = _PIPELINES[key].evaluator
+        else:
+            evaluator = ModelEvaluator(get_pretrained(trial.model), trial.task)
+        _EVALUATORS[key] = evaluator
+    return evaluator, None
+
+
+def _run_trial_payload(payload: dict) -> dict:
+    """Pool entry point: trial dict in, (key, result | error) dict out."""
+    trial = Trial.from_dict(payload)
+    try:
+        evaluator, pipeline = _trial_context(trial)
+        result = evaluate_trial(trial, evaluator, pipeline)
+        return {"key": trial.key, "trial": payload, "result": result.to_dict()}
+    except Exception as exc:  # surfaced to the parent, which keeps going
+        return {"key": trial.key, "trial": payload, "error": repr(exc)}
+
+
+# --------------------------------------------------------------- parent side
+@dataclass
+class RunReport:
+    """What one ``run_campaign`` invocation actually did."""
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    skipped: int = 0  # pending seeds dropped by early stopping
+    failed: int = 0
+    stopped_cells: int = 0
+    elapsed_s: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} trials: {self.cached} cached, {self.executed} executed, "
+            f"{self.skipped} skipped by early stopping ({self.stopped_cells} cells), "
+            f"{self.failed} failed [{self.elapsed_s:.1f}s]"
+        )
+
+
+@dataclass
+class _Cell:
+    label: str
+    values: list[float] = field(default_factory=list)
+    pending: list[Trial] = field(default_factory=list)
+
+
+class _SerialRunner:
+    """Runs trials in-process, sharing the worker caches.
+
+    ``run`` yields each outcome as it completes so the parent can persist
+    it immediately — materializing the wave first would mean a crash loses
+    every already-computed result.
+    """
+
+    def run(self, wave: Sequence[Trial]) -> Iterator[dict]:
+        for trial in wave:
+            yield _run_trial_payload(trial.to_dict())
+
+    def close(self) -> None:
+        pass
+
+
+class _PoolRunner:
+    """Runs trials on a multiprocessing pool, streaming results back."""
+
+    def __init__(self, workers: int) -> None:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        self.workers = workers
+        self.pool = ctx.Pool(processes=workers)
+
+    def run(self, wave: Sequence[Trial]) -> Iterator[dict]:
+        payloads = [t.to_dict() for t in wave]
+        return self.pool.imap_unordered(_run_trial_payload, payloads, chunksize=1)
+
+    def close(self) -> None:
+        self.pool.close()
+        self.pool.join()
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    workers: int = 0,
+    on_result=None,
+) -> RunReport:
+    """Execute every not-yet-stored trial of ``spec``, writing into ``store``.
+
+    ``workers <= 1`` runs serially in-process; otherwise a pool of
+    ``workers`` processes is used. Either way the parent writes each result
+    to the store the moment it arrives, so a killed run resumes cleanly.
+    ``on_result`` (if given) is called with each new ``StoredRecord``-shaped
+    payload dict, for progress display.
+    """
+    start = time.perf_counter()
+    policy = spec.stopping
+    report = RunReport()
+
+    cells: dict[str, _Cell] = {}
+    order: list[str] = []
+    for trial in spec.expand():
+        report.total += 1
+        cell = cells.get(trial.cell_id)
+        if cell is None:
+            cell = cells[trial.cell_id] = _Cell(label=trial.cell_label)
+            order.append(trial.cell_id)
+        record = store.get(trial.key)
+        if record is not None:
+            report.cached += 1
+            cell.values.append(record.result.degradation)
+        else:
+            cell.pending.append(trial)
+
+    # Cells already satisfied by stored results (resume after a stop/kill).
+    active: list[_Cell] = []
+    for cell_id in order:
+        cell = cells[cell_id]
+        if not cell.pending:
+            continue
+        if policy is not None and cell.values and policy.decide(cell.values) == STOP:
+            report.skipped += len(cell.pending)
+            report.stopped_cells += 1
+            cell.pending.clear()
+            continue
+        active.append(cell)
+
+    runner = None
+    if active:
+        # Train/load each still-needed model once in the parent, not N times
+        # concurrently in the workers.
+        for model in sorted({t.model for cell in active for t in cell.pending}):
+            get_pretrained(model)
+        runner = _PoolRunner(workers) if workers > 1 else _SerialRunner()
+    try:
+        wave_index = 0
+        while active:
+            wave: list[Trial] = []
+            owner: dict[str, _Cell] = {}
+            for cell in active:
+                if policy is None:
+                    take = len(cell.pending)
+                else:
+                    take = max(policy.min_seeds - len(cell.values), 1)
+                for trial in cell.pending[:take]:
+                    wave.append(trial)
+                    owner[trial.key] = cell
+                del cell.pending[:take]
+            wave_index += 1
+            logger.info(
+                "wave %d: %d trials across %d cells (%s)",
+                wave_index, len(wave), len(active),
+                f"{workers} workers" if workers > 1 else "serial",
+            )
+            for outcome in runner.run(wave):
+                trial = Trial.from_dict(outcome["trial"])
+                cell = owner[outcome["key"]]
+                if "error" in outcome:
+                    report.failed += 1
+                    report.errors.append(f"{trial.cell_label}#s{trial.seed}: {outcome['error']}")
+                    logger.info("trial failed: %s", report.errors[-1])
+                    continue
+                result = TrialResult.from_dict(outcome["result"])
+                store.add(trial, result)
+                report.executed += 1
+                cell.values.append(result.degradation)
+                if on_result is not None:
+                    on_result(outcome)
+
+            still_active: list[_Cell] = []
+            for cell in active:
+                if not cell.pending:
+                    continue
+                if policy is not None and policy.decide(cell.values) == STOP:
+                    report.skipped += len(cell.pending)
+                    report.stopped_cells += 1
+                    cell.pending.clear()
+                    continue
+                still_active.append(cell)
+            active = still_active
+    finally:
+        if runner is not None:
+            runner.close()
+
+    report.elapsed_s = time.perf_counter() - start
+    logger.info("campaign %s: %s", spec.name, report.summary())
+    return report

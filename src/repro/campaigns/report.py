@@ -1,0 +1,226 @@
+"""Aggregation and reporting over a campaign's result store.
+
+Groups stored trials by cell (trial identity minus the seed), computes
+Monte-Carlo statistics of the degradation metric, and renders them through
+the repo's standard :func:`~repro.utils.tables.format_table`, or exports the
+raw per-trial records as CSV for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.campaigns.spec import NO_METHOD, CampaignSpec, Trial
+from repro.campaigns.store import ResultStore, StoredRecord
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Monte-Carlo statistics for one campaign cell.
+
+    ``trial`` is a representative trial of the cell (first stored seed), for
+    callers that need the typed site/error identity rather than the labels.
+    """
+
+    cell: str
+    trial: Trial
+    model: str
+    task: str
+    site: str
+    error: str
+    method: str
+    voltage: Optional[float]
+    n: int
+    mean_score: float
+    mean_degradation: float
+    std_degradation: float
+    min_degradation: float
+    max_degradation: float
+
+    @property
+    def stderr(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return self.std_degradation / math.sqrt(self.n)
+
+
+def _spec_keys(spec: Optional[CampaignSpec]) -> Optional[set[str]]:
+    return {t.key for t in spec.expand()} if spec is not None else None
+
+
+def _select(store: ResultStore, spec: Optional[CampaignSpec]) -> list[StoredRecord]:
+    """All stored records, restricted to ``spec``'s grid when one is given."""
+    keys = _spec_keys(spec)
+    records = store.records()
+    if keys is None:
+        return records
+    return [r for r in records if r.key in keys]
+
+
+def aggregate(store: ResultStore, spec: Optional[CampaignSpec] = None) -> list[CellSummary]:
+    """Per-cell summaries.
+
+    With a ``spec``, cells come out in the spec's grid order (parallel runs
+    append to the store in completion order, which would make reports
+    un-diffable across runs); otherwise in store insertion order.
+    """
+    groups: dict[str, list[StoredRecord]] = {}
+    order: list[str] = []
+    if spec is not None:
+        for trial in spec.expand():
+            if trial.cell_id not in groups:
+                groups[trial.cell_id] = []
+                order.append(trial.cell_id)
+    for record in _select(store, spec):
+        if record.cell not in groups:
+            groups[record.cell] = []
+            order.append(record.cell)
+        groups[record.cell].append(record)
+
+    summaries: list[CellSummary] = []
+    for cell_id in order:
+        records = groups[cell_id]
+        if not records:  # spec cell with nothing stored yet
+            continue
+        trial = records[0].trial
+        degradations = [r.result.degradation for r in records]
+        n = len(degradations)
+        mean = sum(degradations) / n
+        var = sum((d - mean) ** 2 for d in degradations) / (n - 1) if n > 1 else 0.0
+        summaries.append(
+            CellSummary(
+                cell=cell_id,
+                trial=trial,
+                model=trial.model,
+                task=trial.task,
+                site=trial.site.label,
+                error=trial.error.label,
+                method=trial.method,
+                voltage=trial.voltage,
+                n=n,
+                mean_score=sum(r.result.score for r in records) / n,
+                mean_degradation=mean,
+                std_degradation=math.sqrt(var),
+                min_degradation=min(degradations),
+                max_degradation=max(degradations),
+            )
+        )
+    return summaries
+
+
+def report_table(
+    store: ResultStore,
+    spec: Optional[CampaignSpec] = None,
+    title: Optional[str] = None,
+) -> str:
+    """The campaign's headline table: one row per cell with mean +/- stderr."""
+    summaries = aggregate(store, spec)
+    show_method = any(s.method != NO_METHOD for s in summaries)
+    show_voltage = any(s.voltage is not None for s in summaries)
+    headers = ["model", "task", "site", "error"]
+    if show_method:
+        headers.append("method")
+    if show_voltage:
+        headers.append("V")
+    headers += ["seeds", "score", "degradation", "+/-", "worst"]
+    rows = []
+    for s in summaries:
+        row: list = [s.model, s.task, s.site, s.error]
+        if show_method:
+            row.append(s.method)
+        if show_voltage:
+            row.append("-" if s.voltage is None else f"{s.voltage:.2f}")
+        row += [s.n, s.mean_score, s.mean_degradation, s.stderr, s.max_degradation]
+        rows.append(row)
+    if title is None:
+        title = f"campaign {spec.name}" if spec is not None else "campaign results"
+    return format_table(headers, rows, title=title)
+
+
+def status_table(spec: CampaignSpec, store: ResultStore) -> str:
+    """Completion status of ``spec`` against ``store``: one row per cell."""
+    cells: dict[str, dict] = {}
+    order: list[str] = []
+    done_keys = store.keys()
+    for trial in spec.expand():
+        info = cells.get(trial.cell_id)
+        if info is None:
+            info = cells[trial.cell_id] = {"label": trial.cell_label, "total": 0, "done": 0}
+            order.append(trial.cell_id)
+        info["total"] += 1
+        if trial.key in done_keys:
+            info["done"] += 1
+    rows = []
+    total = done = 0
+    for cell_id in order:
+        info = cells[cell_id]
+        total += info["total"]
+        done += info["done"]
+        state = "done" if info["done"] >= info["total"] else (
+            "partial" if info["done"] else "pending"
+        )
+        rows.append([info["label"], f"{info['done']}/{info['total']}", state])
+    title = (
+        f"campaign {spec.name}: {done}/{total} trials complete "
+        f"({len(order)} cells, store {store.directory})"
+    )
+    return format_table(["cell", "seeds", "state"], rows, title=title)
+
+
+#: Flat per-trial CSV columns (raw records, one row per executed trial).
+CSV_FIELDS = [
+    "key", "cell", "model", "task", "site", "error", "error_kind", "ber",
+    "bits", "mag", "freq", "sign", "method", "voltage", "seed",
+    "score", "degradation", "clean_score", "injected_errors", "gemm_calls",
+    "elapsed_s", "worker",
+]
+
+
+def export_csv(
+    store: ResultStore,
+    path: str | Path,
+    spec: Optional[CampaignSpec] = None,
+) -> int:
+    """Write raw trial records as CSV; returns the number of rows written."""
+    records = _select(store, spec)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            trial, result = record.trial, record.result
+            writer.writerow(
+                {
+                    "key": record.key,
+                    "cell": record.cell,
+                    "model": trial.model,
+                    "task": trial.task,
+                    "site": trial.site.label,
+                    "error": trial.error.label,
+                    "error_kind": trial.error.kind,
+                    "ber": "" if trial.error.ber is None else trial.error.ber,
+                    "bits": "" if trial.error.bits is None else ";".join(
+                        str(b) for b in trial.error.bits
+                    ),
+                    "mag": "" if trial.error.mag is None else trial.error.mag,
+                    "freq": "" if trial.error.freq is None else trial.error.freq,
+                    "sign": trial.error.sign,
+                    "method": trial.method,
+                    "voltage": "" if trial.voltage is None else trial.voltage,
+                    "seed": trial.seed,
+                    "score": result.score,
+                    "degradation": result.degradation,
+                    "clean_score": result.clean_score,
+                    "injected_errors": result.injected_errors,
+                    "gemm_calls": result.gemm_calls,
+                    "elapsed_s": result.elapsed_s,
+                    "worker": result.worker,
+                }
+            )
+    return len(records)

@@ -1,0 +1,94 @@
+"""Per-cell Monte-Carlo early stopping on the degradation metric.
+
+Each campaign *cell* (a trial identity minus its seed) is a Monte-Carlo
+estimate of the mean degradation under random error injection. The executor
+feeds every completed seed's degradation to :meth:`StoppingPolicy.decide`;
+once the normal-approximation confidence interval of the mean is tighter
+than the tolerance, the cell stops and its remaining seeds are skipped.
+Noisy cells therefore receive more seeds than stable ones, which is where
+most of a large campaign's wall-clock goes otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Sequence
+
+#: Decisions returned by :meth:`StoppingPolicy.decide`.
+CONTINUE = "continue"
+STOP = "stop"
+
+
+@dataclass(frozen=True)
+class StoppingPolicy:
+    """When to stop adding seeds to a campaign cell.
+
+    A cell stops as soon as it has at least ``min_seeds`` results and the
+    two-sided ``confidence`` CI half-width of the mean degradation is within
+    ``max(abs_tol, rel_tol * |mean|)``, or unconditionally once ``max_seeds``
+    results are in. ``max_seeds=None`` defers the cap to the campaign's own
+    seed list.
+    """
+
+    min_seeds: int = 3
+    max_seeds: int | None = None
+    abs_tol: float = 0.0
+    rel_tol: float = 0.10
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.min_seeds < 2:
+            raise ValueError("min_seeds must be >= 2 (a CI needs a variance)")
+        if self.max_seeds is not None and self.max_seeds < self.min_seeds:
+            raise ValueError("max_seeds must be >= min_seeds")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.abs_tol < 0 or self.rel_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    @property
+    def z(self) -> float:
+        """Two-sided normal quantile for ``confidence``."""
+        return NormalDist().inv_cdf(0.5 + self.confidence / 2.0)
+
+    def half_width(self, values: Sequence[float]) -> float:
+        """CI half-width of the mean of ``values`` (inf below 2 samples)."""
+        n = len(values)
+        if n < 2:
+            return math.inf
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return self.z * math.sqrt(var / n)
+
+    def decide(self, values: Sequence[float]) -> str:
+        """``CONTINUE`` or ``STOP`` given the cell's degradations so far."""
+        n = len(values)
+        if n < self.min_seeds:
+            return CONTINUE
+        if self.max_seeds is not None and n >= self.max_seeds:
+            return STOP
+        mean = sum(values) / n
+        tolerance = max(self.abs_tol, self.rel_tol * abs(mean))
+        return STOP if self.half_width(values) <= tolerance else CONTINUE
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "min_seeds": self.min_seeds,
+            "max_seeds": self.max_seeds,
+            "abs_tol": self.abs_tol,
+            "rel_tol": self.rel_tol,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoppingPolicy":
+        return cls(
+            min_seeds=payload.get("min_seeds", 3),
+            max_seeds=payload.get("max_seeds"),
+            abs_tol=payload.get("abs_tol", 0.0),
+            rel_tol=payload.get("rel_tol", 0.10),
+            confidence=payload.get("confidence", 0.95),
+        )

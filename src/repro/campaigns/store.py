@@ -1,0 +1,218 @@
+"""Persistent, append-only campaign result store with content-keyed dedup.
+
+Layout on disk (one directory per campaign)::
+
+    <store>/results.jsonl   append-only record log — the source of truth
+    <store>/index.sqlite    trial-key index + record cache, rebuilt on demand
+
+Every record is one JSON line ``{"key", "cell", "trial", "result"}``. The
+SQLite index makes membership tests and per-cell aggregation cheap; if it is
+missing, stale, or the process died mid-write, :class:`ResultStore` rebuilds
+it from the JSONL log on open, silently dropping a torn trailing line. That
+property is what makes campaigns crash-resumable: whatever reached the log
+survives, and the executor skips every key already present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.campaigns.spec import Trial
+from repro.training.zoo import cache_dir
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaigns.store")
+
+
+def default_store_dir(name: str) -> Path:
+    """Default on-disk location for a campaign's results, keyed by name."""
+    return cache_dir() / "campaigns" / name
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measured outcome of one trial (the persisted result schema)."""
+
+    score: float
+    degradation: float
+    clean_score: float
+    injected_errors: int = 0
+    gemm_calls: int = 0
+    elapsed_s: float = 0.0
+    worker: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "score": self.score,
+            "degradation": self.degradation,
+            "clean_score": self.clean_score,
+            "injected_errors": self.injected_errors,
+            "gemm_calls": self.gemm_calls,
+            "elapsed_s": self.elapsed_s,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialResult":
+        return cls(
+            score=payload["score"],
+            degradation=payload["degradation"],
+            clean_score=payload["clean_score"],
+            injected_errors=payload.get("injected_errors", 0),
+            gemm_calls=payload.get("gemm_calls", 0),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            worker=payload.get("worker", 0),
+        )
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One (trial, result) pair read back from the store."""
+
+    key: str
+    cell: str
+    trial: Trial
+    result: TrialResult
+
+
+class ResultStore:
+    """Single-writer JSONL + SQLite result store (open per campaign)."""
+
+    def __init__(self, directory: str | Path, create: bool = True) -> None:
+        """``create=False`` (read paths) refuses to fabricate an empty store
+        out of a mistyped directory and raises ``FileNotFoundError`` instead."""
+        self.directory = Path(directory)
+        if not create and not self.directory.exists():
+            raise FileNotFoundError(
+                f"campaign store {self.directory} does not exist"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.directory / "results.jsonl"
+        self.index_path = self.directory / "index.sqlite"
+        self._conn = sqlite3.connect(self.index_path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY, cell TEXT, record TEXT)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS results_cell ON results (cell)"
+        )
+        self._conn.commit()
+        self._sync_index()
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- recovery
+    def _log_records(self) -> Iterator[dict]:
+        """Parse the JSONL log, skipping torn/corrupt lines (crash debris)."""
+        if not self.log_path.exists():
+            return
+        with self.log_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.info("skipping corrupt line in %s", self.log_path)
+                    continue
+                if "key" in payload and "trial" in payload and "result" in payload:
+                    yield payload
+
+    def _sync_index(self) -> None:
+        """Rebuild the SQLite index whenever it disagrees with the log."""
+        log_count = len({payload["key"] for payload in self._log_records()})
+        (index_count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        if index_count == log_count:
+            return
+        logger.info(
+            "rebuilding index for %s (%d log records, %d indexed)",
+            self.directory, log_count, index_count,
+        )
+        self._conn.execute("DELETE FROM results")
+        for payload in self._log_records():
+            self._insert(payload)
+        self._conn.commit()
+
+    def _insert(self, payload: dict) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (key, cell, record) VALUES (?, ?, ?)",
+            (payload["key"], payload.get("cell", ""), json.dumps(payload)),
+        )
+
+    # --------------------------------------------------------------- writes
+    def add(self, trial: Trial, result: TrialResult) -> None:
+        """Append one result; flushed to the log before the index update.
+
+        Adding a key that is already stored is a no-op (first write wins),
+        which keeps the log's line count equal to the index's row count.
+        """
+        if trial.key in self:
+            return
+        payload = {
+            "key": trial.key,
+            "cell": trial.cell_id,
+            "trial": trial.to_dict(),
+            "result": result.to_dict(),
+        }
+        line = json.dumps(payload, sort_keys=True)
+        with self.log_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._insert(payload)
+        self._conn.commit()
+
+    # ---------------------------------------------------------------- reads
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return count
+
+    def keys(self) -> set[str]:
+        return {row[0] for row in self._conn.execute("SELECT key FROM results")}
+
+    @staticmethod
+    def _decode(record_json: str) -> StoredRecord:
+        payload = json.loads(record_json)
+        return StoredRecord(
+            key=payload["key"],
+            cell=payload.get("cell", ""),
+            trial=Trial.from_dict(payload["trial"]),
+            result=TrialResult.from_dict(payload["result"]),
+        )
+
+    def get(self, key: str) -> Optional[StoredRecord]:
+        row = self._conn.execute(
+            "SELECT record FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return self._decode(row[0]) if row else None
+
+    def records(self) -> list[StoredRecord]:
+        rows = self._conn.execute("SELECT record FROM results ORDER BY rowid")
+        return [self._decode(row[0]) for row in rows]
+
+    def cell_records(self, cell_id: str) -> list[StoredRecord]:
+        rows = self._conn.execute(
+            "SELECT record FROM results WHERE cell = ? ORDER BY rowid", (cell_id,)
+        )
+        return [self._decode(row[0]) for row in rows]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec
 from repro.characterization.evaluator import ModelEvaluator
 from repro.characterization.sweeps import SweepRecord, ber_sweep, magfreq_grid
 from repro.errors.sites import Component, SiteFilter, Stage
@@ -18,6 +19,11 @@ from repro.errors.sites import Component, SiteFilter, Stage
 PROTOCOL_BIT = 30
 
 DEFAULT_BERS: tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+
+#: The Q1.4 magnitude/frequency protocol grid (shared by the in-process
+#: sweep defaults and the campaign fan-out so both measure the same cells).
+Q14_MAGS: tuple[int, ...] = tuple(2**p for p in (4, 8, 12, 16, 20, 24))
+Q14_FREQS: tuple[int, ...] = (1, 4, 16, 64, 256)
 
 
 def q11_layerwise(
@@ -101,8 +107,8 @@ def q13_components(
 def q14_magfreq(
     evaluator: ModelEvaluator,
     component: Component,
-    mags: Sequence[int] = tuple(2**p for p in (4, 8, 12, 16, 20, 24)),
-    freqs: Sequence[int] = (1, 4, 16, 64, 256),
+    mags: Sequence[int] = Q14_MAGS,
+    freqs: Sequence[int] = Q14_FREQS,
     seed: int = 0,
 ) -> list[SweepRecord]:
     """Q1.4: error magnitude vs. frequency trade-off at fixed MSD."""
@@ -113,6 +119,49 @@ def q14_magfreq(
         site_filter=SiteFilter.only(components=[component]),
         label=component.value,
         seed=seed,
+    )
+
+
+def q13_campaign_spec(
+    model: str,
+    task: str,
+    bers: Sequence[float],
+    seeds: Sequence[int],
+    components: Optional[Sequence[Component]] = None,
+) -> CampaignSpec:
+    """The Q1.3 protocol as a campaign grid (multi-seed fan-out)."""
+    if components is None:
+        from repro.training.zoo import get_pretrained
+
+        components = get_pretrained(model).config.components
+    return CampaignSpec(
+        name=f"q13-{model}-{task}",
+        models=(model,),
+        tasks=(task,),
+        sites=tuple(
+            SiteSpec.only(components=[c], stages=[Stage.PREFILL]) for c in components
+        ),
+        errors=tuple(ErrorSpec.bitflip(float(b), bits=(PROTOCOL_BIT,)) for b in bers),
+        seeds=tuple(seeds),
+    )
+
+
+def q14_campaign_spec(
+    model: str,
+    task: str,
+    component: Component,
+    seeds: Sequence[int],
+    mags: Sequence[int] = Q14_MAGS,
+    freqs: Sequence[int] = Q14_FREQS,
+) -> CampaignSpec:
+    """The Q1.4 protocol as a campaign grid (multi-seed fan-out)."""
+    return CampaignSpec(
+        name=f"q14-{model}-{task}-{component.value}",
+        models=(model,),
+        tasks=(task,),
+        sites=(SiteSpec.only(components=[component]),),
+        errors=tuple(ErrorSpec.magfreq(int(m), int(f)) for m in mags for f in freqs),
+        seeds=tuple(seeds),
     )
 
 

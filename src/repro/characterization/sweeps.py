@@ -1,13 +1,19 @@
-"""Generic sweep runners shared by the Q1.x / Q2.x questions."""
+"""Generic sweep runners shared by the Q1.x / Q2.x questions.
+
+Both sweeps are thin wrappers over the campaign engine's single-trial
+primitive (:func:`repro.campaigns.executor.evaluate_trial`): each swept
+configuration is expressed as a :class:`~repro.campaigns.spec.Trial` and
+scored exactly the way a campaign worker would score it, so in-process
+sweeps and distributed campaigns measure the same thing.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.campaigns.spec import ErrorSpec, SiteSpec, Trial
 from repro.characterization.evaluator import ModelEvaluator
-from repro.errors.injector import ErrorInjector
-from repro.errors.models import BitFlipModel, MagFreqModel
 from repro.errors.sites import SiteFilter
 
 
@@ -22,6 +28,21 @@ class SweepRecord:
     extra: dict = field(default_factory=dict)
 
 
+def _run_trial(evaluator: ModelEvaluator, trial: Trial) -> "SweepRecord":
+    # Deferred: the executor pulls in the ReaLM pipeline, whose calibration
+    # path imports this module (executor -> realm -> fitting -> sweeps).
+    from repro.campaigns.executor import evaluate_trial
+
+    result = evaluate_trial(trial, evaluator)
+    return SweepRecord(
+        label="",
+        ber=trial.error.ber or 0.0,
+        score=result.score,
+        degradation=result.degradation,
+        extra={"injected_errors": result.injected_errors},
+    )
+
+
 def ber_sweep(
     evaluator: ModelEvaluator,
     bers: Sequence[float],
@@ -31,20 +52,19 @@ def ber_sweep(
     seed: int = 0,
 ) -> list[SweepRecord]:
     """Score the evaluator's task across a BER sweep under one site filter."""
+    site = SiteSpec.from_filter(site_filter)
     records: list[SweepRecord] = []
     for ber in bers:
-        model = BitFlipModel(ber, bits=tuple(bits)) if bits else BitFlipModel(ber)
-        injector = ErrorInjector(model, site_filter, seed=seed)
-        score = evaluator.run(injector)
-        records.append(
-            SweepRecord(
-                label=label,
-                ber=ber,
-                score=score,
-                degradation=evaluator.degradation(score),
-                extra={"injected_errors": injector.stats.injected_errors},
-            )
+        trial = Trial(
+            model=evaluator.bundle.name,
+            task=evaluator.task,
+            site=site,
+            error=ErrorSpec.bitflip(ber, bits=bits),
+            seed=seed,
         )
+        record = _run_trial(evaluator, trial)
+        record.label = label
+        records.append(record)
     return records
 
 
@@ -57,18 +77,19 @@ def magfreq_grid(
     seed: int = 0,
 ) -> list[SweepRecord]:
     """Score every (mag, freq) cell with identical-error injection (Q1.4)."""
+    site = SiteSpec.from_filter(site_filter)
     records: list[SweepRecord] = []
     for mag in mags:
         for freq in freqs:
-            injector = ErrorInjector(MagFreqModel(mag=mag, freq=freq), site_filter, seed=seed)
-            score = evaluator.run(injector)
-            records.append(
-                SweepRecord(
-                    label=label,
-                    ber=0.0,
-                    score=score,
-                    degradation=evaluator.degradation(score),
-                    extra={"mag": mag, "freq": freq, "msd": mag * freq},
-                )
+            trial = Trial(
+                model=evaluator.bundle.name,
+                task=evaluator.task,
+                site=site,
+                error=ErrorSpec.magfreq(int(mag), int(freq)),
+                seed=seed,
             )
+            record = _run_trial(evaluator, trial)
+            record.label = label
+            record.extra.update({"mag": mag, "freq": freq, "msd": mag * freq})
+            records.append(record)
     return records

@@ -6,19 +6,33 @@ Examples
 
     python -m repro zoo                                  # list/train models
     python -m repro characterize --model opt-mini        # Q1.3 sweep
+    python -m repro characterize --seeds 5 --workers 4   # Monte-Carlo fan-out
     python -m repro magfreq --model opt-mini --component O
     python -m repro sweep --model opt-mini --method statistical-abft
     python -m repro sweetspots --model opt-mini
     python -m repro overhead --size 256                  # Fig. 8
+    python -m repro campaign example > grid.json         # campaign engine
+    python -m repro campaign run --spec grid.json --workers 4
+    python -m repro campaign status --spec grid.json
+    python -m repro campaign report --spec grid.json --csv results.csv
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.campaigns.report import aggregate, export_csv, report_table, status_table
+from repro.campaigns.spec import CampaignSpec, example_spec
+from repro.campaigns.store import ResultStore, default_store_dir
 from repro.characterization.evaluator import ModelEvaluator
-from repro.characterization.questions import q13_components, q14_magfreq
+from repro.characterization.questions import (
+    q13_campaign_spec,
+    q13_components,
+    q14_campaign_spec,
+    q14_magfreq,
+)
 from repro.circuits.synthesis import overhead_report
 from repro.core.methods import method_names
 from repro.core.realm import ReaLMConfig, ReaLMPipeline
@@ -34,11 +48,52 @@ def _add_model_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_seed_args(parser: argparse.ArgumentParser, fan_out: bool) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root error-injection seed",
+    )
+    if fan_out:
+        parser.add_argument(
+            "--seeds", type=int, default=1,
+            help="fan the sweep out to N seeds (seed..seed+N-1) via the "
+                 "campaign engine and report mean +/- stderr",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=0,
+            help="worker processes for the fanned-out campaign (0 = serial)",
+        )
+
+
 def _pipeline(args: argparse.Namespace) -> ReaLMPipeline:
     bundle = get_pretrained(args.model)
     return ReaLMPipeline(
-        bundle, ReaLMConfig(task=args.task, budget=args.budget)
+        bundle, ReaLMConfig(task=args.task, budget=args.budget, seed=args.seed)
     )
+
+
+def _run_cli_campaign(spec: CampaignSpec, workers: int):
+    """Run a CLI-built campaign in its default store; return (store, report).
+
+    The caller is responsible for closing the returned store (``with store:``);
+    on executor failure it is closed here before re-raising.
+    """
+    from repro.campaigns.executor import run_campaign
+
+    store = ResultStore(default_store_dir(spec.name))
+    try:
+        report = run_campaign(spec, store, workers=workers)
+    except BaseException:
+        store.close()
+        raise
+    return store, report
+
+
+def _with_errors(args: argparse.Namespace, report, text: str) -> str:
+    """Append per-trial failure lines and flag a nonzero exit on failures."""
+    if report.failed:
+        text += "\n" + "\n".join(f"FAILED {line}" for line in report.errors)
+        args.exit_code = 1
+    return text
 
 
 def cmd_zoo(args: argparse.Namespace) -> str:
@@ -59,9 +114,34 @@ def cmd_zoo(args: argparse.Namespace) -> str:
 
 
 def cmd_characterize(args: argparse.Namespace) -> str:
-    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
     bers = [float(b) for b in args.bers.split(",")]
-    records = q13_components(evaluator, bers=bers)
+    if args.seeds > 1:
+        spec = q13_campaign_spec(
+            args.model, args.task, bers,
+            seeds=range(args.seed, args.seed + args.seeds),
+        )
+        store, campaign = _run_cli_campaign(spec, args.workers)
+        with store:
+            rows = [
+                [
+                    s.trial.site.components[0],
+                    component_kind(Component(s.trial.site.components[0])),
+                    f"{s.trial.error.ber:.0e}",
+                    s.n,
+                    s.mean_score,
+                    s.mean_degradation,
+                    s.stderr,
+                ]
+                for s in aggregate(store, spec)
+            ]
+        return _with_errors(args, campaign, format_table(
+            ["component", "kind", "BER", "seeds", "score", "degradation", "+/-"],
+            rows,
+            title=f"Q1.3 component resilience — {args.model} / {args.task} "
+                  f"({campaign.summary()})",
+        ))
+    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
+    records = q13_components(evaluator, bers=bers, seed=args.seed)
     rows = [
         [r.label, component_kind(Component(r.label)), f"{r.ber:.0e}",
          r.score, r.degradation]
@@ -75,9 +155,28 @@ def cmd_characterize(args: argparse.Namespace) -> str:
 
 
 def cmd_magfreq(args: argparse.Namespace) -> str:
-    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
     component = Component(args.component)
-    records = q14_magfreq(evaluator, component)
+    if args.seeds > 1:
+        spec = q14_campaign_spec(
+            args.model, args.task, component,
+            seeds=range(args.seed, args.seed + args.seeds),
+        )
+        store, campaign = _run_cli_campaign(spec, args.workers)
+        with store:
+            summaries = aggregate(store, spec)
+        rows = [
+            [s.trial.error.mag, s.trial.error.freq,
+             s.trial.error.mag * s.trial.error.freq, s.n,
+             s.mean_degradation, s.stderr]
+            for s in summaries
+        ]
+        return _with_errors(args, campaign, format_table(
+            ["mag", "freq", "MSD", "seeds", "degradation", "+/-"], rows,
+            title=f"Q1.4 magnitude/frequency grid — {component.value} "
+                  f"({component_kind(component)}) ({campaign.summary()})",
+        ))
+    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
+    records = q14_magfreq(evaluator, component, seed=args.seed)
     rows = [
         [r.extra["mag"], r.extra["freq"], r.extra["msd"], r.degradation]
         for r in records
@@ -133,6 +232,64 @@ def cmd_overhead(args: argparse.Namespace) -> str:
     )
 
 
+# ----------------------------------------------------------------- campaigns
+def _load_spec(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec.from_json(Path(args.spec).read_text())
+
+
+def _open_store(
+    args: argparse.Namespace, spec: CampaignSpec, create: bool = True
+) -> ResultStore:
+    directory = Path(args.store) if args.store else default_store_dir(spec.name)
+    return ResultStore(directory, create=create)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> str:
+    from repro.campaigns.executor import run_campaign
+
+    spec = _load_spec(args)
+    with _open_store(args, spec) as store:
+        report = run_campaign(spec, store, workers=args.workers)
+        out = [f"campaign {spec.name}: {report.summary()}"]
+        out.extend(f"FAILED {line}" for line in report.errors)
+        out.append(f"store: {store.directory}")
+        out.append("")
+        out.append(report_table(store, spec))
+    if report.failed:
+        args.exit_code = 1  # scripts/CI must not see a failed campaign as success
+    return "\n".join(out)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> str:
+    spec = _load_spec(args)
+    try:
+        store = _open_store(args, spec, create=False)
+    except FileNotFoundError as exc:
+        args.exit_code = 1
+        return f"{exc} — the campaign has not run (or --store is mistyped)"
+    with store:
+        return status_table(spec, store)
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> str:
+    spec = _load_spec(args)
+    try:
+        store = _open_store(args, spec, create=False)
+    except FileNotFoundError as exc:
+        args.exit_code = 1
+        return f"{exc} — the campaign has not run (or --store is mistyped)"
+    with store:
+        out = report_table(store, spec)
+        if args.csv:
+            rows = export_csv(store, args.csv, spec)
+            out += f"\nwrote {rows} rows to {args.csv}"
+    return out
+
+
+def cmd_campaign_example(args: argparse.Namespace) -> str:
+    return example_spec().to_json()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ReaLM (DAC 2025) reproduction experiments"
@@ -147,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arg(p)
     p.add_argument("--task", default="perplexity")
     p.add_argument("--bers", default="1e-4,1e-3,1e-2", help="comma-separated BERs")
+    _add_seed_args(p, fan_out=True)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("magfreq", help="Q1.4 magnitude/frequency grid")
@@ -154,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task", default="perplexity")
     p.add_argument("--component", default="O",
                    choices=[c.value for c in Component])
+    _add_seed_args(p, fan_out=True)
     p.set_defaults(func=cmd_magfreq)
 
     p = sub.add_parser("sweep", help="Fig. 9 voltage sweep for one method")
@@ -161,17 +320,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task", default="perplexity")
     p.add_argument("--budget", type=float, default=0.3)
     p.add_argument("--method", default="statistical-abft", choices=method_names())
+    _add_seed_args(p, fan_out=False)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("sweetspots", help="Tab. II per-component sweet spots")
     _add_model_arg(p)
     p.add_argument("--task", default="perplexity")
     p.add_argument("--budget", type=float, default=0.3)
+    _add_seed_args(p, fan_out=False)
     p.set_defaults(func=cmd_sweetspots)
 
     p = sub.add_parser("overhead", help="Fig. 8 circuit overhead report")
     p.add_argument("--size", type=int, default=256)
     p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("campaign", help="fault-injection campaign engine")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run (or resume) a campaign spec")
+    c.add_argument("--spec", required=True, help="path to a campaign spec JSON")
+    c.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = serial in-process)")
+    c.add_argument("--store", default=None,
+                   help="result-store directory (default: cache dir by name)")
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = csub.add_parser("status", help="completion status of a campaign")
+    c.add_argument("--spec", required=True)
+    c.add_argument("--store", default=None)
+    c.set_defaults(func=cmd_campaign_status)
+
+    c = csub.add_parser("report", help="aggregate a campaign's results")
+    c.add_argument("--spec", required=True)
+    c.add_argument("--store", default=None)
+    c.add_argument("--csv", default=None, help="also export raw trials as CSV")
+    c.set_defaults(func=cmd_campaign_report)
+
+    c = csub.add_parser("example", help="print a ready-to-run example spec")
+    c.set_defaults(func=cmd_campaign_example)
 
     return parser
 
@@ -179,7 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     print(args.func(args))
-    return 0
+    return getattr(args, "exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

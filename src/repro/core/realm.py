@@ -103,10 +103,30 @@ class SweetSpotRow:
 class ReaLMPipeline:
     """Orchestrates calibration and method comparison for one model/task."""
 
-    def __init__(self, bundle: PretrainedBundle, config: ReaLMConfig = ReaLMConfig()) -> None:
+    def __init__(
+        self,
+        bundle: PretrainedBundle,
+        config: ReaLMConfig = ReaLMConfig(),
+        evaluator: Optional[ModelEvaluator] = None,
+    ) -> None:
+        """``evaluator`` lets callers that already built one for this
+        (bundle, task) share it instead of re-quantizing the model."""
+        if evaluator is not None:
+            if evaluator.task != config.task:
+                raise ValueError(
+                    f"evaluator task {evaluator.task!r} != config task {config.task!r}"
+                )
+            if evaluator.bundle is not bundle:
+                raise ValueError(
+                    "shared evaluator was built for a different model bundle"
+                )
+            if evaluator.sizing != (config.sizing or TaskSizing()):
+                raise ValueError(
+                    "shared evaluator was built with a different task sizing"
+                )
         self.bundle = bundle
         self.config = config
-        self.evaluator = ModelEvaluator(bundle, config.task, sizing=config.sizing)
+        self.evaluator = evaluator or ModelEvaluator(bundle, config.task, sizing=config.sizing)
         self.voltage_model = VoltageBerModel()
         self.regions: dict[str, CriticalRegion] = {}
         self.grids: dict[str, list[GridPoint]] = {}

@@ -8,8 +8,8 @@ configuration is scored against it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -59,30 +59,39 @@ class EvalHarness:
     """
 
     clean_model: QuantizedTransformerLM
-    _summary_refs: dict[int, list[np.ndarray]] = field(default_factory=dict)
-    _arith_refs: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    _ref_cache: dict[str, list[np.ndarray]] = field(default_factory=dict)
+
+    @staticmethod
+    def _prompt_digest(prompts: list[np.ndarray], gen_len: int) -> str:
+        """Content key for a prompt set (``id()`` can be reused after GC)."""
+        digest = hashlib.sha256(str(gen_len).encode())
+        for prompt in prompts:
+            arr = np.ascontiguousarray(prompt)
+            digest.update(str((arr.shape, str(arr.dtype))).encode())
+            digest.update(arr.tobytes())
+        return digest.hexdigest()
 
     def _references(
-        self, prompts: list[np.ndarray], gen_len: int, cache: dict[int, list[np.ndarray]]
+        self, prompts: list[np.ndarray], gen_len: int
     ) -> list[np.ndarray]:
-        key = id(prompts)
-        if key not in cache:
+        key = self._prompt_digest(prompts, gen_len)
+        if key not in self._ref_cache:
             saved_injector = self.clean_model.injector
             saved_protector = self.clean_model.protector
             self.clean_model.attach(None, None)
             try:
-                cache[key] = [
+                self._ref_cache[key] = [
                     self.clean_model.generate(p, gen_len) for p in prompts
                 ]
             finally:
                 self.clean_model.attach(saved_injector, saved_protector)
-        return cache[key]
+        return self._ref_cache[key]
 
     def summarization_score(
         self, model: QuantizedTransformerLM, task: SummarizationTask
     ) -> float:
         """Mean ROUGE-1 vs. the clean model's generations (X-Sum metric)."""
-        refs = self._references(task.prompts, task.gen_len, self._summary_refs)
+        refs = self._references(task.prompts, task.gen_len)
         scores = [
             rouge1(model.generate(p, task.gen_len), ref)
             for p, ref in zip(task.prompts, refs)
@@ -93,7 +102,7 @@ class EvalHarness:
         self, model: QuantizedTransformerLM, task: ArithmeticTask
     ) -> float:
         """Exact-match accuracy (%) vs. clean generations (GSM8K metric)."""
-        refs = self._references(task.prompts, task.gen_len, self._arith_refs)
+        refs = self._references(task.prompts, task.gen_len)
         matches = [
             exact_match(model.generate(p, task.gen_len), ref)
             for p, ref in zip(task.prompts, refs)

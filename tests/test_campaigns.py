@@ -1,0 +1,447 @@
+"""Tests for the fault-injection campaign engine (repro.campaigns)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.campaigns import (
+    CONTINUE,
+    STOP,
+    CampaignSpec,
+    ErrorSpec,
+    ResultStore,
+    SiteSpec,
+    StoppingPolicy,
+    Trial,
+    TrialResult,
+    aggregate,
+    example_spec,
+    export_csv,
+    report_table,
+    status_table,
+)
+from repro.campaigns.executor import evaluate_trial, run_campaign
+from repro.errors.models import BitFlipModel, MagFreqModel
+from repro.errors.sites import Component, SiteFilter, Stage
+
+
+def _trial(seed: int = 0, ber: float = 1e-3, component: str = "O") -> Trial:
+    return Trial(
+        model="opt-mini",
+        task="perplexity",
+        site=SiteSpec.only(components=[component], stages=["prefill"]),
+        error=ErrorSpec.bitflip(ber, bits=(30,)),
+        seed=seed,
+    )
+
+
+def _result(degradation: float = 0.5) -> TrialResult:
+    return TrialResult(
+        score=3.0, degradation=degradation, clean_score=2.5, injected_errors=7
+    )
+
+
+def _small_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        name="t-small",
+        models=("opt-mini",),
+        sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+        errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+        seeds=(0, 1),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpec:
+    def test_grid_expansion_counts(self):
+        spec = example_spec()
+        trials = spec.expand()
+        assert len(trials) == spec.n_trials == 2 * 3 * 3  # sites x errors x seeds
+
+    def test_expansion_is_deterministic(self):
+        keys = [t.key for t in example_spec().expand()]
+        assert keys == [t.key for t in example_spec().expand()]
+        assert len(set(keys)) == len(keys)
+
+    def test_seed_changes_key_but_not_cell(self):
+        a, b = _trial(seed=0), _trial(seed=1)
+        assert a.key != b.key
+        assert a.cell_id == b.cell_id
+
+    def test_any_field_changes_key(self):
+        base = _trial()
+        assert base.key != _trial(ber=1e-2).key
+        assert base.key != _trial(component="K").key
+
+    def test_json_round_trip_preserves_keys(self):
+        spec = example_spec()
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert [t.key for t in clone.expand()] == [t.key for t in spec.expand()]
+
+    def test_from_dict_conveniences(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "conv",
+                "models": ["opt-mini"],
+                "components": ["O", "K"],
+                "stages": ["prefill"],
+                "bers": [1e-4, 1e-3],
+                "bits": [30],
+                "seeds": 3,
+                "magfreq": {"mags": [16], "freqs": [1, 4]},
+                "stopping": {"min_seeds": 2, "rel_tol": 0.5},
+            }
+        )
+        assert len(spec.sites) == 2
+        assert len(spec.errors) == 4  # 2 bitflips + 2 magfreq cells
+        assert spec.seeds == (0, 1, 2)
+        assert spec.stopping == StoppingPolicy(min_seeds=2, rel_tol=0.5)
+
+    def test_validation_rejects_unknowns(self):
+        with pytest.raises(KeyError):
+            _small_spec(models=("gpt-17",))
+        with pytest.raises(KeyError):
+            _small_spec(tasks=("jeopardy",))
+        with pytest.raises(KeyError):
+            _small_spec(methods=("magic",))
+
+    def test_bitflip_without_ber_needs_voltage(self):
+        with pytest.raises(ValueError):
+            _small_spec(errors=(ErrorSpec.bitflip(None),))
+        spec = _small_spec(errors=(ErrorSpec.bitflip(None),), voltages=(0.7,))
+        assert spec.expand()[0].voltage == 0.7
+
+    def test_voltage_axis_rejects_explicit_ber(self):
+        # a voltage would silently override the stated BER — must not validate
+        with pytest.raises(ValueError):
+            _small_spec(voltages=(0.7,))  # default error has ber=1e-3
+        with pytest.raises(ValueError):
+            _small_spec(errors=(ErrorSpec.magfreq(16, 4),), voltages=(0.7,))
+        with pytest.raises(ValueError):
+            _small_spec(errors=(ErrorSpec.bitflip(None),), voltages=(0.7, None))
+
+    def test_expand_drops_duplicate_axis_values(self):
+        spec = _small_spec(seeds=(0, 0, 1))
+        trials = spec.expand()
+        assert len(trials) == spec.n_trials == 2
+        assert len({t.key for t in trials}) == 2
+
+    def test_site_spec_canonicalizes_listing_order(self):
+        a = SiteSpec.only(components=["O", "FC2"], stages=["prefill", "decode"])
+        b = SiteSpec.only(components=["FC2", "O"], stages=["decode", "prefill"])
+        assert a == b
+        assert _trial().key == _trial().key  # sanity: keys are stable
+
+    def test_site_spec_filter_round_trip(self):
+        site_filter = SiteFilter.only(
+            layers=[1, 0], components=[Component.O, Component.K], stages=[Stage.PREFILL]
+        )
+        spec = SiteSpec.from_filter(site_filter)
+        assert spec.layers == (0, 1)
+        assert spec.components == ("K", "O")
+        back = spec.to_filter()
+        assert back.layers == site_filter.layers
+        assert back.components == site_filter.components
+        assert back.stages == site_filter.stages
+        assert SiteSpec.from_filter(None).to_filter().matches is not None
+
+    def test_error_spec_rejects_invalid_fields_eagerly(self):
+        with pytest.raises(ValueError):
+            ErrorSpec.bitflip(1e-3, bits=(40,))  # BitFlipModel needs 0 <= b < 32
+        with pytest.raises(ValueError):
+            ErrorSpec.magfreq(16, 4, sign=2)
+        with pytest.raises(ValueError):
+            ErrorSpec.magfreq(-1, 4)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict(
+                {"name": "x", "models": ["opt-mini"], "seed": 3}  # typo for "seeds"
+            )
+
+    def test_error_spec_builds_models(self):
+        flip = ErrorSpec.bitflip(1e-3, bits=(30,)).build()
+        assert isinstance(flip, BitFlipModel) and flip.bits == (30,)
+        derived = ErrorSpec.bitflip(None).build(ber=1e-4)
+        assert isinstance(derived, BitFlipModel) and derived.ber == 1e-4
+        mf = ErrorSpec.magfreq(16, 4).build()
+        assert isinstance(mf, MagFreqModel) and (mf.mag, mf.freq) == (16, 4)
+        assert ErrorSpec.clean().build() is None
+
+
+class TestStopping:
+    def test_needs_min_seeds_first(self):
+        policy = StoppingPolicy(min_seeds=3)
+        assert policy.decide([1.0, 1.0]) == CONTINUE
+
+    def test_constant_stream_stops_at_min_seeds(self):
+        policy = StoppingPolicy(min_seeds=3, rel_tol=0.1)
+        assert policy.decide([0.5, 0.5, 0.5]) == STOP
+
+    def test_noisy_stream_continues(self):
+        policy = StoppingPolicy(min_seeds=3, rel_tol=0.1)
+        assert policy.decide([0.1, 2.0, 0.9]) == CONTINUE
+
+    def test_max_seeds_caps_noise(self):
+        policy = StoppingPolicy(min_seeds=2, max_seeds=4, rel_tol=1e-9)
+        noisy = [0.1, 5.0, 0.2, 4.0]
+        assert policy.decide(noisy[:3]) == CONTINUE
+        assert policy.decide(noisy) == STOP
+
+    def test_abs_tol_dominates_near_zero_means(self):
+        policy = StoppingPolicy(min_seeds=2, rel_tol=0.0, abs_tol=1.0)
+        assert policy.decide([0.01, -0.01, 0.0]) == STOP
+
+    def test_half_width_shrinks_with_n(self):
+        policy = StoppingPolicy()
+        wide = policy.half_width([0.0, 1.0])
+        narrow = policy.half_width([0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        assert math.isinf(policy.half_width([1.0]))
+        assert narrow < wide
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingPolicy(min_seeds=1)
+        with pytest.raises(ValueError):
+            StoppingPolicy(min_seeds=3, max_seeds=2)
+        with pytest.raises(ValueError):
+            StoppingPolicy(confidence=1.5)
+
+
+class TestStore:
+    def test_add_get_contains(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            trial = _trial()
+            assert trial.key not in store
+            store.add(trial, _result())
+            assert trial.key in store and len(store) == 1
+            record = store.get(trial.key)
+            assert record.trial == trial
+            assert record.result.degradation == 0.5
+
+    def test_duplicate_add_is_noop(self, tmp_path):
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(), _result(0.1))
+            store.add(_trial(), _result(0.9))  # same key: first write wins
+            assert len(store) == 1
+            assert store.get(_trial().key).result.degradation == 0.1
+        assert len((directory / "results.jsonl").read_text().splitlines()) == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.add(_trial(0), _result(0.1))
+            store.add(_trial(1), _result(0.2))
+        with ResultStore(tmp_path / "s") as store:
+            assert len(store) == 2
+            assert {r.result.degradation for r in store.records()} == {0.1, 0.2}
+
+    def test_index_rebuilt_from_log(self, tmp_path):
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result())
+            store.add(_trial(1), _result())
+        (directory / "index.sqlite").unlink()
+        with ResultStore(directory) as store:
+            assert len(store) == 2
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result())
+        with (directory / "results.jsonl").open("a") as handle:
+            handle.write('{"key": "abc", "trial": {"mod')  # simulated crash
+        (directory / "index.sqlite").unlink()
+        with ResultStore(directory) as store:
+            assert len(store) == 1
+            assert _trial(0).key in store
+
+    def test_cell_records_group_seeds(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.add(_trial(0), _result(0.1))
+            store.add(_trial(1), _result(0.3))
+            store.add(_trial(0, component="K"), _result(0.0))
+            cell = _trial(0).cell_id
+            assert [r.result.degradation for r in store.cell_records(cell)] == [0.1, 0.3]
+
+
+class TestExecutor:
+    def test_evaluate_trial_matches_direct_run(self, opt_evaluator):
+        from repro.errors.injector import ErrorInjector
+
+        trial = _trial(seed=3)
+        result = evaluate_trial(trial, opt_evaluator)
+        injector = ErrorInjector(
+            BitFlipModel(1e-3, bits=(30,)),
+            SiteFilter.only(components=[Component.O], stages=[Stage.PREFILL]),
+            seed=3,
+        )
+        expected = opt_evaluator.run(injector)
+        assert result.score == pytest.approx(expected)
+        assert result.degradation == pytest.approx(opt_evaluator.degradation(expected))
+        assert result.injected_errors == injector.stats.injected_errors
+
+    def test_serial_campaign_and_dedup(self, tmp_path, opt_bundle):
+        spec = _small_spec()
+        with ResultStore(tmp_path / "c") as store:
+            first = run_campaign(spec, store, workers=0)
+            assert (first.executed, first.cached) == (2, 0)
+            again = run_campaign(spec, store, workers=0)
+            assert (again.executed, again.cached) == (0, 2)
+
+    def test_resume_skips_completed_trials(self, tmp_path, opt_bundle):
+        full = _small_spec(seeds=(0, 1, 2))
+        partial = _small_spec(seeds=(0,))
+        with ResultStore(tmp_path / "c") as store:
+            run_campaign(partial, store, workers=0)
+            report = run_campaign(full, store, workers=0)
+            assert (report.executed, report.cached) == (2, 1)
+
+    def test_early_stopping_skips_stable_cells(self, tmp_path, opt_bundle):
+        spec = _small_spec(
+            seeds=tuple(range(6)),
+            stopping=StoppingPolicy(min_seeds=2, rel_tol=10.0, abs_tol=10.0),
+        )
+        with ResultStore(tmp_path / "c") as store:
+            report = run_campaign(spec, store, workers=0)
+        assert report.executed == 2
+        assert report.skipped == 4
+        assert report.stopped_cells == 1
+
+    def test_stopping_decision_survives_resume(self, tmp_path, opt_bundle):
+        spec = _small_spec(
+            seeds=tuple(range(6)),
+            stopping=StoppingPolicy(min_seeds=2, rel_tol=10.0, abs_tol=10.0),
+        )
+        with ResultStore(tmp_path / "c") as store:
+            run_campaign(spec, store, workers=0)
+            report = run_campaign(spec, store, workers=0)
+            assert (report.executed, report.cached, report.skipped) == (0, 2, 4)
+
+    def test_parallel_campaign(self, tmp_path, opt_bundle):
+        spec = _small_spec(seeds=(0, 1, 2, 3))
+        with ResultStore(tmp_path / "c") as store:
+            report = run_campaign(spec, store, workers=2)
+            assert report.executed == 4
+            assert run_campaign(spec, store, workers=2).cached == 4
+
+    def test_method_axis(self, tmp_path, opt_bundle):
+        spec = _small_spec(methods=("none", "classical-abft", "dmr"))
+        with ResultStore(tmp_path / "c") as store:
+            report = run_campaign(spec, store, workers=0)
+            assert report.executed == 6
+            by_method = {}
+            for record in store.records():
+                by_method.setdefault(record.trial.method, []).append(record)
+        # exact-correction baselines report the fault-free metric
+        for record in by_method["dmr"]:
+            assert record.result.degradation == pytest.approx(0.0)
+
+    def test_end_to_end_mini_campaign(self, tmp_path, opt_bundle):
+        """Serial mini-campaign on opt-mini: 2 components x 2 BERs x 2 seeds."""
+        spec = CampaignSpec(
+            name="mini-e2e",
+            models=("opt-mini",),
+            sites=(
+                SiteSpec.only(components=["O"], stages=["prefill"]),
+                SiteSpec.only(components=["K"], stages=["prefill"]),
+            ),
+            errors=tuple(ErrorSpec.bitflip(b, bits=(30,)) for b in (1e-3, 1e-2)),
+            seeds=(0, 1),
+        )
+        with ResultStore(tmp_path / "c") as store:
+            report = run_campaign(spec, store, workers=0)
+            assert (report.total, report.executed, report.failed) == (8, 8, 0)
+            summaries = aggregate(store, spec)
+        assert len(summaries) == 4
+        assert all(s.n == 2 for s in summaries)
+        worst = {s.trial.site.components[0]: s.mean_degradation for s in summaries
+                 if s.trial.error.ber == 1e-2}
+        # paper Insight 1 still visible through the campaign path
+        assert worst["O"] > worst["K"]
+
+
+class TestReport:
+    def _fill(self, store):
+        store.add(_trial(0), _result(0.2))
+        store.add(_trial(1), _result(0.4))
+        store.add(_trial(0, component="K"), _result(0.0))
+
+    def test_aggregate_statistics(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            self._fill(store)
+            summaries = aggregate(store)
+        assert len(summaries) == 2
+        o_cell = next(s for s in summaries if s.site.startswith("O"))
+        assert o_cell.n == 2
+        assert o_cell.mean_degradation == pytest.approx(0.3)
+        assert o_cell.std_degradation == pytest.approx(math.sqrt(0.02))
+        assert o_cell.stderr == pytest.approx(math.sqrt(0.02 / 2))
+        assert o_cell.max_degradation == 0.4
+
+    def test_aggregate_filters_by_spec(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            self._fill(store)
+            store.add(_trial(9, ber=0.5), _result(9.9))  # outside the spec grid
+            spec = _small_spec(
+                sites=(SiteSpec.only(components=["O"], stages=["prefill"]),)
+            )
+            summaries = aggregate(store, spec)
+        assert len(summaries) == 1 and summaries[0].n == 2
+
+    def test_report_and_status_tables(self, tmp_path):
+        spec = _small_spec(
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            seeds=(0, 1, 2),
+        )
+        with ResultStore(tmp_path / "s") as store:
+            self._fill(store)
+            report = report_table(store, spec)
+            status = status_table(spec, store)
+        assert "O/prefill" in report and "bitflip:0.001" in report
+        assert "2/3" in status and "partial" in status
+
+    def test_export_csv(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            self._fill(store)
+            rows = export_csv(store, tmp_path / "out.csv")
+        lines = (tmp_path / "out.csv").read_text().strip().splitlines()
+        assert rows == 3 and len(lines) == 4
+        assert lines[0].startswith("key,cell,model,task,site,error")
+
+
+class TestCampaignCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = _small_spec(name="cli-camp")
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_example_emits_valid_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "example"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        spec = CampaignSpec.from_dict(payload)
+        assert spec.n_trials == 18
+
+    def test_run_status_report(self, spec_file, tmp_path, opt_bundle, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--spec", str(spec_file), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+        assert main(["campaign", "run", "--spec", str(spec_file), "--store", store]) == 0
+        assert "2 cached, 0 executed" in capsys.readouterr().out
+        assert main(["campaign", "status", "--spec", str(spec_file), "--store", store]) == 0
+        assert "2/2" in capsys.readouterr().out
+        csv_path = str(tmp_path / "out.csv")
+        assert main(["campaign", "report", "--spec", str(spec_file),
+                     "--store", store, "--csv", csv_path]) == 0
+        assert "wrote 2 rows" in capsys.readouterr().out

@@ -48,3 +48,28 @@ class TestCommands:
                      "--method", "no-protection"]) == 0
         out = capsys.readouterr().out
         assert "feasible" in out
+
+    def test_characterize_accepts_seed(self, opt_bundle, capsys):
+        assert main(["characterize", "--model", "opt-mini",
+                     "--bers", "1e-3", "--seed", "7"]) == 0
+        assert "sensitive" in capsys.readouterr().out
+
+    def test_characterize_seeds_fan_out(self, opt_bundle, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "default_store_dir", lambda name: tmp_path / name
+        )
+        assert main(["characterize", "--model", "opt-mini", "--bers", "1e-3",
+                     "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+/-" in out and "2" in out
+        # second invocation is fully served from the campaign store
+        assert main(["characterize", "--model", "opt-mini", "--bers", "1e-3",
+                     "--seeds", "2"]) == 0
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_magfreq_accepts_seed(self, opt_bundle, capsys):
+        assert main(["magfreq", "--model", "opt-mini", "--component", "K",
+                     "--seed", "3"]) == 0
+        assert "MSD" in capsys.readouterr().out
