@@ -29,14 +29,20 @@ from repro.quant.gemm import wrap_int32
 
 
 def input_checksum(a_q: np.ndarray, b_q: np.ndarray) -> np.ndarray:
-    """Compute ``e^T A B`` with 32-bit wraparound semantics (length ``n``)."""
-    col_sums = wrap_int32(a_q.astype(np.int64).sum(axis=0))
-    return wrap_int32(col_sums @ b_q.astype(np.int64))
+    """Compute ``e^T A B`` with 32-bit wraparound semantics.
+
+    Both operands may carry leading batch/head axes (``A`` of shape
+    ``(..., m, k)``, ``B`` of shape ``(..., k, n)`` or a shared 2-D weight);
+    the checksum row is computed per stacked matrix, so the result has shape
+    ``(..., n)`` — the broadcast the batched inference engine relies on.
+    """
+    col_sums = wrap_int32(a_q.astype(np.int64).sum(axis=-2))
+    return wrap_int32(np.einsum("...k,...kn->...n", col_sums, b_q.astype(np.int64)))
 
 
 def column_checksum(y: np.ndarray) -> np.ndarray:
-    """Compute the output checksum ``e^T Y`` with wraparound (length ``n``)."""
-    return wrap_int32(np.asarray(y, dtype=np.int64).sum(axis=0))
+    """Compute the output checksum ``e^T Y`` with wraparound, shape ``(..., n)``."""
+    return wrap_int32(np.asarray(y, dtype=np.int64).sum(axis=-2))
 
 
 def two_sided_checksums(
@@ -50,8 +56,10 @@ def two_sided_checksums(
     paper's architecture does.
     """
     row_side = input_checksum(a_q, b_q)
-    row_sums = wrap_int32(b_q.astype(np.int64).sum(axis=1))
-    col_side = wrap_int32(a_q.astype(np.int64) @ row_sums)
+    row_sums = wrap_int32(b_q.astype(np.int64).sum(axis=-1))
+    col_side = wrap_int32(
+        np.einsum("...mk,...k->...m", a_q.astype(np.int64), row_sums)
+    )
     return row_side, col_side
 
 
@@ -72,9 +80,12 @@ class ChecksumReport:
     Attributes
     ----------
     diffs:
-        Per-column signed checksum discrepancies ``d_j`` (length ``n``).
+        Per-column signed checksum discrepancies ``d_j``: shape ``(n,)`` for
+        a plain GEMM, ``(..., n)`` for a batched/head-stacked GEMM (one
+        checksum row per stacked matrix).
     msd:
-        Matrix sum deviation ``sum_j |d_j|`` (int).
+        Matrix sum deviation ``sum_j |d_j|`` over every column of every
+        stacked matrix (int).
     """
 
     diffs: np.ndarray

@@ -1,6 +1,7 @@
 """Reverse-mode automatic differentiation over NumPy arrays.
 
-This package is the repo's substitute for PyTorch (see DESIGN.md): it provides
+This package is the repo's substitute for PyTorch (see DESIGN.md section 1):
+it provides
 just enough autograd to *train* the tiny OPT-style and LLaMA-style language
 models used throughout the reproduction, so that fault-injection experiments
 measure degradation against a meaningful (trained) baseline instead of noise.

@@ -5,7 +5,7 @@ sweeps, and fits the critical-region / threshold parameters that configure
 statistical ABFT and the ApproxABFT baseline.
 """
 
-from repro.characterization.evaluator import ModelEvaluator, TASKS
+from repro.characterization.evaluator import ModelEvaluator, TASKS, quantized_model_for
 from repro.characterization.sweeps import SweepRecord, ber_sweep, magfreq_grid
 from repro.characterization.questions import (
     q11_layerwise,
@@ -24,6 +24,7 @@ from repro.characterization.fitting import (
 __all__ = [
     "ModelEvaluator",
     "TASKS",
+    "quantized_model_for",
     "SweepRecord",
     "ber_sweep",
     "magfreq_grid",

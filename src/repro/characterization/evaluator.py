@@ -9,8 +9,11 @@ increase, or accuracy/ROUGE drop).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
+
+import numpy as np
 
 from repro.abft.protectors import Protector
 from repro.data import (
@@ -28,6 +31,7 @@ from repro.evalsuite.harness import (
     evaluate_perplexity,
 )
 from repro.models.export import quantize_model
+from repro.models.quantized import QuantizedTransformerLM
 from repro.training.zoo import PretrainedBundle
 
 #: Task registry: name -> (higher_is_better, default sizing kwargs).
@@ -65,27 +69,90 @@ class TaskSizing:
     hellaswag_cont: int = 6
 
 
+#: Process-wide cache of calibrated quantized models, keyed by the bundle's
+#: weight fingerprint + calibration recipe. Quantizing + calibrating is the
+#: expensive part of evaluator construction; a campaign worker scoring
+#: several tasks of one model (or several evaluators in one process) reuses
+#: the same engine instead of redoing calibration per task.
+_QUANT_MODEL_CACHE: dict[str, QuantizedTransformerLM] = {}
+
+#: Calibration recipe shared by every evaluator: (n_sequences, seq_len cap).
+_CALIBRATION_RECIPE = (2, 32)
+
+
+def _calibration_sequences(bundle: PretrainedBundle) -> list[np.ndarray]:
+    n_seqs, len_cap = _CALIBRATION_RECIPE
+    return [
+        row
+        for row in bundle.source.sample_batch(
+            n_seqs, min(len_cap, bundle.config.max_seq_len), key="calibration"
+        )
+    ]
+
+
+def _bundle_fingerprint(bundle: PretrainedBundle) -> str:
+    """Content key over the weights + calibration recipe (names can collide
+    across zoo revisions; weight bytes cannot). Memoized on the bundle —
+    zoo weights are immutable once loaded."""
+    cached = getattr(bundle, "_quant_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(repr((bundle.name, _CALIBRATION_RECIPE)).encode())
+    for key in sorted(bundle.state):
+        digest.update(key.encode())
+        digest.update(np.ascontiguousarray(bundle.state[key]).tobytes())
+    fingerprint = digest.hexdigest()
+    bundle._quant_fingerprint = fingerprint
+    return fingerprint
+
+
+def quantized_model_for(
+    bundle: PretrainedBundle, reuse: bool = True
+) -> QuantizedTransformerLM:
+    """Calibrated quantized engine for ``bundle``, cached per process.
+
+    The shared engine is *mutable*: executor-level knobs (``wraparound``,
+    ``fast_gemm``, ``mode``, ``scale_store``) set through one evaluator are
+    seen by every other sharer. Pass ``reuse=False`` for a private engine
+    whenever you mutate executor state (ablations, benchmarks, tests)."""
+    key = _bundle_fingerprint(bundle) if reuse else ""
+    if reuse and key in _QUANT_MODEL_CACHE:
+        return _QUANT_MODEL_CACHE[key]
+    model = quantize_model(
+        bundle.state, bundle.config, calibration=_calibration_sequences(bundle)
+    )
+    if reuse:
+        _QUANT_MODEL_CACHE[key] = model
+    return model
+
+
 class ModelEvaluator:
-    """One (model, task) pair with attach-and-score plumbing."""
+    """One (model, task) pair with attach-and-score plumbing.
+
+    ``batched=True`` (default) scores the task through the engine's batched
+    path — all sequences/prompts/choices of the task in single forwards and
+    lock-step generations. ``batched=False`` keeps the per-sequence loop
+    (benchmark baseline); fault-free scores are bit-identical either way.
+    ``reuse_model=True`` shares one calibrated engine per bundle across all
+    evaluators in the process (see :func:`quantized_model_for`).
+    """
 
     def __init__(
         self,
         bundle: PretrainedBundle,
         task: str = "perplexity",
         sizing: Optional[TaskSizing] = None,
+        batched: bool = True,
+        reuse_model: bool = True,
     ) -> None:
         if task not in TASKS:
             raise KeyError(f"unknown task {task!r}; available: {sorted(TASKS)}")
         self.bundle = bundle
         self.task = task
         self.sizing = sizing or TaskSizing()
-        calibration = [
-            row
-            for row in bundle.source.sample_batch(
-                2, min(32, bundle.config.max_seq_len), key="calibration"
-            )
-        ]
-        self.model = quantize_model(bundle.state, bundle.config, calibration=calibration)
+        self.batched = batched
+        self.model = quantized_model_for(bundle, reuse=reuse_model)
         self.higher_is_better = TASKS[task]
         s = self.sizing
         source = bundle.source
@@ -105,21 +172,25 @@ class ModelEvaluator:
             self._data = build_hellaswag_like(
                 source, s.hellaswag_examples, s.hellaswag_context, s.hellaswag_cont
             )
-        self._harness = EvalHarness(self.model) if task in ("xsum", "gsm8k") else None
+        self._harness = (
+            EvalHarness(self.model, batched=batched)
+            if task in ("xsum", "gsm8k")
+            else None
+        )
         self._clean_score: Optional[float] = None
 
     # ------------------------------------------------------------- scoring
     def score(self) -> float:
         """Run the task with whatever injector/protector is attached."""
         if self.task == "perplexity":
-            return evaluate_perplexity(self.model, self._data)
+            return evaluate_perplexity(self.model, self._data, batched=self.batched)
         if self.task == "lambada":
-            return evaluate_last_token_accuracy(self.model, self._data)
+            return evaluate_last_token_accuracy(self.model, self._data, batched=self.batched)
         if self.task == "xsum":
             return self._harness.summarization_score(self.model, self._data)
         if self.task == "gsm8k":
             return self._harness.arithmetic_score(self.model, self._data)
-        return evaluate_multiple_choice(self.model, self._data)
+        return evaluate_multiple_choice(self.model, self._data, batched=self.batched)
 
     @property
     def clean_score(self) -> float:

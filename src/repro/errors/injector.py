@@ -70,11 +70,25 @@ class ErrorInjector:
         self.stats = InjectionStats()
         self._call_index = 0
 
+    def targets(self, site: GemmSite) -> bool:
+        """Whether a GEMM at ``site`` would be corrupted (filter + enabled)."""
+        return self.enabled and self.site_filter.matches(site)
+
+    def register_untargeted(self, site: GemmSite) -> None:
+        """Account for an executed GEMM the filter does not target.
+
+        Advances the call counter exactly as :meth:`corrupt` would, so the
+        per-(site, call-index) RNG streams of later targeted calls are
+        unchanged — this lets the executor skip materializing integer
+        accumulators for untargeted sites without perturbing reproducibility.
+        """
+        self._call_index += 1
+        self.stats.record(site, False, 0)
+
     def corrupt(self, acc: np.ndarray, site: GemmSite) -> np.ndarray:
         """Return the (possibly corrupted) accumulator array for ``site``."""
         self._call_index += 1
-        targeted = self.enabled and self.site_filter.matches(site)
-        if not targeted:
+        if not self.targets(site):
             self.stats.record(site, False, 0)
             return acc
         rng = derive_rng(self.seed, f"inject/{site}/{self._call_index}")

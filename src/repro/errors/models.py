@@ -87,11 +87,14 @@ class BitFlipModel:
 
 @dataclass
 class MagFreqModel:
-    """Exactly ``freq`` additive errors of magnitude ``mag`` per GEMM call.
+    """Exactly ``freq`` additive errors of magnitude ``mag`` per GEMM matrix.
 
-    ``sign`` controls the error polarity (+1, -1, or 0 for random signs).
-    With identical signs the matrix sum deviation satisfies
-    ``MSD = freq * mag`` as in the paper's Q1.4 protocol.
+    A "matrix" is one 2-D output slice: the whole result of a plain GEMM, or
+    each stacked (sequence, attention-head) slice of a batched GEMM — so the
+    injection *density* is invariant to batching and matches the paper's
+    per-GEMM Q1.4 protocol (see DESIGN.md section 5). ``sign`` controls the
+    error polarity (+1, -1, or 0 for random signs). With identical signs
+    each slice's sum deviation satisfies ``MSD = freq * mag``.
     """
 
     mag: int
@@ -106,20 +109,29 @@ class MagFreqModel:
         if self.sign not in (-1, 0, 1):
             raise ValueError("sign must be -1, 0, or +1")
 
-    def corrupt(
-        self, acc: np.ndarray, rng: np.random.Generator
-    ) -> tuple[np.ndarray, int]:
-        if self.freq == 0 or self.mag == 0 or acc.size == 0:
-            return np.array(acc, copy=True), 0
-        count = min(self.freq, acc.size)
-        flat = np.array(acc, dtype=np.int64).reshape(-1)
-        positions = rng.choice(acc.size, size=count, replace=False)
+    def _corrupt_slice(self, flat: np.ndarray, rng: np.random.Generator) -> int:
+        """Inject into one flattened 2-D slice in place; returns the count."""
+        count = min(self.freq, flat.size)
+        positions = rng.choice(flat.size, size=count, replace=False)
         if self.sign == 0:
             signs = rng.choice(np.array([-1, 1], dtype=np.int64), size=count)
         else:
             signs = np.full(count, self.sign, dtype=np.int64)
         flat[positions] = wrap_int32(flat[positions] + signs * self.mag)
-        return flat.reshape(acc.shape), count
+        return count
+
+    def corrupt(
+        self, acc: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, int]:
+        if self.freq == 0 or self.mag == 0 or acc.size == 0:
+            return np.array(acc, copy=True), 0
+        out = np.array(acc, dtype=np.int64)
+        slice_size = out.shape[-1] * (out.shape[-2] if out.ndim >= 2 else 1)
+        slices = out.reshape(-1, slice_size)
+        total = 0
+        for row in slices:
+            total += self._corrupt_slice(row, rng)
+        return slices.reshape(acc.shape), total
 
 
 @dataclass

@@ -1,5 +1,12 @@
 """Task harness running the quantized model over the benchmark suite.
 
+All evaluation functions feed the engine whole batches: sequences, prompts
+and (example, choice) rows of a task are grouped by length and scored in
+single batched forwards / lock-step generations instead of Python loops —
+the tight loop the batched engine exists for. ``batched=False`` keeps the
+per-sequence path available (benchmark baseline and debugging); both paths
+produce bit-identical fault-free scores.
+
 The generation tasks (summarization / arithmetic) follow the paper's
 degradation protocol: the *reference* output is produced once by the
 fault-free model, cached by :class:`EvalHarness`, and every injected
@@ -21,33 +28,91 @@ from repro.data.tasks import (
     SummarizationTask,
 )
 from repro.evalsuite.metrics import exact_match, perplexity_from_nll, rouge1
-from repro.models.quantized import QuantizedTransformerLM
+from repro.models.quantized import QuantizedTransformerLM, batch_groups
 
 
-def evaluate_perplexity(model: QuantizedTransformerLM, data: LanguageModelingData) -> float:
+def evaluate_perplexity(
+    model: QuantizedTransformerLM, data: LanguageModelingData, batched: bool = True
+) -> float:
     """Corpus perplexity (paper's WikiText-2 metric, lower is better)."""
-    nlls = [model.sequence_nll(seq) for seq in data.sequences]
+    if not batched:
+        nlls = [model.sequence_nll(seq) for seq in data.sequences]
+        return perplexity_from_nll(nlls)
+    nlls = [0.0] * len(data.sequences)
+    for idxs, batch in batch_groups(data.sequences):
+        for i, nll in zip(idxs, model.sequence_nll_batch(batch)):
+            nlls[i] = float(nll)
     return perplexity_from_nll(nlls)
 
 
-def evaluate_last_token_accuracy(model: QuantizedTransformerLM, task: LastTokenTask) -> float:
+def evaluate_last_token_accuracy(
+    model: QuantizedTransformerLM, task: LastTokenTask, batched: bool = True
+) -> float:
     """LAMBADA-style final-token accuracy in percent (higher is better)."""
+    targets = np.asarray(task.targets)
     correct = 0
-    for context, target in zip(task.contexts, task.targets):
-        logits = model.forward_full(context)
-        if int(np.argmax(logits[-1])) == int(target):
-            correct += 1
+    if not batched:
+        for context, target in zip(task.contexts, task.targets):
+            logits = model.forward_full(context)
+            if int(np.argmax(logits[-1])) == int(target):
+                correct += 1
+        return 100.0 * correct / len(task.contexts)
+    for idxs, batch in batch_groups(task.contexts):
+        logits = model.forward_full(batch)
+        preds = np.argmax(logits[:, -1, :], axis=-1)
+        correct += int(np.sum(preds == targets[np.asarray(idxs)]))
     return 100.0 * correct / len(task.contexts)
 
 
-def evaluate_multiple_choice(model: QuantizedTransformerLM, task: MultipleChoiceTask) -> float:
+def evaluate_multiple_choice(
+    model: QuantizedTransformerLM, task: MultipleChoiceTask, batched: bool = True
+) -> float:
     """HellaSwag-style accuracy by per-choice log-likelihood, in percent."""
+    if not batched:
+        correct = 0
+        for context, choices, label in zip(task.contexts, task.choices, task.labels):
+            scores = [model.choice_logprob(context, cont) for cont in choices]
+            if int(np.argmax(scores)) == int(label):
+                correct += 1
+        return 100.0 * correct / len(task.contexts)
+    # Flatten every (example, choice) pair into one row set, batch rows of
+    # equal (context, continuation) shape, then regroup scores per example.
+    rows: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+    for ei, (context, choices) in enumerate(zip(task.contexts, task.choices)):
+        for ci, cont in enumerate(choices):
+            rows.append((ei, ci, np.asarray(context), np.asarray(cont)))
+    scores: dict[tuple[int, int], float] = {}
+    by_shape: dict[tuple[int, int], list[int]] = {}
+    for ri, (_, _, context, cont) in enumerate(rows):
+        by_shape.setdefault((context.shape[0], cont.shape[0]), []).append(ri)
+    for row_idxs in by_shape.values():
+        contexts = np.stack([rows[ri][2] for ri in row_idxs])
+        conts = np.stack([rows[ri][3] for ri in row_idxs])
+        logprobs = model.choice_logprob_batch(contexts, conts)
+        for ri, lp in zip(row_idxs, logprobs):
+            scores[(rows[ri][0], rows[ri][1])] = float(lp)
     correct = 0
-    for context, choices, label in zip(task.contexts, task.choices, task.labels):
-        scores = [model.choice_logprob(context, cont) for cont in choices]
-        if int(np.argmax(scores)) == int(label):
+    for ei, (choices, label) in enumerate(zip(task.choices, task.labels)):
+        per_choice = [scores[(ei, ci)] for ci in range(len(choices))]
+        if int(np.argmax(per_choice)) == int(label):
             correct += 1
     return 100.0 * correct / len(task.contexts)
+
+
+def _generate_all(
+    model: QuantizedTransformerLM,
+    prompts: list[np.ndarray],
+    gen_len: int,
+    batched: bool,
+) -> list[np.ndarray]:
+    """Generate continuations for every prompt, preserving input order."""
+    if not batched:
+        return [model.generate(p, gen_len) for p in prompts]
+    out: list[np.ndarray] = [None] * len(prompts)  # type: ignore[list-item]
+    for idxs, batch in batch_groups(prompts):
+        for i, row in zip(idxs, model.generate_batch(batch, gen_len)):
+            out[i] = row
+    return out
 
 
 @dataclass
@@ -59,6 +124,7 @@ class EvalHarness:
     """
 
     clean_model: QuantizedTransformerLM
+    batched: bool = True
     _ref_cache: dict[str, list[np.ndarray]] = field(default_factory=dict)
 
     @staticmethod
@@ -80,9 +146,9 @@ class EvalHarness:
             saved_protector = self.clean_model.protector
             self.clean_model.attach(None, None)
             try:
-                self._ref_cache[key] = [
-                    self.clean_model.generate(p, gen_len) for p in prompts
-                ]
+                self._ref_cache[key] = _generate_all(
+                    self.clean_model, prompts, gen_len, self.batched
+                )
             finally:
                 self.clean_model.attach(saved_injector, saved_protector)
         return self._ref_cache[key]
@@ -92,10 +158,8 @@ class EvalHarness:
     ) -> float:
         """Mean ROUGE-1 vs. the clean model's generations (X-Sum metric)."""
         refs = self._references(task.prompts, task.gen_len)
-        scores = [
-            rouge1(model.generate(p, task.gen_len), ref)
-            for p, ref in zip(task.prompts, refs)
-        ]
+        outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
+        scores = [rouge1(out, ref) for out, ref in zip(outputs, refs)]
         return float(np.mean(scores))
 
     def arithmetic_score(
@@ -103,8 +167,6 @@ class EvalHarness:
     ) -> float:
         """Exact-match accuracy (%) vs. clean generations (GSM8K metric)."""
         refs = self._references(task.prompts, task.gen_len)
-        matches = [
-            exact_match(model.generate(p, task.gen_len), ref)
-            for p, ref in zip(task.prompts, refs)
-        ]
+        outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
+        matches = [exact_match(out, ref) for out, ref in zip(outputs, refs)]
         return float(100.0 * np.mean(matches))

@@ -4,7 +4,7 @@ Two execution paths share one configuration and one set of weights:
 
 - :class:`FloatTransformerLM` — float64 autograd model used for *training*
   the tiny LLMs on synthetic corpora (substitute for pretrained OPT/LLaMA
-  checkpoints, see DESIGN.md).
+  checkpoints, see DESIGN.md section 3).
 - :class:`QuantizedTransformerLM` — plain-NumPy W8A8 inference engine whose
   every GEMM routes through the error injector and ABFT protector; this is
   the device-under-test for all experiments.

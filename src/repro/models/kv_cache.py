@@ -1,11 +1,12 @@
 """Per-layer key/value cache for autoregressive decoding.
 
-The cache stores dequantized (float) K/V tensors in head-split layout
-``(n_heads, seq, head_dim)``. Following the paper's error model (Sec. III-A),
-memory — including this cache — is assumed ECC-protected: faults are
-injected only into GEMM computations, but corrupted *prefill* outputs enter
-the cache and keep harming every later decode step, which is exactly the
-KV-cache mechanism behind paper Insight 3.
+The cache stores dequantized (float) K/V tensors in batched, head-split
+layout ``(batch, n_heads, seq, head_dim)`` — all sequences of a batch decode
+in lock-step, so they share one sequence axis. Following the paper's error
+model (Sec. III-A), memory — including this cache — is assumed
+ECC-protected: faults are injected only into GEMM computations, but
+corrupted *prefill* outputs enter the cache and keep harming every later
+decode step, which is exactly the KV-cache mechanism behind paper Insight 3.
 """
 
 from __future__ import annotations
@@ -17,18 +18,22 @@ import numpy as np
 
 @dataclass
 class LayerKV:
-    """Keys/values of one layer, shape ``(n_heads, seq, head_dim)``."""
+    """Keys/values of one layer, shape ``(batch, n_heads, seq, head_dim)``."""
 
     k: np.ndarray
     v: np.ndarray
 
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
-        self.k = np.concatenate([self.k, k_new], axis=1)
-        self.v = np.concatenate([self.v, v_new], axis=1)
+        self.k = np.concatenate([self.k, k_new], axis=-2)
+        self.v = np.concatenate([self.v, v_new], axis=-2)
 
     @property
     def seq_len(self) -> int:
-        return self.k.shape[1]
+        return self.k.shape[-2]
+
+    @property
+    def batch(self) -> int:
+        return self.k.shape[0]
 
 
 @dataclass
@@ -40,6 +45,11 @@ class KVCache:
     @property
     def seq_len(self) -> int:
         return self.layers[0].seq_len if self.layers else 0
+
+    @property
+    def batch(self) -> int:
+        """Number of sequences decoding in lock-step through this cache."""
+        return self.layers[0].batch if self.layers else 0
 
     def __len__(self) -> int:
         return len(self.layers)

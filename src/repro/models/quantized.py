@@ -5,7 +5,7 @@ multiplication of the transformer (paper Fig. 2 components Q, K, V, QK^T,
 SV, O and the MLP GEMMs) executes as INT8 x INT8 -> INT32 through
 :class:`GemmExecutor`, which:
 
-1. quantizes activations per-tensor (weights are pre-quantized per-channel),
+1. quantizes activations per-matrix (weights are pre-quantized per-channel),
 2. computes the INT32 result with wraparound accumulators,
 3. lets the attached :class:`~repro.errors.injector.ErrorInjector` corrupt
    the accumulators (transient timing faults),
@@ -15,6 +15,15 @@ SV, O and the MLP GEMMs) executes as INT8 x INT8 -> INT32 through
 5. dequantizes back to float for the nonlinear functions (softmax, norms,
    activations), which stay in floating point per paper Sec. II-A.
 
+The engine is batched end-to-end: every public entry point accepts either a
+single token sequence or a ``(batch, seq)`` stack, hidden states carry a
+leading batch axis, attention runs as head-batched stacked GEMMs, and the KV
+cache decodes all sequences of a batch in lock-step. Exactly one injector
+call is issued per (GemmSite, forward) regardless of batch size, and the
+batched path is bit-identical to the single-sequence path on fault-free
+inference — see DESIGN.md section 4 for the representation change and its
+RNG-stream consequences.
+
 The LM head and embeddings run in float: the paper's component taxonomy
 covers only the block GEMMs, and vocabulary projection is typically executed
 on protected vector units.
@@ -23,11 +32,11 @@ on protected vector units.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.abft.checksums import checksum_report
+from repro.abft.checksums import ChecksumReport, checksum_report
 from repro.abft.protectors import Protector
 from repro.errors.injector import ErrorInjector
 from repro.errors.sites import Component, GemmSite, Stage
@@ -35,10 +44,10 @@ from repro.models.config import ModelConfig
 from repro.models.float_model import outlier_gain
 from repro.models.kv_cache import KVCache, LayerKV
 from repro.models.rope import apply_rope_np, rope_tables
-from repro.quant.gemm import gemm_int32
+from repro.quant.gemm import INT32_MAX, gemm_int32
 from repro.quant.quantizer import (
     QuantParams,
-    quantize_activation,
+    quantize_activation_blockwise,
     quantize_weight_per_channel,
     quantize_with_scale,
 )
@@ -58,8 +67,9 @@ def log_softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def layer_norm_np(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float) -> np.ndarray:
     mu = x.mean(axis=-1, keepdims=True)
-    var = x.var(axis=-1, keepdims=True)
-    return (x - mu) / np.sqrt(var + eps) * weight + bias
+    centered = x - mu
+    var = np.mean(centered * centered, axis=-1, keepdims=True)
+    return centered / np.sqrt(var + eps) * weight + bias
 
 
 def rms_norm_np(x: np.ndarray, weight: np.ndarray, eps: float) -> np.ndarray:
@@ -75,12 +85,42 @@ def silu_np(x: np.ndarray) -> np.ndarray:
     return x * sigmoid
 
 
+def batch_groups(
+    sequences: Sequence[np.ndarray],
+) -> list[tuple[list[int], np.ndarray]]:
+    """Group equal-length sequences into stackable batches.
+
+    Returns ``(original_indices, stacked_batch)`` pairs covering every input
+    sequence exactly once, grouped by length in first-seen order. Lock-step
+    batched inference needs rectangular batches; callers scatter the batched
+    results back through ``original_indices`` so output order never depends
+    on the grouping.
+    """
+    by_length: dict[int, list[int]] = {}
+    arrays = [np.asarray(seq) for seq in sequences]
+    for idx, arr in enumerate(arrays):
+        if arr.ndim != 1:
+            raise ValueError("batch_groups expects 1-D token sequences")
+        by_length.setdefault(arr.shape[0], []).append(idx)
+    return [
+        (idxs, np.stack([arrays[i] for i in idxs]))
+        for idxs in by_length.values()
+    ]
+
+
 @dataclass
 class QuantizedWeight:
-    """Pre-quantized weight: int8 codes ``(in, out)`` + per-column scales."""
+    """Pre-quantized weight: int8 codes ``(in, out)`` + per-column scales.
+
+    ``q_f64`` caches the codes as float64 for the executor's BLAS fast path
+    (the codes are exact integers either way).
+    """
 
     q: np.ndarray
     params: QuantParams
+
+    def __post_init__(self) -> None:
+        self.q_f64 = self.q.astype(np.float64)
 
     @classmethod
     def from_float(cls, w: np.ndarray) -> "QuantizedWeight":
@@ -91,11 +131,19 @@ class QuantizedWeight:
 class GemmExecutor:
     """Runs every protected/injectable GEMM of the quantized model.
 
+    Operands may carry leading batch/head axes: a weight GEMM takes
+    ``(batch, m, k) @ (k, n)`` and an activation-activation GEMM takes
+    ``(batch, heads, m, k) @ (batch, heads, k, n)``; either way the whole
+    stack executes as **one** GEMM call — one injector consultation, one
+    checksum report (broadcast over the leading axes), one recovery
+    decision.
+
     Activation quantization modes:
 
-    - ``"dynamic"`` — per-tensor scale from the tensor's own max-abs (no
+    - ``"dynamic"`` — per-matrix scale from each stacked matrix's own
+      max-abs, so a batch row quantizes exactly as it would alone (no
       calibration required; an ablation — a single large injected error
-      inflates the scale and washes out every other value).
+      inflates its matrix's scale and washes out every other value).
     - ``"calibrate"`` — transparent float pass that records per-site
       activation max-abs into ``scale_store``.
     - ``"static"`` — calibrated per-site scales; out-of-range values
@@ -108,6 +156,11 @@ class GemmExecutor:
         self.injector: Optional[ErrorInjector] = None
         self.protector: Optional[Protector] = None
         self.wraparound = wraparound
+        #: Route int8 GEMMs through the bit-exact float64 BLAS pipeline and
+        #: skip integer materialization where nothing consumes it. False
+        #: reproduces the seed engine's all-integer route (benchmark
+        #: baseline); results are bit-identical either way.
+        self.fast_gemm = True
         self.total_macs = 0
         self.macs_by_component: dict[str, int] = {}
         self.mode = "dynamic"
@@ -133,7 +186,7 @@ class GemmExecutor:
             key = self._scale_key(site, operand)
             observed = float(np.max(np.abs(x))) / 127.0
             self.scale_store[key] = max(self.scale_store.get(key, 0.0), observed, 1e-12)
-        return quantize_activation(x)
+        return quantize_activation_blockwise(x)
 
     def attach(
         self,
@@ -154,29 +207,82 @@ class GemmExecutor:
         b_q: np.ndarray,
         out_scale: np.ndarray,
         site: GemmSite,
+        b_f64: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        macs = a_q.shape[0] * a_q.shape[1] * b_q.shape[1]
+        rows = int(np.prod(a_q.shape[:-1]))
+        macs = rows * a_q.shape[-1] * b_q.shape[-1]
         self.total_macs += macs
         key = site.component.value
         self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
-        clean = gemm_int32(a_q, b_q, wraparound=self.wraparound)
+        no_overflow = (
+            self.fast_gemm
+            and a_q.dtype == np.int8
+            and b_q.dtype == np.int8
+            and a_q.shape[-1] * 127 * 127 <= INT32_MAX
+        )
+        targeted = self.injector is not None and self.injector.targets(site)
+        if no_overflow and not targeted and self.protector is None:
+            # Fast path: int8 accumulators are exact integers in float64 and
+            # cannot leave int32 range, and nobody needs them as ints — run
+            # the GEMM on the BLAS pipeline and dequantize directly
+            # (bit-identical to the integer route).
+            if self.injector is not None:
+                self.injector.register_untargeted(site)
+            if b_f64 is None:
+                b_f64 = b_q.astype(np.float64)
+            return (a_q.astype(np.float64) @ b_f64) * out_scale
+        clean = gemm_int32(a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm)
         acc = clean
         if self.injector is not None:
             acc = self.injector.corrupt(clean, site)
         if self.protector is not None:
-            report = checksum_report(a_q, b_q, acc)
-            if self.protector.inspect(report, site, macs):
-                acc = clean  # recovery: recompute at nominal voltage
+            acc = self._protect(a_q, b_q, clean, acc, site, macs)
         return acc.astype(np.float64) * out_scale
 
+    def _protect(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        clean: np.ndarray,
+        acc: np.ndarray,
+        site: GemmSite,
+        macs: int,
+    ) -> np.ndarray:
+        """Consult the protector per 2-D GEMM slice; recover tripped slices.
+
+        The checksum row broadcasts over the leading batch/head axes, but the
+        recovery *decision* stays per matrix — the hardware recomputes one
+        tile, not the whole logical batch — so recovery granularity, the
+        protector's inspection statistics, and the charged recovery MACs all
+        match the paper's per-GEMM protocol independent of batch size.
+        """
+        report = checksum_report(a_q, b_q, acc)
+        if report.diffs.ndim <= 1:
+            if self.protector.inspect(report, site, macs):
+                return clean  # recovery: recompute at nominal voltage
+            return acc
+        n_slices = int(np.prod(report.diffs.shape[:-1]))
+        diffs = report.diffs.reshape(n_slices, -1)
+        slice_macs = macs // n_slices
+        acc_slices = acc.reshape(n_slices, *acc.shape[-2:])
+        clean_slices = clean.reshape(n_slices, *clean.shape[-2:])
+        out = acc_slices
+        for s in range(n_slices):
+            sub = ChecksumReport(diffs=diffs[s], msd=int(np.abs(diffs[s]).sum()))
+            if self.protector.inspect(sub, site, slice_macs):
+                if out is acc_slices:
+                    out = acc_slices.copy()
+                out[s] = clean_slices[s]
+        return out.reshape(acc.shape)
+
     def linear(self, x: np.ndarray, weight: QuantizedWeight, site: GemmSite) -> np.ndarray:
-        """Weight GEMM ``x @ W`` with 2-D ``x`` of shape ``(m, in)``."""
+        """Weight GEMM ``x @ W`` with ``x`` of shape ``(..., m, in)``."""
         a_q, a_params = self._quantize(x, site, "a")
         out_scale = a_params.scale * weight.params.scale
-        return self._execute(a_q, weight.q, out_scale, site)
+        return self._execute(a_q, weight.q, out_scale, site, b_f64=weight.q_f64)
 
     def matmul(self, a: np.ndarray, b: np.ndarray, site: GemmSite) -> np.ndarray:
-        """Activation-activation GEMM (QK^T, SV) with 2-D operands."""
+        """Activation-activation GEMM (QK^T, SV) with stacked operands."""
         a_q, a_params = self._quantize(a, site, "a")
         b_q, b_params = self._quantize(b, site, "b")
         out_scale = np.asarray(a_params.scale * b_params.scale)
@@ -185,6 +291,11 @@ class GemmExecutor:
 
 class QuantizedTransformerLM:
     """Quantized inference engine built from trained float weights.
+
+    Token inputs may be a single 1-D sequence or a 2-D ``(batch, seq)``
+    stack; outputs mirror the input rank. Internally everything runs
+    batched (a single sequence is a batch of one), and fault-free results
+    are bit-identical either way.
 
     Parameters
     ----------
@@ -242,6 +353,16 @@ class QuantizedTransformerLM:
     def protector(self) -> Optional[Protector]:
         return self.executor.protector
 
+    @staticmethod
+    def _as_batch(token_ids: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Promote tokens to ``(batch, seq)``; report whether input was batched."""
+        arr = np.asarray(token_ids)
+        if arr.ndim == 1:
+            return arr[None, :], False
+        if arr.ndim == 2:
+            return arr, True
+        raise ValueError(f"expected 1-D or 2-D token ids, got shape {arr.shape}")
+
     def _norm(self, x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray]) -> np.ndarray:
         if self.config.arch == "opt":
             assert b is not None
@@ -249,15 +370,15 @@ class QuantizedTransformerLM:
         return rms_norm_np(x, w, self.config.norm_eps)
 
     def _split_heads(self, x: np.ndarray) -> np.ndarray:
-        """(seq, d_model) -> (n_heads, seq, head_dim)."""
-        seq = x.shape[0]
+        """(batch, seq, d_model) -> (batch, n_heads, seq, head_dim)."""
+        batch, seq, _ = x.shape
         cfg = self.config
-        return x.reshape(seq, cfg.n_heads, cfg.head_dim).transpose(1, 0, 2)
+        return x.reshape(batch, seq, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
 
     def _merge_heads(self, x: np.ndarray) -> np.ndarray:
-        """(n_heads, seq, head_dim) -> (seq, d_model)."""
-        n_heads, seq, head_dim = x.shape
-        return x.transpose(1, 0, 2).reshape(seq, n_heads * head_dim)
+        """(batch, n_heads, seq, head_dim) -> (batch, seq, d_model)."""
+        batch, n_heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, n_heads * head_dim)
 
     # ------------------------------------------------------------- attention
     def _attention(
@@ -282,7 +403,7 @@ class QuantizedTransformerLM:
         k = self._split_heads(k)
         v = self._split_heads(v)
         if cfg.arch == "llama":
-            cos, sin = rope_tables(q.shape[1], cfg.head_dim, cfg.rope_base, offset=position)
+            cos, sin = rope_tables(q.shape[-2], cfg.head_dim, cfg.rope_base, offset=position)
             q = apply_rope_np(q, cos, sin)
             k = apply_rope_np(k, cos, sin)
 
@@ -292,19 +413,18 @@ class QuantizedTransformerLM:
         else:
             k_all, v_all = k, v
 
-        seq_q = q.shape[1]
-        seq_k = k_all.shape[1]
+        seq_q = q.shape[-2]
+        seq_k = k_all.shape[-2]
         scale = 1.0 / np.sqrt(cfg.head_dim)
-        context = np.empty((cfg.n_heads, seq_q, cfg.head_dim))
-        causal = stage is Stage.PREFILL and seq_q > 1
-        if causal:
+        # Head-batched stacked GEMMs: all (batch, head) score/context
+        # matrices in one call each — one injector/protector consultation
+        # per component per forward, whatever the batch size.
+        scores = ex.matmul(q, np.swapaxes(k_all, -1, -2), site(Component.QKT)) * scale
+        if stage is Stage.PREFILL and seq_q > 1:
             mask = np.triu(np.ones((seq_q, seq_k), dtype=bool), k=1 + (seq_k - seq_q))
-        for head in range(cfg.n_heads):
-            scores = ex.matmul(q[head], k_all[head].T, site(Component.QKT)) * scale
-            if causal:
-                scores = np.where(mask, -1e30, scores)
-            attn = softmax_np(scores, axis=-1)
-            context[head] = ex.matmul(attn, v_all[head], site(Component.SV))
+            scores = np.where(mask, -1e30, scores)
+        attn = softmax_np(scores, axis=-1)
+        context = ex.matmul(attn, v_all, site(Component.SV))
         merged = self._merge_heads(context)
         return ex.linear(merged, layer["wo"], site(Component.O))
 
@@ -343,9 +463,10 @@ class QuantizedTransformerLM:
         return h + self._mlp(layer, layer_idx, h_norm, stage)
 
     def _embed_tokens(self, token_ids: np.ndarray, position: int) -> np.ndarray:
+        """``(batch, seq)`` token ids -> ``(batch, seq, d_model)`` states."""
         h = self.embed[token_ids]
         if self.pos_embed is not None:
-            h = h + self.pos_embed[position : position + token_ids.shape[0]]
+            h = h + self.pos_embed[position : position + token_ids.shape[-1]]
         return h * self._gain
 
     def _logits(self, h: np.ndarray) -> np.ndarray:
@@ -359,90 +480,154 @@ class QuantizedTransformerLM:
         both prefill (full-sequence scoring) and decode (a short greedy
         generation), then switches the executor to static quantization —
         the deployed-inference configuration used by all experiments.
+        Equal-length sequences are batched; per-matrix dynamic quantization
+        makes the recorded scales independent of the grouping.
         """
         saved = (self.executor.injector, self.executor.protector)
         self.attach(None, None)
         self.executor.mode = "calibrate"
         try:
-            for seq in token_batches:
-                seq = np.asarray(seq)
-                self.forward_full(seq)
-                prompt_len = max(2, seq.size // 2)
+            for _, batch in batch_groups([np.asarray(seq) for seq in token_batches]):
+                self.forward_full(batch)
+                prompt_len = max(2, batch.shape[1] // 2)
                 gen_budget = min(4, self.config.max_seq_len - prompt_len)
                 if gen_budget > 0:
-                    self.generate(seq[:prompt_len], gen_budget)
+                    self.generate_batch(batch[:, :prompt_len], gen_budget)
         finally:
             self.executor.mode = "static"
             self.attach(*saved)
 
     # ------------------------------------------------------------- inference
     def forward_full(self, token_ids: np.ndarray, stage: Stage = Stage.PREFILL) -> np.ndarray:
-        """Full-sequence forward (scoring/perplexity path); returns logits
-        of shape ``(seq, vocab)``."""
-        token_ids = np.asarray(token_ids)
-        if token_ids.ndim != 1:
-            raise ValueError("forward_full expects a 1-D token sequence")
-        h = self._embed_tokens(token_ids, position=0)
+        """Full-sequence forward (scoring/perplexity path).
+
+        Returns logits of shape ``(seq, vocab)`` for a 1-D sequence or
+        ``(batch, seq, vocab)`` for a ``(batch, seq)`` stack.
+        """
+        tokens, batched = self._as_batch(token_ids)
+        h = self._embed_tokens(tokens, position=0)
         for i, layer in enumerate(self.layers):
             h = self._block(layer, i, h, stage, cache=None, position=0)
-        return self._logits(h)
+        logits = self._logits(h)
+        return logits if batched else logits[0]
 
     def prefill(self, token_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
-        """Prefill stage: consume the prompt, build the KV cache, return the
-        logits of the final position."""
-        token_ids = np.asarray(token_ids)
+        """Prefill stage: consume the prompt(s), build the KV cache, return
+        the logits of the final position — ``(vocab,)`` for one sequence,
+        ``(batch, vocab)`` for a batch."""
+        tokens, batched = self._as_batch(token_ids)
+        batch = tokens.shape[0]
         cache = KVCache(
             layers=[
                 LayerKV(
-                    k=np.empty((self.config.n_heads, 0, self.config.head_dim)),
-                    v=np.empty((self.config.n_heads, 0, self.config.head_dim)),
+                    k=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
+                    v=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
                 )
                 for _ in self.layers
             ]
         )
-        h = self._embed_tokens(token_ids, position=0)
+        h = self._embed_tokens(tokens, position=0)
         for i, layer in enumerate(self.layers):
             h = self._block(layer, i, h, Stage.PREFILL, cache.layers[i], position=0)
-        return self._logits(h[-1:])[0], cache
+        logits = self._logits(h[:, -1:, :])[:, 0, :]
+        return (logits if batched else logits[0]), cache
 
-    def decode_step(self, token_id: int, cache: KVCache) -> np.ndarray:
-        """Decode stage: one token in, next-token logits out."""
+    def decode_step(self, token_ids, cache: KVCache) -> np.ndarray:
+        """Decode stage: one token per sequence in, next-token logits out.
+
+        Accepts a scalar token (single-sequence cache) or a ``(batch,)``
+        array matching the cache's batch; the return shape mirrors the
+        input: ``(vocab,)`` or ``(batch, vocab)``.
+        """
+        tokens = np.asarray(token_ids)
+        batched = tokens.ndim == 1
+        if tokens.ndim == 0:
+            tokens = tokens[None]
+        if tokens.ndim != 1 or tokens.shape[0] != cache.batch:
+            raise ValueError(
+                f"decode_step got {tokens.shape[0] if tokens.ndim else 1} token(s) "
+                f"for a batch-{cache.batch} cache"
+            )
         position = cache.seq_len
-        h = self._embed_tokens(np.array([token_id]), position=position)
+        h = self._embed_tokens(tokens[:, None], position=position)
         for i, layer in enumerate(self.layers):
             h = self._block(layer, i, h, Stage.DECODE, cache.layers[i], position=position)
-        return self._logits(h)[0]
+        logits = self._logits(h)[:, 0, :]
+        return logits if batched else logits[0]
 
     def generate(self, prompt: np.ndarray, max_new_tokens: int) -> np.ndarray:
         """Greedy autoregressive generation; returns the new tokens only."""
         prompt = np.asarray(prompt)
-        if prompt.size + max_new_tokens > self.config.max_seq_len:
+        if prompt.ndim != 1:
+            raise ValueError("generate expects a 1-D prompt; use generate_batch")
+        return self.generate_batch(prompt[None, :], max_new_tokens)[0]
+
+    def generate_batch(self, prompts: np.ndarray, max_new_tokens: int) -> np.ndarray:
+        """Greedy lock-step generation for a ``(batch, prompt_len)`` stack of
+        equal-length prompts; returns the ``(batch, max_new_tokens)`` new
+        tokens. All sequences decode together through one shared-shape KV
+        cache — one forward per step for the whole batch."""
+        prompts = np.asarray(prompts)
+        if prompts.ndim != 2:
+            raise ValueError("generate_batch expects (batch, prompt_len) prompts")
+        if prompts.shape[1] + max_new_tokens > self.config.max_seq_len:
             raise ValueError("prompt + generation exceeds max_seq_len")
-        logits, cache = self.prefill(prompt)
+        if max_new_tokens <= 0:
+            return np.empty((prompts.shape[0], 0), dtype=np.int64)
+        logits, cache = self.prefill(prompts)
         out = []
-        token = int(np.argmax(logits))
+        tokens = np.argmax(logits, axis=-1)
         for _ in range(max_new_tokens):
-            out.append(token)
+            out.append(tokens)
             if len(out) == max_new_tokens:
                 break
-            logits = self.decode_step(token, cache)
-            token = int(np.argmax(logits))
-        return np.asarray(out, dtype=np.int64)
+            logits = self.decode_step(tokens, cache)
+            tokens = np.argmax(logits, axis=-1)
+        return np.stack(out, axis=1).astype(np.int64)
 
     def sequence_nll(self, token_ids: np.ndarray) -> float:
         """Mean next-token negative log likelihood (perplexity = exp(nll))."""
         token_ids = np.asarray(token_ids)
-        logits = self.forward_full(token_ids[:-1])
+        if token_ids.ndim != 1:
+            raise ValueError("sequence_nll expects one sequence; use sequence_nll_batch")
+        return float(self.sequence_nll_batch(token_ids[None, :])[0])
+
+    def sequence_nll_batch(self, token_ids: np.ndarray) -> np.ndarray:
+        """Per-sequence mean next-token NLL for a ``(batch, seq)`` stack of
+        equal-length sequences; returns shape ``(batch,)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError("sequence_nll_batch expects (batch, seq) token ids")
+        logits = self.forward_full(token_ids[:, :-1])
         log_probs = log_softmax_np(logits, axis=-1)
-        picked = log_probs[np.arange(token_ids.size - 1), token_ids[1:]]
-        return float(-picked.mean())
+        picked = np.take_along_axis(log_probs, token_ids[:, 1:, None], axis=2)[..., 0]
+        return -picked.mean(axis=1)
 
     def choice_logprob(self, context: np.ndarray, continuation: np.ndarray) -> float:
         """Total log-probability of ``continuation`` given ``context``
         (HellaSwag-style multiple-choice scoring)."""
-        full = np.concatenate([context, continuation])
-        logits = self.forward_full(full[:-1])
+        return float(
+            self.choice_logprob_batch(
+                np.asarray(context)[None, :], np.asarray(continuation)[None, :]
+            )[0]
+        )
+
+    def choice_logprob_batch(
+        self, contexts: np.ndarray, continuations: np.ndarray
+    ) -> np.ndarray:
+        """Per-row continuation log-probability for stacked equal-length
+        ``(batch, ctx_len)`` contexts and ``(batch, cont_len)``
+        continuations; returns shape ``(batch,)``."""
+        contexts = np.asarray(contexts)
+        continuations = np.asarray(continuations)
+        if contexts.ndim != 2 or continuations.ndim != 2:
+            raise ValueError("choice_logprob_batch expects 2-D stacks")
+        full = np.concatenate([contexts, continuations], axis=1)
+        logits = self.forward_full(full[:, :-1])
         log_probs = log_softmax_np(logits, axis=-1)
-        start = context.size - 1
-        idx = np.arange(start, full.size - 1)
-        return float(log_probs[idx, full[idx + 1]].sum())
+        start = contexts.shape[1] - 1
+        idx = np.arange(start, full.shape[1] - 1)
+        picked = np.take_along_axis(
+            log_probs[:, idx, :], full[:, idx + 1, None], axis=2
+        )[..., 0]
+        return picked.sum(axis=1)

@@ -43,21 +43,36 @@ def gemm_int32(
     a_q: np.ndarray,
     b_q: np.ndarray,
     wraparound: bool = True,
+    blas: bool = True,
 ) -> np.ndarray:
     """``a_q @ b_q`` with INT32 accumulator semantics.
 
     Parameters
     ----------
     a_q, b_q:
-        Integer matrices (int8 codes, any integer dtype accepted).
+        Integer matrices (int8 codes, any integer dtype accepted). Stacked
+        operands with leading batch/head axes (``(..., m, k) @ (..., k, n)``
+        or a shared 2-D ``b_q``) are computed as one batched GEMM; integer
+        accumulation is exact, so every slice equals the corresponding 2-D
+        call bit-for-bit.
     wraparound:
         True (default) emulates two's-complement 32-bit overflow; False
         saturates instead.
+    blas:
+        Route int8 operands through the float64 BLAS pipeline (bit-exact:
+        every partial sum is bounded by ``k * 127^2``, far below 2^53).
+        False forces NumPy's non-BLAS integer matmul — the seed engine's
+        route, kept as a benchmark baseline and paranoia fallback.
 
     Returns
     -------
     np.ndarray
         int64 array whose values all lie within int32 range.
     """
-    exact = a_q.astype(np.int64) @ b_q.astype(np.int64)
+    if blas and a_q.dtype == np.int8 and b_q.dtype == np.int8:
+        exact = (a_q.astype(np.float64) @ b_q.astype(np.float64)).astype(np.int64)
+        if a_q.shape[-1] * 127 * 127 <= INT32_MAX:
+            return exact  # cannot leave int32 range: wrap/saturate are identity
+    else:
+        exact = a_q.astype(np.int64) @ b_q.astype(np.int64)
     return wrap_int32(exact) if wraparound else saturate_int32(exact)

@@ -45,6 +45,23 @@ def quantize_activation(x: np.ndarray) -> tuple[np.ndarray, QuantParams]:
     return q, QuantParams(scale=scale)
 
 
+def quantize_activation_blockwise(x: np.ndarray) -> tuple[np.ndarray, QuantParams]:
+    """Per-matrix dynamic symmetric quantization over the trailing two axes.
+
+    For a stacked operand ``(..., m, k)`` each leading-index matrix gets its
+    own scale, so a sequence (or attention head) quantizes exactly as it
+    would if it ran alone — this is what keeps the batched inference path
+    bit-identical to the single-sequence path in dynamic/calibration mode
+    (see DESIGN.md section 4). For a plain 2-D matrix this reduces to
+    :func:`quantize_activation` (one scale, shaped ``(1, 1)``).
+    """
+    if x.ndim < 2:
+        raise ValueError(f"expected at least 2-D activations, got shape {x.shape}")
+    scale = _safe_scale(np.max(np.abs(x), axis=(-2, -1), keepdims=True))
+    q = np.clip(np.rint(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return q, QuantParams(scale=scale)
+
+
 def quantize_with_scale(x: np.ndarray, scale: float) -> tuple[np.ndarray, QuantParams]:
     """Per-tensor *static* symmetric quantization with a calibrated scale.
 
@@ -56,8 +73,9 @@ def quantize_with_scale(x: np.ndarray, scale: float) -> tuple[np.ndarray, QuantP
     """
     if scale <= 0:
         raise ValueError("static scale must be positive")
-    q = np.clip(np.rint(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
-    return q, QuantParams(scale=np.asarray(scale, dtype=np.float64))
+    q = np.rint(x / scale)
+    np.clip(q, -INT8_MAX, INT8_MAX, out=q)
+    return q.astype(np.int8), QuantParams(scale=np.asarray(scale, dtype=np.float64))
 
 
 def quantize_weight_per_channel(w: np.ndarray) -> tuple[np.ndarray, QuantParams]:

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Docs-integrity check: every ``DESIGN.md`` citation must resolve.
+
+Scans the source tree (and top-level docs) for references of the form
+``DESIGN.md`` or ``DESIGN.md section N`` and fails if the file is missing or
+a cited section number has no matching ``## N.`` heading. Run directly or
+via ``tests/test_docs_integrity.py``; CI runs it as a dedicated step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DESIGN = REPO_ROOT / "DESIGN.md"
+
+#: Where citations may live.
+SCAN_GLOBS = ("src/**/*.py", "benchmarks/*.py", "tests/*.py", "examples/*.py",
+              "README.md", "ROADMAP.md", "CHANGES.md")
+
+CITATION = re.compile(r"DESIGN\.md(?:\s+section\s+(\d+))?", re.IGNORECASE)
+HEADING = re.compile(r"^##\s*(\d+)\.", re.MULTILINE)
+
+
+def find_citations() -> list[tuple[Path, str | None]]:
+    """Return (file, cited_section_or_None) pairs."""
+    citations: list[tuple[Path, str | None]] = []
+    for pattern in SCAN_GLOBS:
+        for path in sorted(REPO_ROOT.glob(pattern)):
+            if path == DESIGN:
+                continue
+            text = path.read_text(encoding="utf-8")
+            # Citations may wrap across a line break ("DESIGN.md\nsection 1").
+            for match in CITATION.finditer(re.sub(r"\s+", " ", text)):
+                citations.append((path, match.group(1)))
+    return citations
+
+
+def check() -> list[str]:
+    """Return a list of failure messages (empty when everything resolves)."""
+    failures: list[str] = []
+    citations = find_citations()
+    if not citations:
+        failures.append("no DESIGN.md citations found anywhere — scan globs broken?")
+        return failures
+    if not DESIGN.exists():
+        cited_from = sorted({str(p.relative_to(REPO_ROOT)) for p, _ in citations})
+        failures.append(f"DESIGN.md missing but cited from: {', '.join(cited_from)}")
+        return failures
+    sections = set(HEADING.findall(DESIGN.read_text(encoding="utf-8")))
+    for path, section in citations:
+        if section is not None and section not in sections:
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}: cites DESIGN.md section {section}, "
+                f"but DESIGN.md has sections {{{', '.join(sorted(sections))}}}"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = check()
+    if failures:
+        for failure in failures:
+            print(f"docs-integrity: {failure}", file=sys.stderr)
+        return 1
+    n_cites = len(find_citations())
+    print(f"docs-integrity: OK ({n_cites} DESIGN.md citations resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
