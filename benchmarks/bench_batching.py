@@ -44,13 +44,16 @@ MIN_SPEEDUP = 3.0
 
 
 def _evaluators():
+    # replay=False throughout: this benchmark isolates the batching axis,
+    # so no configuration may ride the clean-trace replay engine (that
+    # speedup is bench_replay.py's measurement).
     b = bundle("opt-mini")
     seed_like = ModelEvaluator(
-        b, "perplexity", sizing=SIZING, batched=False, reuse_model=False
+        b, "perplexity", sizing=SIZING, batched=False, reuse_model=False, replay=False
     )
     seed_like.model.executor.fast_gemm = False
-    single = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=False)
-    batched = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=True)
+    single = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=False, replay=False)
+    batched = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=True, replay=False)
     return {"seed-equivalent": seed_like, "single-sequence": single, "batched": batched}
 
 

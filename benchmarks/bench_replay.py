@@ -1,0 +1,143 @@
+"""Clean-trace replay engine — per-trial speedup on the Q1.1 layer sweep.
+
+Engineering benchmark (no paper figure): times the Q1.1 layer-wise
+characterization of the 8-layer ``opt-deep`` model twice — ``replay=False``
+(the seed-equivalent full-forward route) vs ``replay=True`` (clean-trace
+replay, DESIGN.md section 7) — and reports the per-layer-cell speedup. A
+trial targeting layer ``k`` resumes its forwards from the layer-``k``
+boundary, so deep-layer cells skip most of the model: the deepest cell must
+gain **>= 3x**. Scores are asserted bit-identical between the two routes,
+so the table is a pure wall-clock comparison of the same measurement.
+
+Emits ``benchmarks/results/BENCH_replay.json`` with trials/sec per cell
+(the perf-trajectory datapoint CI uploads as an artifact).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the workload to
+``opt-mini`` and skips the speedup assertion so CI can exercise the
+benchmark in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR, bundle, table
+
+from repro.characterization.evaluator import ModelEvaluator, TaskSizing
+from repro.characterization.questions import q11_layerwise
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE")) or "--smoke" in sys.argv[1:]
+
+MODEL = "opt-mini" if SMOKE else "opt-deep"
+BERS = (1e-3,) if SMOKE else (1e-5, 1e-4, 1e-3, 1e-2)
+SIZING = TaskSizing(lm_sequences=4 if SMOKE else 12, lm_seq_len=32)
+ROUNDS = 1 if SMOKE else 3
+MIN_DEEP_SPEEDUP = 3.0
+
+
+def _evaluators():
+    b = bundle(MODEL)
+    full = ModelEvaluator(b, "perplexity", sizing=SIZING, replay=False)
+    replay = ModelEvaluator(b, "perplexity", sizing=SIZING, replay=True)
+    return b, full, replay
+
+
+def _time_layer(evaluator, layer: int) -> float:
+    """Best-of-ROUNDS wall clock for one layer cell across the BER sweep."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        q11_layerwise(evaluator, layers=[layer], bers=BERS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run():
+    b, ev_full, ev_replay = _evaluators()
+    layers = list(range(b.config.n_layers))
+
+    # Bit-identical scores on every cell is the precondition for comparing
+    # wall clocks — assert it before timing anything.
+    assert ev_full.clean_score == ev_replay.clean_score
+    for records_full, records_replay in zip(
+        q11_layerwise(ev_full, layers=layers, bers=BERS),
+        q11_layerwise(ev_replay, layers=layers, bers=BERS),
+    ):
+        assert records_full.score == records_replay.score, (
+            f"replay route diverged on {records_full.label}: "
+            f"{records_full.score} != {records_replay.score}"
+        )
+
+    n_trials = len(BERS)
+    cells = []
+    for layer in layers:
+        full_s = _time_layer(ev_full, layer)
+        replay_s = _time_layer(ev_replay, layer)
+        cells.append(
+            {
+                "layer": layer,
+                "trials": n_trials,
+                "full_s": round(full_s, 4),
+                "replay_s": round(replay_s, 4),
+                "speedup": round(full_s / replay_s, 2),
+                "trials_per_s_full": round(n_trials / full_s, 2),
+                "trials_per_s_replay": round(n_trials / replay_s, 2),
+            }
+        )
+
+    rows = [
+        [
+            f"layer{c['layer']}",
+            c["trials"],
+            f"{c['full_s']:.3f}",
+            f"{c['replay_s']:.3f}",
+            f"{c['speedup']:.2f}x",
+            f"{c['trials_per_s_replay']:.1f}",
+        ]
+        for c in cells
+    ]
+    table(
+        "bench_replay",
+        ["cell", "trials", "full (s)", "replay (s)", "speedup", "trials/s (replay)"],
+        rows,
+        title=(
+            f"Q1.1 layer cells of {MODEL} ({SIZING.lm_sequences} sequences x "
+            f"{len(BERS)} BERs, bit-identical scores across routes)"
+        ),
+    )
+
+    deep = cells[-1]
+    payload = {
+        "benchmark": "replay",
+        "model": MODEL,
+        "task": "perplexity",
+        "smoke": SMOKE,
+        "bers": list(BERS),
+        "lm_sequences": SIZING.lm_sequences,
+        "cells": cells,
+        "deep_layer_speedup": deep["speedup"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_replay.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not SMOKE:
+        assert deep["speedup"] >= MIN_DEEP_SPEEDUP, (
+            f"deep-layer replay speedup {deep['speedup']:.2f}x below "
+            f"target {MIN_DEEP_SPEEDUP}x"
+        )
+    return deep["speedup"]
+
+
+def test_replay_speedup(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    speedup = _run()
+    print(f"deep-layer speedup: {speedup:.2f}x")

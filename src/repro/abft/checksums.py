@@ -117,3 +117,28 @@ def checksum_report(
     diffs = _signed_wrap_diff(expected, observed)
     msd = int(np.abs(diffs).sum())
     return ChecksumReport(diffs=diffs, msd=msd)
+
+
+def slice_inspections(diffs: np.ndarray, macs: int):
+    """Split a discrepancy array into the protocol's per-slice inspections.
+
+    The checksum row broadcasts over leading batch/head axes, but the
+    recovery *decision* stays per 2-D matrix — the hardware recomputes one
+    tile, not the whole logical batch — so leading axes flatten into
+    ``n_slices`` independent inspections and the GEMM's MACs floor-divide
+    across them. Yields ``(slice_index, report, slice_macs)``;
+    ``slice_index`` is ``None`` for a plain 2-D GEMM. This is the single
+    definition of the slicing protocol, shared by live protection
+    (``GemmExecutor._protect``) and replayed bookkeeping
+    (``repro.models.replay.replay_skipped_calls``) so the two can never
+    drift apart.
+    """
+    if diffs.ndim <= 1:
+        yield None, ChecksumReport(diffs=diffs, msd=int(np.abs(diffs).sum())), macs
+        return
+    n_slices = int(np.prod(diffs.shape[:-1]))
+    flat = diffs.reshape(n_slices, -1)
+    slice_macs = macs // n_slices
+    for s in range(n_slices):
+        d = flat[s]
+        yield s, ChecksumReport(diffs=d, msd=int(np.abs(d).sum())), slice_macs

@@ -10,9 +10,14 @@ trains, on a cold cache) every zoo model it touches **once**, builds one
 :class:`~repro.characterization.evaluator.ModelEvaluator` per (model, task)
 — and one calibrated :class:`~repro.core.realm.ReaLMPipeline` where a
 behavioral protection method demands it — and then reuses them for every
-subsequent trial. The parent process is the only writer of the result
-store; results stream back as they finish, so killing a campaign mid-run
-loses at most the in-flight trials.
+subsequent trial. Before the pool starts, the parent quantizes/calibrates
+each needed engine once, records the clean traces the replay engine resumes
+from, and publishes both into ``multiprocessing.shared_memory``
+(:mod:`repro.models.sharing`); the pool initializer attaches them as
+read-only zero-copy views, so workers skip quantization, calibration, and
+clean re-scoring entirely. The parent process is the only writer of the
+result store; results stream back as they finish, so killing a campaign
+mid-run loses at most the in-flight trials.
 """
 
 from __future__ import annotations
@@ -185,15 +190,76 @@ class _SerialRunner:
         pass
 
 
+def _worker_init(manifests: Sequence[dict]) -> None:
+    """Pool initializer: attach parent-published engines + traces zero-copy."""
+    from repro.models.sharing import attach_bundle
+
+    for manifest in manifests:
+        try:
+            attach_bundle(manifest)
+        except Exception as exc:  # worker falls back to building its own
+            logger.warning("shared-memory attach failed (%r); rebuilding", exc)
+
+
+def _build_shared_packs(needed: dict[str, set[str]]):
+    """Publish one (engine + clean traces) pack per still-needed model.
+
+    The parent pays one quantization + calibration + clean scoring pass per
+    (model, task) — work every worker would otherwise repeat — and ships
+    the result as shared memory. Returns ``None`` (and the campaign runs
+    exactly as before) when shared memory is unavailable.
+    """
+    try:
+        from repro.characterization.evaluator import (
+            _bundle_fingerprint,
+            quantized_model_for,
+        )
+        from repro.models.replay import TRACES
+        from repro.models.sharing import publish_bundle
+    except ImportError:  # pragma: no cover - no shared_memory on platform
+        return None
+    packs = []
+    try:
+        for model in sorted(needed):
+            bundle = get_pretrained(model)
+            recorded = False
+            for task in sorted(needed[model]):
+                evaluator = ModelEvaluator(bundle, task)
+                if evaluator.replay:
+                    evaluator.clean_score  # records this cell's clean traces
+                    recorded = True
+            fingerprint = _bundle_fingerprint(bundle)
+            traces = (
+                {k: t for k, t in TRACES.items() if k.startswith(fingerprint)}
+                if recorded
+                else None
+            )
+            packs.append(
+                publish_bundle(fingerprint, quantized_model_for(bundle), traces)
+            )
+    except Exception as exc:
+        logger.warning("shared-memory publish failed (%r); workers rebuild", exc)
+        for pack in packs:
+            pack.close()
+        return None
+    return packs
+
+
 class _PoolRunner:
     """Runs trials on a multiprocessing pool, streaming results back."""
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, shared_packs=None) -> None:
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
         self.workers = workers
-        self.pool = ctx.Pool(processes=workers)
+        self.shared_packs = shared_packs or []
+        initargs = ([pack.manifest for pack in self.shared_packs],)
+        self.pool = ctx.Pool(
+            processes=workers,
+            initializer=_worker_init if self.shared_packs else None,
+            initargs=initargs if self.shared_packs else (),
+        )
 
     def run(self, wave: Sequence[Trial]) -> Iterator[dict]:
         payloads = [t.to_dict() for t in wave]
@@ -202,6 +268,8 @@ class _PoolRunner:
     def close(self) -> None:
         self.pool.close()
         self.pool.join()
+        for pack in self.shared_packs:
+            pack.close()
 
 
 def run_campaign(
@@ -254,9 +322,27 @@ def run_campaign(
     if active:
         # Train/load each still-needed model once in the parent, not N times
         # concurrently in the workers.
-        for model in sorted({t.model for cell in active for t in cell.pending}):
+        needed: dict[str, set[str]] = {}
+        for cell in active:
+            for trial in cell.pending:
+                needed.setdefault(trial.model, set()).add(trial.task)
+        for model in sorted(needed):
             get_pretrained(model)
-        runner = _PoolRunner(workers) if workers > 1 else _SerialRunner()
+        if workers > 1:
+            # Quantize/calibrate once, record clean traces, publish both as
+            # shared memory so workers attach zero-copy instead of
+            # re-materializing per process.
+            shared_packs = _build_shared_packs(needed)
+            try:
+                runner = _PoolRunner(workers, shared_packs)
+            except Exception:
+                # Pool creation failed after the segments were published;
+                # unlink them now or they outlive the process in /dev/shm.
+                for pack in shared_packs or []:
+                    pack.close()
+                raise
+        else:
+            runner = _SerialRunner()
     try:
         wave_index = 0
         while active:

@@ -10,6 +10,7 @@ increase, or accuracy/ROUGE drop).
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -32,6 +33,7 @@ from repro.evalsuite.harness import (
 )
 from repro.models.export import quantize_model
 from repro.models.quantized import QuantizedTransformerLM
+from repro.models.replay import ReplaySession
 from repro.training.zoo import PretrainedBundle
 
 #: Task registry: name -> (higher_is_better, default sizing kwargs).
@@ -127,6 +129,19 @@ def quantized_model_for(
     return model
 
 
+def register_quantized_model(fingerprint: str, model: QuantizedTransformerLM) -> None:
+    """Pre-seed the process-wide engine cache (shared-memory attach path):
+    a campaign worker that attaches a parent-published engine skips
+    quantization and calibration entirely."""
+    _QUANT_MODEL_CACHE[fingerprint] = model
+
+
+def _replay_default() -> bool:
+    """Replay defaults on; ``REPRO_NO_REPLAY=1`` restores the seed route
+    (``0``/``false``/empty count as unset, not as "disable replay")."""
+    return os.environ.get("REPRO_NO_REPLAY", "").strip().lower() in ("", "0", "false")
+
+
 class ModelEvaluator:
     """One (model, task) pair with attach-and-score plumbing.
 
@@ -136,6 +151,13 @@ class ModelEvaluator:
     (benchmark baseline); fault-free scores are bit-identical either way.
     ``reuse_model=True`` shares one calibrated engine per bundle across all
     evaluators in the process (see :func:`quantized_model_for`).
+
+    ``replay=True`` (default; ``REPRO_NO_REPLAY=1`` flips the default)
+    scores through the clean-trace replay engine: the fault-free forward
+    per (task, length-group) is recorded once and every injected trial
+    resumes from the earliest layer its filter can touch — bit-identical
+    scores and statistics, a fraction of the work (DESIGN.md section 7).
+    ``replay=False`` preserves the seed-equivalent full-forward route.
     """
 
     def __init__(
@@ -145,6 +167,7 @@ class ModelEvaluator:
         sizing: Optional[TaskSizing] = None,
         batched: bool = True,
         reuse_model: bool = True,
+        replay: Optional[bool] = None,
     ) -> None:
         if task not in TASKS:
             raise KeyError(f"unknown task {task!r}; available: {sorted(TASKS)}")
@@ -152,6 +175,10 @@ class ModelEvaluator:
         self.task = task
         self.sizing = sizing or TaskSizing()
         self.batched = batched
+        self.replay = _replay_default() if replay is None else replay
+        self._replay_session = (
+            ReplaySession(_bundle_fingerprint(bundle)) if self.replay else None
+        )
         self.model = quantized_model_for(bundle, reuse=reuse_model)
         self.higher_is_better = TASKS[task]
         s = self.sizing
@@ -181,7 +208,15 @@ class ModelEvaluator:
 
     # ------------------------------------------------------------- scoring
     def score(self) -> float:
-        """Run the task with whatever injector/protector is attached."""
+        """Run the task with whatever injector/protector is attached.
+
+        Scoring is scoped inside this evaluator's replay session (if any):
+        the clean pass records traces, injected passes resume from them.
+        """
+        with self.model.replay_into(self._replay_session):
+            return self._score_task()
+
+    def _score_task(self) -> float:
         if self.task == "perplexity":
             return evaluate_perplexity(self.model, self._data, batched=self.batched)
         if self.task == "lambada":

@@ -46,7 +46,11 @@ class ErrorInjector:
     model:
         The error model (``BitFlipModel``, ``MagFreqModel``, ...).
     site_filter:
-        Which sites to target; defaults to everywhere.
+        Which sites to target; defaults to everywhere. Treated as immutable
+        once attached: per-site match decisions are memoized (the injector
+        is consulted for *every* GEMM of every forward, and most campaign
+        filters target a single layer or component). Replace the injector
+        rather than mutating its filter in place.
     seed:
         Root seed; every (site, call-index) pair derives an independent
         stream so runs are reproducible regardless of evaluation order.
@@ -63,16 +67,23 @@ class ErrorInjector:
         self.seed = seed
         self.stats = InjectionStats()
         self._call_index = 0
+        self._match_cache: dict[GemmSite, bool] = {}
         self.enabled = True
 
     def reset(self) -> None:
         """Clear statistics and the call counter (fresh experiment)."""
         self.stats = InjectionStats()
         self._call_index = 0
+        self._match_cache = {}
 
     def targets(self, site: GemmSite) -> bool:
         """Whether a GEMM at ``site`` would be corrupted (filter + enabled)."""
-        return self.enabled and self.site_filter.matches(site)
+        if not self.enabled:
+            return False
+        hit = self._match_cache.get(site)
+        if hit is None:
+            hit = self._match_cache[site] = self.site_filter.matches(site)
+        return hit
 
     def register_untargeted(self, site: GemmSite) -> None:
         """Account for an executed GEMM the filter does not target.
@@ -88,6 +99,8 @@ class ErrorInjector:
     def corrupt(self, acc: np.ndarray, site: GemmSite) -> np.ndarray:
         """Return the (possibly corrupted) accumulator array for ``site``."""
         self._call_index += 1
+        # Fast-path guard: the memoized filter match runs before any RNG
+        # stream is derived, so untargeted sites cost one dict hit.
         if not self.targets(site):
             self.stats.record(site, False, 0)
             return acc

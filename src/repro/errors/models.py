@@ -78,11 +78,19 @@ class BitFlipModel:
         cells = rng.choice(n_cells, size=n_flips, replace=False)
         element_idx = cells // len(self.bits)
         bit_idx = np.asarray(self.bits, dtype=np.uint32)[cells % len(self.bits)]
-        mask = np.zeros(acc.size, dtype=np.uint32)
-        np.bitwise_xor.at(mask, element_idx, (np.uint32(1) << bit_idx))
-        corrupted = flip_bits(acc.reshape(-1), mask).reshape(acc.shape)
-        affected = int(np.count_nonzero(mask))
-        return corrupted, affected
+        # Sparse application: XOR only the hit elements instead of streaming
+        # the whole accumulator through a uint32 round trip — bit-identical
+        # (untouched int32-range values survive the old round trip unchanged)
+        # and identical RNG draws, just without the full-array passes.
+        out = np.array(acc, dtype=np.int64)
+        flat = out.reshape(-1)
+        uniq, inverse = np.unique(element_idx, return_inverse=True)
+        bit_masks = np.zeros(uniq.size, dtype=np.uint32)
+        np.bitwise_xor.at(bit_masks, inverse, (np.uint32(1) << bit_idx))
+        flipped = flat[uniq].astype(np.uint32) ^ bit_masks
+        flat[uniq] = wrap_int32(flipped.astype(np.int64))
+        affected = int(np.count_nonzero(bit_masks))
+        return out, affected
 
 
 @dataclass

@@ -121,3 +121,51 @@ class SiteFilter:
         if self.stages is not None and site.stage not in self.stages:
             return False
         return True
+
+    # -------------------------------------------------- replay reasoning
+    # The clean-trace replay engine (see DESIGN.md section 7) resumes an
+    # injected forward from the first layer boundary this filter can reach:
+    # everything upstream is bit-identical to the recorded fault-free run.
+
+    def targets_stage(self, stage: Stage) -> bool:
+        """Whether any site of ``stage`` could match this filter."""
+        return self.stages is None or stage in self.stages
+
+    def targets(
+        self,
+        n_layers: int,
+        components: Optional[Sequence[Component]] = None,
+        stage: Optional[Stage] = None,
+    ) -> bool:
+        """Whether the filter can match *any* GEMM of a model with
+        ``n_layers`` layers and the given ``components`` (optionally
+        restricted to one generation ``stage``)."""
+        return self.earliest_layer(n_layers, components=components, stage=stage) is not None
+
+    def earliest_layer(
+        self,
+        n_layers: int,
+        components: Optional[Sequence[Component]] = None,
+        stage: Optional[Stage] = None,
+    ) -> Optional[int]:
+        """Earliest layer index whose GEMMs this filter could match.
+
+        Returns ``None`` when no site of the model can be targeted — either
+        the requested ``stage`` is filtered out, the filter's components are
+        disjoint from the model's ``components``, or every filtered layer
+        index lies outside ``range(n_layers)``. A ``None`` lets the replay
+        engine skip the forward entirely; an integer ``e`` means layers
+        ``< e`` are provably untouched and can be restored from the trace.
+        """
+        if stage is not None and not self.targets_stage(stage):
+            return None
+        if (
+            components is not None
+            and self.components is not None
+            and not self.components.intersection(components)
+        ):
+            return None
+        if self.layers is None:
+            return 0
+        eligible = [layer for layer in self.layers if 0 <= layer < n_layers]
+        return min(eligible) if eligible else None

@@ -121,6 +121,12 @@ class EvalHarness:
 
     Create one harness per (clean model, task suite); then call the
     ``*_score`` methods with injected/protected model configurations.
+
+    Replay-transparent: generations run under whatever clean-trace replay
+    session the model currently carries (DESIGN.md section 7) — the
+    reference pass records the generation traces that injected scoring
+    passes then resume from. ``ModelEvaluator`` scopes the session around
+    ``score()``; without one, every forward runs the full route.
     """
 
     clean_model: QuantizedTransformerLM

@@ -15,6 +15,7 @@ from repro.models.float_model import FloatTransformerLM
 from repro.models.quantized import QuantizedTransformerLM, GemmExecutor
 from repro.models.kv_cache import KVCache
 from repro.models.export import quantize_model
+from repro.models.replay import CleanTrace, ReplaySession, TraceStore, TRACES
 
 __all__ = [
     "ModelConfig",
@@ -25,4 +26,8 @@ __all__ = [
     "GemmExecutor",
     "KVCache",
     "quantize_model",
+    "CleanTrace",
+    "ReplaySession",
+    "TraceStore",
+    "TRACES",
 ]

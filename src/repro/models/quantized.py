@@ -31,18 +31,26 @@ on protected vector units.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.abft.checksums import ChecksumReport, checksum_report
+from repro.abft.checksums import checksum_report, slice_inspections
 from repro.abft.protectors import Protector
 from repro.errors.injector import ErrorInjector
 from repro.errors.sites import Component, GemmSite, Stage
 from repro.models.config import ModelConfig
 from repro.models.float_model import outlier_gain
 from repro.models.kv_cache import KVCache, LayerKV
+from repro.models.replay import (
+    CleanTrace,
+    GemmCall,
+    ReplaySession,
+    replay_skipped_calls,
+    resume_layer,
+)
 from repro.models.rope import apply_rope_np, rope_tables
 from repro.quant.gemm import INT32_MAX, gemm_int32
 from repro.quant.quantizer import (
@@ -127,6 +135,19 @@ class QuantizedWeight:
         q, params = quantize_weight_per_channel(w)
         return cls(q=q, params=params)
 
+    @classmethod
+    def from_parts(
+        cls, q: np.ndarray, params: QuantParams, q_f64: Optional[np.ndarray] = None
+    ) -> "QuantizedWeight":
+        """Rebuild from already-quantized parts (shared-memory attach path):
+        skips ``__post_init__`` when ``q_f64`` is supplied so the float64
+        cache stays a zero-copy view instead of being re-materialized."""
+        obj = object.__new__(cls)
+        obj.q = q
+        obj.params = params
+        obj.q_f64 = q_f64 if q_f64 is not None else q.astype(np.float64)
+        return obj
+
 
 class GemmExecutor:
     """Runs every protected/injectable GEMM of the quantized model.
@@ -165,6 +186,10 @@ class GemmExecutor:
         self.macs_by_component: dict[str, int] = {}
         self.mode = "dynamic"
         self.scale_store: dict[str, float] = {}
+        #: When set (trace recording), every executed GEMM appends a
+        #: :class:`~repro.models.replay.GemmCall` so a later resumed forward
+        #: can replay the skipped prefix's bookkeeping (DESIGN.md section 7).
+        self.call_log: Optional[list[GemmCall]] = None
 
     @staticmethod
     def _scale_key(site: GemmSite, operand: str) -> str:
@@ -214,6 +239,9 @@ class GemmExecutor:
         self.total_macs += macs
         key = site.component.value
         self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
+        if self.call_log is not None:
+            out_shape = tuple(a_q.shape[:-1]) + (int(b_q.shape[-1]),)
+            self.call_log.append(GemmCall(site=site, macs=macs, shape=out_shape))
         no_overflow = (
             self.fast_gemm
             and a_q.dtype == np.int8
@@ -231,7 +259,9 @@ class GemmExecutor:
             if b_f64 is None:
                 b_f64 = b_q.astype(np.float64)
             return (a_q.astype(np.float64) @ b_f64) * out_scale
-        clean = gemm_int32(a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm)
+        clean = gemm_int32(
+            a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm, b_f64=b_f64
+        )
         acc = clean
         if self.injector is not None:
             acc = self.injector.corrupt(clean, site)
@@ -250,25 +280,23 @@ class GemmExecutor:
     ) -> np.ndarray:
         """Consult the protector per 2-D GEMM slice; recover tripped slices.
 
-        The checksum row broadcasts over the leading batch/head axes, but the
-        recovery *decision* stays per matrix — the hardware recomputes one
-        tile, not the whole logical batch — so recovery granularity, the
-        protector's inspection statistics, and the charged recovery MACs all
-        match the paper's per-GEMM protocol independent of batch size.
+        The slicing/charging protocol lives in
+        :func:`~repro.abft.checksums.slice_inspections` (shared with the
+        replay engine's bookkeeping); recovery granularity, the protector's
+        inspection statistics, and the charged recovery MACs all match the
+        paper's per-GEMM protocol independent of batch size.
         """
         report = checksum_report(a_q, b_q, acc)
         if report.diffs.ndim <= 1:
-            if self.protector.inspect(report, site, macs):
-                return clean  # recovery: recompute at nominal voltage
+            for _, sub, sub_macs in slice_inspections(report.diffs, macs):
+                if self.protector.inspect(sub, site, sub_macs):
+                    return clean  # recovery: recompute at nominal voltage
             return acc
         n_slices = int(np.prod(report.diffs.shape[:-1]))
-        diffs = report.diffs.reshape(n_slices, -1)
-        slice_macs = macs // n_slices
         acc_slices = acc.reshape(n_slices, *acc.shape[-2:])
         clean_slices = clean.reshape(n_slices, *clean.shape[-2:])
         out = acc_slices
-        for s in range(n_slices):
-            sub = ChecksumReport(diffs=diffs[s], msd=int(np.abs(diffs[s]).sum()))
+        for s, sub, slice_macs in slice_inspections(report.diffs, macs):
             if self.protector.inspect(sub, site, slice_macs):
                 if out is acc_slices:
                     out = acc_slices.copy()
@@ -306,9 +334,7 @@ class QuantizedTransformerLM:
     """
 
     def __init__(self, config: ModelConfig, state: dict[str, np.ndarray]) -> None:
-        self.config = config
-        self.executor = GemmExecutor()
-        self._gain = outlier_gain(config)
+        self._init_runtime(config)
         self.embed = state["embed.weight"]
         self.pos_embed = state.get("pos_embed.weight")
         self.lm_head = state["lm_head.weight"]
@@ -352,6 +378,41 @@ class QuantizedTransformerLM:
     @property
     def protector(self) -> Optional[Protector]:
         return self.executor.protector
+
+    def _init_runtime(self, config: ModelConfig) -> None:
+        """Non-weight runtime state, shared with the shared-memory attach
+        path (``repro.models.sharing.attach_model``) so a worker-rebuilt
+        engine can never silently miss an attribute added here."""
+        self.config = config
+        self.executor = GemmExecutor()
+        #: Active clean-trace replay session (see DESIGN.md section 7);
+        #: managed by :meth:`replay_into`, ``None`` disables replay.
+        self.replay: Optional[ReplaySession] = None
+        self._gain = outlier_gain(config)
+
+    def _empty_cache(self, batch: int) -> KVCache:
+        """A zero-length KV cache for ``batch`` sequences (prefill start)."""
+        return KVCache(
+            layers=[
+                LayerKV(
+                    k=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
+                    v=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
+                )
+                for _ in self.layers
+            ]
+        )
+
+    @contextmanager
+    def replay_into(self, session: Optional[ReplaySession]):
+        """Scope a clean-trace replay session onto this (possibly shared)
+        engine; restores the previous session on exit. ``None`` scopes
+        replay *off* — the seed-equivalent full-forward route."""
+        saved = self.replay
+        self.replay = session
+        try:
+            yield self
+        finally:
+            self.replay = saved
 
     @staticmethod
     def _as_batch(token_ids: np.ndarray) -> tuple[np.ndarray, bool]:
@@ -502,30 +563,79 @@ class QuantizedTransformerLM:
         """Full-sequence forward (scoring/perplexity path).
 
         Returns logits of shape ``(seq, vocab)`` for a 1-D sequence or
-        ``(batch, seq, vocab)`` for a ``(batch, seq)`` stack.
+        ``(batch, seq, vocab)`` for a ``(batch, seq)`` stack. With a replay
+        session attached, the clean forward per token content is recorded
+        once and every injected repeat resumes from the earliest layer the
+        injector's filter can touch — bit-identical logits, RNG streams,
+        and statistics (see DESIGN.md section 7). Replayed logits are
+        returned as read-only arrays.
         """
         tokens, batched = self._as_batch(token_ids)
+        if self.replay is not None and self.executor.mode != "calibrate":
+            logits = self._replay_full(tokens, stage)
+            if logits is not None:
+                return logits if batched else logits[0]
         h = self._embed_tokens(tokens, position=0)
         for i, layer in enumerate(self.layers):
             h = self._block(layer, i, h, stage, cache=None, position=0)
         logits = self._logits(h)
         return logits if batched else logits[0]
 
+    # ----------------------------------------------------- clean-trace replay
+    def _replay_full(self, tokens: np.ndarray, stage: Stage) -> Optional[np.ndarray]:
+        """Record-or-resume a ``forward_full``; ``None`` falls back to the
+        full route (no trace yet and a fault configuration is attached)."""
+        ex = self.executor
+        session = self.replay
+        key = session.key_full(tokens, stage, ex)
+        trace = session.store.get(key)
+        if trace is None:
+            if ex.injector is not None or ex.protector is not None:
+                return None  # traces are recorded fault-free only
+            logits, trace = self._record_full(tokens, stage)
+            session.store.put(key, trace)
+            return logits
+        start = resume_layer(ex.injector, self.config.n_layers, self.config.components, stage)
+        end = self.config.n_layers if start is None else start
+        for i in range(end):
+            replay_skipped_calls(ex, trace.calls_by_layer[i])
+        if start is None:
+            return trace.logits
+        h = trace.boundaries[start]
+        for i in range(start, self.config.n_layers):
+            h = self._block(self.layers[i], i, h, stage, cache=None, position=0)
+        return self._logits(h)
+
+    def _record_full(
+        self, tokens: np.ndarray, stage: Stage
+    ) -> tuple[np.ndarray, CleanTrace]:
+        """Run a clean full forward while capturing layer boundaries and the
+        per-layer GEMM call log."""
+        ex = self.executor
+        saved_log = ex.call_log
+        boundaries: list[np.ndarray] = []
+        calls: list[list[GemmCall]] = []
+        try:
+            h = self._embed_tokens(tokens, position=0)
+            for i, layer in enumerate(self.layers):
+                boundaries.append(h)
+                ex.call_log = layer_log = []
+                h = self._block(layer, i, h, stage, cache=None, position=0)
+                calls.append(layer_log)
+        finally:
+            ex.call_log = saved_log
+        logits = self._logits(h)
+        trace = CleanTrace(
+            kind="full", boundaries=boundaries, calls_by_layer=calls, logits=logits
+        )
+        return trace.logits, trace
+
     def prefill(self, token_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
         """Prefill stage: consume the prompt(s), build the KV cache, return
         the logits of the final position — ``(vocab,)`` for one sequence,
         ``(batch, vocab)`` for a batch."""
         tokens, batched = self._as_batch(token_ids)
-        batch = tokens.shape[0]
-        cache = KVCache(
-            layers=[
-                LayerKV(
-                    k=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
-                    v=np.empty((batch, self.config.n_heads, 0, self.config.head_dim)),
-                )
-                for _ in self.layers
-            ]
-        )
+        cache = self._empty_cache(tokens.shape[0])
         h = self._embed_tokens(tokens, position=0)
         for i, layer in enumerate(self.layers):
             h = self._block(layer, i, h, Stage.PREFILL, cache.layers[i], position=0)
@@ -574,7 +684,17 @@ class QuantizedTransformerLM:
             raise ValueError("prompt + generation exceeds max_seq_len")
         if max_new_tokens <= 0:
             return np.empty((prompts.shape[0], 0), dtype=np.int64)
+        if self.replay is not None and self.executor.mode != "calibrate":
+            replayed = self._replay_generate(prompts, max_new_tokens)
+            if replayed is not None:
+                return replayed
         logits, cache = self.prefill(prompts)
+        return self._decode_loop(logits, cache, max_new_tokens)
+
+    def _decode_loop(
+        self, logits: np.ndarray, cache: KVCache, max_new_tokens: int
+    ) -> np.ndarray:
+        """Greedy lock-step decode shared by the full and resumed routes."""
         out = []
         tokens = np.argmax(logits, axis=-1)
         for _ in range(max_new_tokens):
@@ -584,6 +704,87 @@ class QuantizedTransformerLM:
             logits = self.decode_step(tokens, cache)
             tokens = np.argmax(logits, axis=-1)
         return np.stack(out, axis=1).astype(np.int64)
+
+    def _replay_generate(
+        self, prompts: np.ndarray, max_new_tokens: int
+    ) -> Optional[np.ndarray]:
+        """Record-or-resume a ``generate_batch``.
+
+        Only the *prefill* is restored from the trace — the stage the
+        paper's workloads are dominated by. Decode steps recompute in full
+        whenever any fault configuration is attached: a corrupted decode
+        GEMM changes the greedy token stream, so downstream decode work is
+        never provably clean. A fully fault-free repeat short-circuits to
+        the recorded continuation.
+        """
+        ex = self.executor
+        session = self.replay
+        n_layers = self.config.n_layers
+        key = session.key_generate(prompts, max_new_tokens, ex)
+        trace = session.store.get(key)
+        if trace is None:
+            if ex.injector is not None or ex.protector is not None:
+                return None
+            tokens, trace = self._record_generate(prompts, max_new_tokens)
+            session.store.put(key, trace)
+            return tokens
+        start = resume_layer(ex.injector, n_layers, self.config.components, Stage.PREFILL)
+        if start is None and ex.injector is None and ex.protector is None:
+            # Fault-free repeat: charge the recorded MACs, return the trace.
+            for i in range(n_layers):
+                replay_skipped_calls(ex, trace.calls_by_layer[i])
+            replay_skipped_calls(ex, trace.decode_calls)
+            return trace.new_tokens
+        end = n_layers if start is None else start
+        for i in range(end):
+            replay_skipped_calls(ex, trace.calls_by_layer[i])
+        cache = self._empty_cache(prompts.shape[0])
+        for i in range(end):  # layers restored from the trace, not recomputed
+            cache.layers[i] = LayerKV(k=trace.kv[i][0], v=trace.kv[i][1])
+        if start is None:
+            logits = trace.logits
+        else:
+            h = trace.boundaries[start]
+            for i in range(start, n_layers):
+                h = self._block(self.layers[i], i, h, Stage.PREFILL, cache.layers[i], position=0)
+            logits = self._logits(h[:, -1:, :])[:, 0, :]
+        return self._decode_loop(logits, cache, max_new_tokens)
+
+    def _record_generate(
+        self, prompts: np.ndarray, max_new_tokens: int
+    ) -> tuple[np.ndarray, CleanTrace]:
+        """Run a clean prefill + decode while capturing prefill boundaries,
+        the post-prefill KV segments, and both stages' GEMM call logs."""
+        ex = self.executor
+        saved_log = ex.call_log
+        cache = self._empty_cache(prompts.shape[0])
+        boundaries: list[np.ndarray] = []
+        calls: list[list[GemmCall]] = []
+        try:
+            h = self._embed_tokens(prompts, position=0)
+            for i, layer in enumerate(self.layers):
+                boundaries.append(h)
+                ex.call_log = layer_log = []
+                h = self._block(layer, i, h, Stage.PREFILL, cache.layers[i], position=0)
+                calls.append(layer_log)
+            logits = self._logits(h[:, -1:, :])[:, 0, :]
+            # KV arrays are never mutated in place (``append`` concatenates),
+            # so the post-prefill snapshot is a zero-copy set of references.
+            kv = [(lkv.k, lkv.v) for lkv in cache.layers]
+            ex.call_log = decode_log = []
+            new_tokens = self._decode_loop(logits, cache, max_new_tokens)
+        finally:
+            ex.call_log = saved_log
+        trace = CleanTrace(
+            kind="generate",
+            boundaries=boundaries,
+            calls_by_layer=calls,
+            logits=logits,
+            kv=kv,
+            new_tokens=new_tokens,
+            decode_calls=decode_log,
+        )
+        return trace.new_tokens, trace
 
     def sequence_nll(self, token_ids: np.ndarray) -> float:
         """Mean next-token negative log likelihood (perplexity = exp(nll))."""

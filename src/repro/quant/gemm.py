@@ -44,6 +44,7 @@ def gemm_int32(
     b_q: np.ndarray,
     wraparound: bool = True,
     blas: bool = True,
+    b_f64: np.ndarray | None = None,
 ) -> np.ndarray:
     """``a_q @ b_q`` with INT32 accumulator semantics.
 
@@ -63,6 +64,10 @@ def gemm_int32(
         every partial sum is bounded by ``k * 127^2``, far below 2^53).
         False forces NumPy's non-BLAS integer matmul — the seed engine's
         route, kept as a benchmark baseline and paranoia fallback.
+    b_f64:
+        Optional pre-converted float64 mirror of ``b_q`` (weights cache one
+        on :class:`~repro.models.quantized.QuantizedWeight`); skips the
+        per-call conversion on the BLAS route. Values must equal ``b_q``.
 
     Returns
     -------
@@ -70,7 +75,8 @@ def gemm_int32(
         int64 array whose values all lie within int32 range.
     """
     if blas and a_q.dtype == np.int8 and b_q.dtype == np.int8:
-        exact = (a_q.astype(np.float64) @ b_q.astype(np.float64)).astype(np.int64)
+        bf = b_f64 if b_f64 is not None else b_q.astype(np.float64)
+        exact = (a_q.astype(np.float64) @ bf).astype(np.int64)
         if a_q.shape[-1] * 127 * 127 <= INT32_MAX:
             return exact  # cannot leave int32 range: wrap/saturate are identity
     else:

@@ -26,7 +26,8 @@ logger = get_logger("zoo")
 
 #: Named configurations. "mini" is for fast unit tests; "tiny" is the
 #: workhorse for experiments (OPT-style stands in for OPT-1.3B, LLaMA-style
-#: for LLaMA-2-7B / LLaMA-3-8B).
+#: for LLaMA-2-7B / LLaMA-3-8B); "deep" doubles the layer count for
+#: depth-sensitive studies (layer-wise sweeps, clean-trace replay).
 ZOO_SPECS: dict[str, dict] = {
     "opt-mini": {
         "config": dict(
@@ -58,6 +59,14 @@ ZOO_SPECS: dict[str, dict] = {
             d_ff=96, max_seq_len=64, outlier_channels=4,
         ),
         "train": dict(steps=1400, batch_size=16, seq_len=48, lr=3e-3, log_every=200),
+        "source": dict(vocab_size=128, branching=4, concentration=0.3),
+    },
+    "opt-deep": {
+        "config": dict(
+            arch="opt", vocab_size=128, d_model=64, n_heads=4, n_layers=8,
+            d_ff=128, max_seq_len=64, outlier_channels=4,
+        ),
+        "train": dict(steps=1000, batch_size=16, seq_len=48, lr=3e-3, log_every=200),
         "source": dict(vocab_size=128, branching=4, concentration=0.3),
     },
 }
