@@ -19,6 +19,7 @@ __version__ = "1.0.0"
 __all__ = [
     "autograd",
     "quant",
+    "dispatch",
     "models",
     "data",
     "training",

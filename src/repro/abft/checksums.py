@@ -128,10 +128,10 @@ def slice_inspections(diffs: np.ndarray, macs: int):
     ``n_slices`` independent inspections and the GEMM's MACs floor-divide
     across them. Yields ``(slice_index, report, slice_macs)``;
     ``slice_index`` is ``None`` for a plain 2-D GEMM. This is the single
-    definition of the slicing protocol, shared by live protection
-    (``GemmExecutor._protect``) and replayed bookkeeping
-    (``repro.models.replay.replay_skipped_calls``) so the two can never
-    drift apart.
+    definition of the slicing protocol, shared by the dispatch pipeline's
+    live protect instrument and its replayed bookkeeping
+    (``repro.dispatch.pipeline.ProtectInstrument``, DESIGN.md section 8)
+    so the two can never drift apart.
     """
     if diffs.ndim <= 1:
         yield None, ChecksumReport(diffs=diffs, msd=int(np.abs(diffs).sum())), macs

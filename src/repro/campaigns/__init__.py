@@ -23,6 +23,7 @@ from repro.campaigns.spec import (
     Trial,
     example_spec,
 )
+from repro.dispatch.cost import CostSpec
 from repro.campaigns.stopping import CONTINUE, STOP, StoppingPolicy
 from repro.campaigns.store import ResultStore, StoredRecord, TrialResult
 
@@ -42,6 +43,7 @@ def __getattr__(name: str):
 __all__ = [
     "CampaignSpec",
     "CellSummary",
+    "CostSpec",
     "ErrorSpec",
     "NO_METHOD",
     "ResultStore",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence
 
 from repro.abft.protectors import ClassicalABFT, Protector
@@ -34,8 +34,10 @@ from repro.campaigns.stopping import STOP
 from repro.campaigns.store import ResultStore, TrialResult
 from repro.characterization.evaluator import ModelEvaluator
 from repro.circuits.voltage import VoltageBerModel
-from repro.core.methods import METHODS
+from repro.core.methods import METHODS, analytic_recovered_macs
 from repro.core.realm import ReaLMConfig, ReaLMPipeline
+from repro.dispatch.cost import CostSpec
+from repro.energy.model import EnergyModel
 from repro.errors.injector import ErrorInjector
 from repro.errors.sites import Component
 from repro.training.zoo import get_pretrained
@@ -57,11 +59,17 @@ def evaluate_trial(
     trial: Trial,
     evaluator: ModelEvaluator,
     pipeline: Optional[ReaLMPipeline] = None,
+    cost: Optional[CostSpec] = None,
 ) -> TrialResult:
     """Score one trial on an already-built evaluator.
 
     ``pipeline`` is only consulted for behavioral protection methods that
-    need calibrated critical regions (statistical/approx ABFT).
+    need calibrated critical regions (statistical/approx ABFT). ``cost``
+    attaches a :class:`~repro.dispatch.cost.CostInstrument` for the
+    duration of the trial, filling the result's ``cycles`` /
+    ``recovered_macs`` / ``energy_j`` columns with hardware costs measured
+    on the trial's actual GEMM calls (energy at the trial's voltage, or
+    nominal when the grid has no voltage axis).
     """
     start = time.perf_counter()
     ber = _VOLTAGE_MODEL.ber(trial.voltage) if trial.voltage is not None else None
@@ -71,6 +79,7 @@ def evaluate_trial(
         if error_model is not None
         else None
     )
+    cost_instrument = cost.build() if cost is not None else None
 
     protector: Optional[Protector] = None
     method = trial.method
@@ -89,18 +98,59 @@ def evaluate_trial(
             pipeline.calibrate(components)
             protector = pipeline.protector_for(method, components)
 
-    score = evaluator.run(injector, protector)
+    score = evaluator.run(injector, protector, cost=cost_instrument)
     if method not in (NO_METHOD,) and METHODS[method].exact_correction:
         score = evaluator.clean_score  # detected-and-replayed: fault-free output
+    cycles = recovered_macs = 0
+    energy_j = 0.0
+    if cost_instrument is not None:
+        cycles, recovered_macs, energy_j = _trial_costs(
+            trial, cost_instrument, injector, evaluator
+        )
     return TrialResult(
         score=score,
         degradation=evaluator.degradation(score),
         clean_score=evaluator.clean_score,
         injected_errors=injector.stats.injected_errors if injector else 0,
         gemm_calls=injector.stats.gemm_calls if injector else 0,
+        cycles=cycles,
+        recovered_macs=recovered_macs,
+        energy_j=energy_j,
         elapsed_s=time.perf_counter() - start,
         worker=os.getpid(),
     )
+
+
+def _trial_costs(trial, cost_instrument, injector, evaluator):
+    """Hardware costs of one scored trial: (cycles, recovered_macs, energy_j).
+
+    Cycles and MAC counts come straight from the cost instrument's measured
+    report. Energy accounting is method-aware, mirroring
+    ``ReaLMPipeline.evaluate_method_at``: a registered method contributes
+    its detection-power overhead and compute factor (2.0 for DMR), and the
+    non-behavioral methods — which recover analytically rather than through
+    a protector the instrument can observe — charge their replay MACs from
+    the injector statistics. Energy is evaluated at the trial's voltage
+    (nominal when the grid has no voltage axis).
+    """
+    report = cost_instrument.report
+    recovered_macs = report.recovered_macs
+    params = cost_instrument.params
+    method = trial.method
+    if method in METHODS:
+        spec = METHODS[method]
+        params = replace(
+            params,
+            detection_overhead=spec.detection_overhead,
+            compute_factor=spec.compute_factor,
+        )
+        if not spec.behavioral and injector is not None:
+            recovered_macs = analytic_recovered_macs(
+                method, injector.stats.injected_errors, evaluator.bundle.config.d_model
+            )
+    voltage = params.v_nominal if trial.voltage is None else trial.voltage
+    energy_j = EnergyModel(params).breakdown(report.macs, recovered_macs, voltage).total_j
+    return report.total_cycles, recovered_macs, energy_j
 
 
 # --------------------------------------------------------------- worker side
@@ -135,11 +185,18 @@ def _trial_context(trial: Trial) -> tuple[ModelEvaluator, Optional[ReaLMPipeline
 
 
 def _run_trial_payload(payload: dict) -> dict:
-    """Pool entry point: trial dict in, (key, result | error) dict out."""
+    """Pool entry point: trial dict in, (key, result | error) dict out.
+
+    The optional ``"cost"`` key carries the campaign-level
+    :class:`~repro.dispatch.cost.CostSpec`; it is popped before the trial
+    is parsed so it never leaks into trial identity or stored records.
+    """
+    cost_payload = payload.pop("cost", None)
+    cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
     trial = Trial.from_dict(payload)
     try:
         evaluator, pipeline = _trial_context(trial)
-        result = evaluate_trial(trial, evaluator, pipeline)
+        result = evaluate_trial(trial, evaluator, pipeline, cost=cost)
         return {"key": trial.key, "trial": payload, "result": result.to_dict()}
     except Exception as exc:  # surfaced to the parent, which keeps going
         return {"key": trial.key, "trial": payload, "error": repr(exc)}
@@ -182,9 +239,9 @@ class _SerialRunner:
     every already-computed result.
     """
 
-    def run(self, wave: Sequence[Trial]) -> Iterator[dict]:
-        for trial in wave:
-            yield _run_trial_payload(trial.to_dict())
+    def run(self, payloads: Sequence[dict]) -> Iterator[dict]:
+        for payload in payloads:
+            yield _run_trial_payload(payload)
 
     def close(self) -> None:
         pass
@@ -261,8 +318,7 @@ class _PoolRunner:
             initargs=initargs if self.shared_packs else (),
         )
 
-    def run(self, wave: Sequence[Trial]) -> Iterator[dict]:
-        payloads = [t.to_dict() for t in wave]
+    def run(self, payloads: Sequence[dict]) -> Iterator[dict]:
         return self.pool.imap_unordered(_run_trial_payload, payloads, chunksize=1)
 
     def close(self) -> None:
@@ -363,7 +419,13 @@ def run_campaign(
                 wave_index, len(wave), len(active),
                 f"{workers} workers" if workers > 1 else "serial",
             )
-            for outcome in runner.run(wave):
+            payloads = []
+            for trial in wave:
+                payload = trial.to_dict()
+                if spec.cost is not None:
+                    payload["cost"] = spec.cost.to_dict()
+                payloads.append(payload)
+            for outcome in runner.run(payloads):
                 trial = Trial.from_dict(outcome["trial"])
                 cell = owner[outcome["key"]]
                 if "error" in outcome:

@@ -41,12 +41,26 @@ class CellSummary:
     std_degradation: float
     min_degradation: float
     max_degradation: float
+    #: Hardware-cost means, taken over the ``n_costed`` trials that were
+    #: stored with a cost instrument attached (``CampaignSpec.cost``). A
+    #: resumed campaign can mix cost-less legacy records into a cell; those
+    #: are excluded here so the means stay per-measured-trial quantities
+    #: rather than being silently diluted toward zero.
+    n_costed: int = 0
+    mean_cycles: float = 0.0
+    mean_recovered_macs: float = 0.0
+    mean_energy_j: float = 0.0
 
     @property
     def stderr(self) -> float:
         if self.n < 2:
             return 0.0
         return self.std_degradation / math.sqrt(self.n)
+
+    @property
+    def has_costs(self) -> bool:
+        """Whether any stored trial of this cell carried measured costs."""
+        return self.n_costed > 0
 
 
 def _spec_keys(spec: Optional[CampaignSpec]) -> Optional[set[str]]:
@@ -92,6 +106,10 @@ def aggregate(store: ResultStore, spec: Optional[CampaignSpec] = None) -> list[C
         n = len(degradations)
         mean = sum(degradations) / n
         var = sum((d - mean) ** 2 for d in degradations) / (n - 1) if n > 1 else 0.0
+        # Cost columns average over instrumented trials only (a record
+        # measured with a cost instrument always has nonzero cycles).
+        costed = [r.result for r in records if r.result.cycles > 0]
+        n_costed = len(costed)
         summaries.append(
             CellSummary(
                 cell=cell_id,
@@ -108,6 +126,14 @@ def aggregate(store: ResultStore, spec: Optional[CampaignSpec] = None) -> list[C
                 std_degradation=math.sqrt(var),
                 min_degradation=min(degradations),
                 max_degradation=max(degradations),
+                n_costed=n_costed,
+                mean_cycles=sum(r.cycles for r in costed) / n_costed if n_costed else 0.0,
+                mean_recovered_macs=(
+                    sum(r.recovered_macs for r in costed) / n_costed if n_costed else 0.0
+                ),
+                mean_energy_j=(
+                    sum(r.energy_j for r in costed) / n_costed if n_costed else 0.0
+                ),
             )
         )
     return summaries
@@ -117,8 +143,15 @@ def report_table(
     store: ResultStore,
     spec: Optional[CampaignSpec] = None,
     title: Optional[str] = None,
+    costs: bool = False,
 ) -> str:
-    """The campaign's headline table: one row per cell with mean +/- stderr."""
+    """The campaign's headline table: one row per cell with mean +/- stderr.
+
+    ``costs=True`` appends the per-cell hardware-cost columns (mean
+    systolic cycles, recovered MACs, and energy in microjoules) measured by
+    the campaign's cost instrument, averaged over the instrumented trials
+    only; cells with no measured trial show ``-``.
+    """
     summaries = aggregate(store, spec)
     show_method = any(s.method != NO_METHOD for s in summaries)
     show_voltage = any(s.voltage is not None for s in summaries)
@@ -128,6 +161,8 @@ def report_table(
     if show_voltage:
         headers.append("V")
     headers += ["seeds", "score", "degradation", "+/-", "worst"]
+    if costs:
+        headers += ["cycles", "recovered MACs", "energy (uJ)"]
     rows = []
     for s in summaries:
         row: list = [s.model, s.task, s.site, s.error]
@@ -136,6 +171,15 @@ def report_table(
         if show_voltage:
             row.append("-" if s.voltage is None else f"{s.voltage:.2f}")
         row += [s.n, s.mean_score, s.mean_degradation, s.stderr, s.max_degradation]
+        if costs:
+            if s.has_costs:
+                row += [
+                    f"{s.mean_cycles:.0f}",
+                    f"{s.mean_recovered_macs:.0f}",
+                    s.mean_energy_j * 1e6,
+                ]
+            else:
+                row += ["-", "-", "-"]
         rows.append(row)
     if title is None:
         title = f"campaign {spec.name}" if spec is not None else "campaign results"
@@ -177,7 +221,7 @@ CSV_FIELDS = [
     "key", "cell", "model", "task", "site", "error", "error_kind", "ber",
     "bits", "mag", "freq", "sign", "method", "voltage", "seed",
     "score", "degradation", "clean_score", "injected_errors", "gemm_calls",
-    "elapsed_s", "worker",
+    "cycles", "recovered_macs", "energy_j", "elapsed_s", "worker",
 ]
 
 
@@ -219,6 +263,9 @@ def export_csv(
                     "clean_score": result.clean_score,
                     "injected_errors": result.injected_errors,
                     "gemm_calls": result.gemm_calls,
+                    "cycles": result.cycles,
+                    "recovered_macs": result.recovered_macs,
+                    "energy_j": result.energy_j,
                     "elapsed_s": result.elapsed_s,
                     "worker": result.worker,
                 }

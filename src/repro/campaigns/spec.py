@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.campaigns.stopping import StoppingPolicy
+from repro.dispatch.cost import CostSpec
 from repro.errors.models import BitFlipModel, ErrorModel, MagFreqModel
 from repro.errors.sites import Component, SiteFilter, Stage
 
@@ -302,7 +303,15 @@ class Trial:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A full campaign grid plus its Monte-Carlo policy."""
+    """A full campaign grid plus its Monte-Carlo policy.
+
+    ``cost`` (a :class:`~repro.dispatch.cost.CostSpec`, or ``"cost": true``
+    in JSON) attaches a hardware cost instrument to every trial, storing
+    measured systolic cycles, recovered MACs, and energy per cell. It is a
+    *measurement* setting, shared by the whole grid and deliberately **not**
+    part of any trial's content key — toggling it never invalidates stored
+    results, it only determines whether new trials carry cost columns.
+    """
 
     name: str
     models: tuple[str, ...]
@@ -313,6 +322,7 @@ class CampaignSpec:
     voltages: tuple[Optional[float], ...] = (None,)
     seeds: tuple[int, ...] = (0,)
     stopping: Optional[StoppingPolicy] = None
+    cost: Optional[CostSpec] = None
 
     def __post_init__(self) -> None:
         # Deferred: the registries live in higher layers (characterization,
@@ -405,6 +415,8 @@ class CampaignSpec:
         }
         if self.stopping is not None:
             out["stopping"] = self.stopping.to_dict()
+        if self.cost is not None:
+            out["cost"] = self.cost.to_dict()
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -426,8 +438,8 @@ class CampaignSpec:
         """
         known = {
             "name", "models", "tasks", "sites", "errors", "methods",
-            "voltages", "seeds", "stopping", "bers", "bits", "magfreq",
-            "components", "stages",
+            "voltages", "seeds", "stopping", "cost", "bers", "bits",
+            "magfreq", "components", "stages",
         }
         unknown = set(payload) - known
         if unknown:
@@ -457,6 +469,10 @@ class CampaignSpec:
         if isinstance(seeds, int):
             seeds = list(range(seeds))
         stopping = payload.get("stopping")
+        # Truthiness would silently read "cost": {} (enable with all
+        # defaults) as "off"; only an absent key, null, or false disables.
+        cost = payload.get("cost")
+        cost = None if cost is False else cost
         return cls(
             name=payload["name"],
             models=tuple(payload["models"]),
@@ -467,6 +483,7 @@ class CampaignSpec:
             voltages=tuple(payload.get("voltages", [None])),
             seeds=tuple(seeds),
             stopping=StoppingPolicy.from_dict(stopping) if stopping else None,
+            cost=CostSpec.from_dict(cost) if cost is not None else None,
         )
 
     @classmethod

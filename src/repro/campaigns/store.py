@@ -36,13 +36,23 @@ def default_store_dir(name: str) -> Path:
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Measured outcome of one trial (the persisted result schema)."""
+    """Measured outcome of one trial (the persisted result schema).
+
+    The hardware-cost columns (``cycles``, ``recovered_macs``,
+    ``energy_j``) are populated when the campaign ran with a cost
+    instrument attached (``CampaignSpec.cost``, DESIGN.md section 8) and
+    default to zero otherwise — including for records stored before the
+    columns existed.
+    """
 
     score: float
     degradation: float
     clean_score: float
     injected_errors: int = 0
     gemm_calls: int = 0
+    cycles: int = 0
+    recovered_macs: int = 0
+    energy_j: float = 0.0
     elapsed_s: float = 0.0
     worker: int = 0
 
@@ -53,6 +63,9 @@ class TrialResult:
             "clean_score": self.clean_score,
             "injected_errors": self.injected_errors,
             "gemm_calls": self.gemm_calls,
+            "cycles": self.cycles,
+            "recovered_macs": self.recovered_macs,
+            "energy_j": self.energy_j,
             "elapsed_s": self.elapsed_s,
             "worker": self.worker,
         }
@@ -65,6 +78,9 @@ class TrialResult:
             clean_score=payload["clean_score"],
             injected_errors=payload.get("injected_errors", 0),
             gemm_calls=payload.get("gemm_calls", 0),
+            cycles=payload.get("cycles", 0),
+            recovered_macs=payload.get("recovered_macs", 0),
+            energy_j=payload.get("energy_j", 0.0),
             elapsed_s=payload.get("elapsed_s", 0.0),
             worker=payload.get("worker", 0),
         )

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.abft.protectors import Protector
+from repro.dispatch.cost import CostInstrument
 from repro.data import (
     build_gsm8k_like,
     build_hellaswag_like,
@@ -249,11 +250,24 @@ class ModelEvaluator:
         self,
         injector: Optional[ErrorInjector] = None,
         protector: Optional[Protector] = None,
+        cost: Optional[CostInstrument] = None,
     ) -> float:
-        """Attach, score, detach; returns the raw score."""
+        """Attach, score, detach; returns the raw score.
+
+        ``cost`` (a :class:`~repro.dispatch.cost.CostInstrument`) rides the
+        dispatch chain for the duration of the scoring call, measuring
+        systolic cycles / recovery work / energy of exactly the GEMMs this
+        run executed or replayed (DESIGN.md section 8). The baseline is
+        cached before attaching, so clean-score forwards are never charged
+        to the trial's cost report.
+        """
         baseline = self.clean_score  # ensure cached before attaching  # noqa: F841
+        executor = self.model.executor
+        saved_cost = executor.cost
         self.model.attach(injector, protector)
+        executor.cost = cost
         try:
             return self.score()
         finally:
             self.model.attach(None, None)
+            executor.cost = saved_cost

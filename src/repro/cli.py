@@ -15,6 +15,7 @@ Examples
     python -m repro campaign run --spec grid.json --workers 4
     python -m repro campaign status --spec grid.json
     python -m repro campaign report --spec grid.json --csv results.csv
+    python -m repro campaign report --spec grid.json --costs
 """
 
 from __future__ import annotations
@@ -279,7 +280,7 @@ def cmd_campaign_report(args: argparse.Namespace) -> str:
         args.exit_code = 1
         return f"{exc} — the campaign has not run (or --store is mistyped)"
     with store:
-        out = report_table(store, spec)
+        out = report_table(store, spec, costs=args.costs)
         if args.csv:
             rows = export_csv(store, args.csv, spec)
             out += f"\nwrote {rows} rows to {args.csv}"
@@ -354,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--spec", required=True)
     c.add_argument("--store", default=None)
     c.add_argument("--csv", default=None, help="also export raw trials as CSV")
+    c.add_argument("--costs", action="store_true",
+                   help="show the measured hardware-cost columns "
+                        "(cycles / recovered MACs / energy) per cell")
     c.set_defaults(func=cmd_campaign_report)
 
     c = csub.add_parser("example", help="print a ready-to-run example spec")

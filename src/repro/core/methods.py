@@ -110,6 +110,26 @@ METHODS: dict[str, MethodSpec] = {
 }
 
 
+def analytic_recovered_macs(method_key: str, injected_errors: int, d_model: int) -> int:
+    """Replay MACs charged by the non-behavioral baselines per run.
+
+    ThunderVolt replays a short fixed window per detected error; DMR
+    re-executes the faulty output element — one dot product of length
+    ``d_model`` (the model's typical reduction length). Behavioral methods
+    measure recovery through their protector instead and charge nothing
+    here. Single source of truth for ``ReaLMPipeline.evaluate_method_at``
+    and the campaign executor's cost accounting.
+    """
+    spec = METHODS.get(method_key)
+    if spec is None or spec.behavioral:
+        return 0
+    if method_key == "dmr":
+        return injected_errors * d_model
+    if method_key == "thundervolt":
+        return injected_errors * THUNDERVOLT_REPLAY_MACS
+    return 0
+
+
 def method_names() -> list[str]:
     """Keys in the paper's Fig. 9 presentation order."""
     return [

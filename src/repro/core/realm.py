@@ -28,7 +28,14 @@ from repro.abft.region import CriticalRegion, GridPoint, fit_critical_region
 from repro.characterization.evaluator import ModelEvaluator, TaskSizing
 from repro.characterization.fitting import fit_component_region, fit_msd_threshold
 from repro.circuits.voltage import VoltageBerModel
-from repro.core.methods import METHODS, THUNDERVOLT_REPLAY_MACS, MethodSpec, method_names
+from repro.dispatch.cost import CostInstrument
+from repro.systolic.dataflow import Dataflow
+from repro.core.methods import (
+    METHODS,
+    MethodSpec,
+    analytic_recovered_macs,
+    method_names,
+)
 from repro.energy.model import EnergyModel, EnergyParams
 from repro.energy.sweetspot import VoltagePoint, find_sweet_spot
 from repro.errors.injector import ErrorInjector
@@ -56,6 +63,10 @@ class ReaLMConfig:
     calib_mags: tuple[int, ...] = tuple(2**p for p in (4, 8, 12, 16, 20, 24))
     calib_freqs: tuple[int, ...] = (1, 4, 16, 64, 256)
     sizing: Optional[TaskSizing] = None
+    #: Systolic-array geometry the cost instrument tiles every measured
+    #: GEMM onto (cycles in :class:`MethodRun`; the paper synthesizes 256).
+    array_size: int = 256
+    dataflow: str = Dataflow.WS.value
 
 
 @dataclass
@@ -73,6 +84,9 @@ class MethodRun:
     recovery_rate: float
     energy_j: float
     feasible: bool
+    #: Measured systolic cycles of the protected components' GEMMs
+    #: (compute + recovery), from the dispatch pipeline's cost instrument.
+    cycles: int = 0
 
     def as_voltage_point(self) -> VoltagePoint:
         return VoltagePoint(
@@ -250,17 +264,34 @@ class ReaLMPipeline:
         executor = self.evaluator.model.executor
         _ = self.evaluator.clean_score  # cache the baseline outside MAC accounting
         executor.reset_counters()
-        score = self.evaluator.run(injector, protector)
-        macs = sum(executor.macs_by_component.get(c.value, 0) for c in components)
+        # Hardware costs are *measured* on the run's actual GEMM dispatches
+        # (DESIGN.md section 8), not reconstructed analytically: the cost
+        # instrument tiles every executed/replayed call onto the configured
+        # systolic array and keeps a per-site breakdown we scope to the
+        # protected components.
+        cost = CostInstrument(
+            size=self.config.array_size, dataflow=Dataflow(self.config.dataflow)
+        )
+        score = self.evaluator.run(injector, protector, cost=cost)
+        scoped = {c.value for c in components}
+        in_scope = [
+            site_cost
+            for site, site_cost in cost.report.by_site.items()
+            if site.component.value in scoped
+        ]
+        macs = sum(c.macs for c in in_scope)
+        cycles = sum(c.total_cycles for c in in_scope)
+        assert macs == sum(
+            executor.macs_by_component.get(c.value, 0) for c in components
+        ), "cost-instrument MACs diverged from the executor's counters"
 
         if spec.behavioral and protector is not None:
-            recovered_macs = protector.stats.recovered_macs
+            recovered_macs = sum(c.recovered_macs for c in in_scope)
             recovery_rate = protector.stats.recovery_rate
-        elif method_key == "dmr":
-            recovered_macs = injector.stats.injected_errors * self.bundle.config.d_model
-            recovery_rate = min(injector.stats.corrupted_calls / max(injector.stats.targeted_calls, 1), 1.0)
-        elif method_key == "thundervolt":
-            recovered_macs = injector.stats.injected_errors * THUNDERVOLT_REPLAY_MACS
+        elif method_key in ("dmr", "thundervolt"):
+            recovered_macs = analytic_recovered_macs(
+                method_key, injector.stats.injected_errors, self.bundle.config.d_model
+            )
             recovery_rate = min(injector.stats.corrupted_calls / max(injector.stats.targeted_calls, 1), 1.0)
         else:
             recovered_macs = 0
@@ -285,6 +316,7 @@ class ReaLMPipeline:
             recovery_rate=recovery_rate,
             energy_j=energy,
             feasible=degradation <= self.config.budget,
+            cycles=cycles,
         )
 
     def voltage_sweep(

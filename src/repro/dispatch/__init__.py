@@ -1,0 +1,34 @@
+"""Unified GEMM dispatch pipeline (see DESIGN.md section 8).
+
+Every GEMM of the quantized inference engine flows through one dispatch
+layer as a :class:`GemmCall` visited by an ordered chain of
+:class:`Instrument` objects — Quantize, Record, Inject, Protect, Cost —
+with a uniform ``before`` / ``after`` / ``replay`` protocol. Accuracy
+instrumentation (fault injection, ABFT protection) and hardware cost
+accounting (:class:`CostInstrument`: systolic cycles, recovery work,
+energy) therefore observe the *same* executed calls, instead of living in
+disjoint code paths.
+"""
+
+from repro.dispatch.pipeline import (
+    GemmCall,
+    GemmCallRecord,
+    Instrument,
+    InjectInstrument,
+    ProtectInstrument,
+    QuantizeInstrument,
+    RecordInstrument,
+)
+from repro.dispatch.cost import CostInstrument, CostSpec
+
+__all__ = [
+    "GemmCall",
+    "GemmCallRecord",
+    "Instrument",
+    "QuantizeInstrument",
+    "RecordInstrument",
+    "InjectInstrument",
+    "ProtectInstrument",
+    "CostInstrument",
+    "CostSpec",
+]

@@ -1,0 +1,173 @@
+"""Hardware cost accounting as a dispatch-pipeline instrument.
+
+:class:`CostInstrument` rides the GEMM dispatch chain (DESIGN.md section 8)
+and charges every call — live, bypassed, or replayed — with the systolic
+cycles its 2-D slices would take on an ``size x size`` array under the
+configured dataflow, using the memoized tiling plans of
+:mod:`repro.systolic.tiling`. Costs are **measured on the actual executed
+calls** (shapes, checksum activity, recovery decisions), not reconstructed
+analytically: a recovered slice charges a full re-execution of its tiles at
+nominal voltage, exactly mirroring the engine's recovery protocol, and the
+aggregated :class:`~repro.systolic.array.GemmRunReport` keeps the per-site
+breakdown for layerwise reports.
+
+The instrument is off by default (``GemmExecutor.cost = None``); attaching
+one adds only a cached-plan lookup and a few integer adds per GEMM call, so
+evaluations stay within a few percent of their uninstrumented wall clock
+(asserted by ``benchmarks/bench_fig7_systolic.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dispatch.pipeline import GemmCall, Instrument
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.systolic.dataflow import Dataflow
+from repro.systolic.array import GemmRunReport
+from repro.systolic.tiling import tiling_plan
+
+
+class CostInstrument(Instrument):
+    """Measures systolic cycles + recovery work of every dispatched GEMM.
+
+    Parameters
+    ----------
+    size:
+        Systolic array dimension the calls are tiled onto (the paper
+        synthesizes 256 x 256).
+    dataflow:
+        WS/OS/IS dataflow for the cycle model (accepts a
+        :class:`Dataflow` or its string value).
+    params:
+        Energy-model knobs for :meth:`energy`.
+
+    Notes
+    -----
+    ``injected_tiles`` stays zero at engine level — injection statistics
+    belong to the injector (``stats.injected_errors``); the cost instrument
+    accounts work, not corruption.
+    """
+
+    name = "cost"
+
+    def __init__(
+        self,
+        size: int = 256,
+        dataflow: Dataflow | str = Dataflow.WS,
+        params: EnergyParams | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("array size must be positive")
+        self.size = size
+        self.dataflow = dataflow if isinstance(dataflow, Dataflow) else Dataflow(dataflow)
+        self.params = params or EnergyParams()
+        self.report = GemmRunReport()
+
+    def reset(self) -> None:
+        """Zero the accumulated report (fresh measurement)."""
+        self.report = GemmRunReport()
+
+    # ------------------------------------------------------- instrument hooks
+    def after(self, call: GemmCall) -> None:
+        self._observe(call)
+
+    def replay(self, call: GemmCall) -> None:
+        self._observe(call)
+
+    def _observe(self, call: GemmCall) -> None:
+        n_slices, m, k, n = call.slice_shape()
+        plan = tiling_plan(m, k, n, self.size)
+        cycles = plan.cycles(self.dataflow, with_checksum=call.protected)
+        # Engine recovery is per 2-D slice: a tripped slice re-executes all
+        # of its tiles at nominal voltage.
+        recovered = call.recovered_slices
+        self.report.charge(
+            call.site,
+            tiles=plan.tiles * n_slices,
+            compute_cycles=cycles * n_slices,
+            macs=call.macs,
+            recovered_tiles=plan.tiles * recovered,
+            recovered_macs=call.recovered_macs,
+            recovery_cycles=cycles * recovered,
+        )
+
+    # ------------------------------------------------------------- reporting
+    def energy(self, voltage: float | None = None) -> EnergyBreakdown:
+        """Energy of everything measured so far, at operating ``voltage``
+        (nominal when ``None``): compute at ``voltage``, recovered MACs
+        re-executed at nominal — the paper's Sec. VI-A accounting."""
+        model = EnergyModel(self.params)
+        v = self.params.v_nominal if voltage is None else voltage
+        return model.breakdown(self.report.macs, self.report.recovered_macs, v)
+
+
+@dataclass(frozen=True)
+class CostSpec:
+    """JSON-able configuration of a :class:`CostInstrument`.
+
+    Campaign specs carry one at spec level (``"cost": true`` or a dict of
+    these fields) so every cell of the grid measures cycles/energy the same
+    way; the spec is deliberately **not** part of a trial's content key —
+    cost accounting observes a trial, it does not change what is injected
+    or scored.
+    """
+
+    size: int = 256
+    dataflow: str = Dataflow.WS.value
+    e_mac_pj: float = 0.30
+    v_nominal: float = 0.9
+    detection_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        Dataflow(self.dataflow)  # raises ValueError on unknown dataflows
+        if self.size <= 0:
+            raise ValueError("array size must be positive")
+
+    def build(self) -> CostInstrument:
+        return CostInstrument(
+            size=self.size,
+            dataflow=Dataflow(self.dataflow),
+            params=EnergyParams(
+                e_mac_pj=self.e_mac_pj,
+                v_nominal=self.v_nominal,
+                detection_overhead=self.detection_overhead,
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "dataflow": self.dataflow,
+            "e_mac_pj": self.e_mac_pj,
+            "v_nominal": self.v_nominal,
+            "detection_overhead": self.detection_overhead,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "CostSpec":
+        """Accepts ``True`` (all defaults) or a dict of the fields.
+
+        Unknown keys are rejected, mirroring the campaign spec loader: a
+        typo'd field ("datafow") must fail at load time, not silently
+        measure a default configuration for the whole campaign.
+        """
+        if payload is True:
+            return cls()
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"cost spec must be true or an object of fields, got {payload!r}"
+            )
+        known = {"size", "dataflow", "e_mac_pj", "v_nominal", "detection_overhead"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cost spec keys: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        return cls(
+            size=payload.get("size", 256),
+            dataflow=payload.get("dataflow", Dataflow.WS.value),
+            e_mac_pj=payload.get("e_mac_pj", 0.30),
+            v_nominal=payload.get("v_nominal", 0.9),
+            detection_overhead=payload.get("detection_overhead", 0.0),
+        )

@@ -148,15 +148,24 @@ class EvalHarness:
     ) -> list[np.ndarray]:
         key = self._prompt_digest(prompts, gen_len)
         if key not in self._ref_cache:
+            # Fault-free reference generations run with every instrument
+            # detached — injector, protector, *and* cost: the reference
+            # pass is part of the metric's definition, not of the trial
+            # being measured, so its GEMMs must not be charged to an
+            # attached CostInstrument (DESIGN.md section 8).
+            executor = self.clean_model.executor
             saved_injector = self.clean_model.injector
             saved_protector = self.clean_model.protector
+            saved_cost = executor.cost
             self.clean_model.attach(None, None)
+            executor.cost = None
             try:
                 self._ref_cache[key] = _generate_all(
                     self.clean_model, prompts, gen_len, self.batched
                 )
             finally:
                 self.clean_model.attach(saved_injector, saved_protector)
+                executor.cost = saved_cost
         return self._ref_cache[key]
 
     def summarization_score(

@@ -3,7 +3,9 @@
 This is the device-under-test of the whole reproduction. Every matrix
 multiplication of the transformer (paper Fig. 2 components Q, K, V, QK^T,
 SV, O and the MLP GEMMs) executes as INT8 x INT8 -> INT32 through
-:class:`GemmExecutor`, which:
+:class:`GemmExecutor` — since the dispatch-pipeline refactor a thin
+orchestrator over the ``repro.dispatch`` instrument chain (DESIGN.md
+section 8) — which:
 
 1. quantizes activations per-matrix (weights are pre-quantized per-channel),
 2. computes the INT32 result with wraparound accumulators,
@@ -37,8 +39,16 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.abft.checksums import checksum_report, slice_inspections
 from repro.abft.protectors import Protector
+from repro.dispatch.pipeline import (
+    GemmCall as DispatchCall,
+    GemmCallRecord,
+    InjectInstrument,
+    Instrument,
+    ProtectInstrument,
+    QuantizeInstrument,
+    RecordInstrument,
+)
 from repro.errors.injector import ErrorInjector
 from repro.errors.sites import Component, GemmSite, Stage
 from repro.models.config import ModelConfig
@@ -46,7 +56,6 @@ from repro.models.float_model import outlier_gain
 from repro.models.kv_cache import KVCache, LayerKV
 from repro.models.replay import (
     CleanTrace,
-    GemmCall,
     ReplaySession,
     replay_skipped_calls,
     resume_layer,
@@ -152,6 +161,15 @@ class QuantizedWeight:
 class GemmExecutor:
     """Runs every protected/injectable GEMM of the quantized model.
 
+    Since the dispatch-pipeline refactor (DESIGN.md section 8) the executor
+    is a thin orchestrator: each ``linear``/``matmul`` builds a
+    :class:`~repro.dispatch.pipeline.GemmCall` and pushes it through an
+    ordered chain of instruments (Quantize, Record, Inject, Protect, Cost)
+    rebuilt on every :meth:`attach`. The executor itself owns only the MAC
+    accounting, the materialize-vs-bypass route decision, and the integer
+    GEMM kernel; the chain with nothing attached is bit-identical to the
+    pre-pipeline inline route (asserted in ``tests/test_dispatch.py``).
+
     Operands may carry leading batch/head axes: a weight GEMM takes
     ``(batch, m, k) @ (k, n)`` and an activation-activation GEMM takes
     ``(batch, heads, m, k) @ (batch, heads, k, n)``; either way the whole
@@ -187,9 +205,36 @@ class GemmExecutor:
         self.mode = "dynamic"
         self.scale_store: dict[str, float] = {}
         #: When set (trace recording), every executed GEMM appends a
-        #: :class:`~repro.models.replay.GemmCall` so a later resumed forward
-        #: can replay the skipped prefix's bookkeeping (DESIGN.md section 7).
-        self.call_log: Optional[list[GemmCall]] = None
+        #: :class:`~repro.dispatch.pipeline.GemmCallRecord` so a later
+        #: resumed forward can replay the skipped prefix's bookkeeping
+        #: (DESIGN.md section 7).
+        self.call_log: Optional[list[GemmCallRecord]] = None
+        self._cost: Optional[Instrument] = None
+        self._rebuild_chain()
+
+    def _rebuild_chain(self) -> None:
+        """Instrument chain in pipeline order (DESIGN.md section 8):
+        Quantize, Record, Inject, Protect, Cost — each present only while
+        its subject is attached."""
+        chain: list[Instrument] = [QuantizeInstrument(self), RecordInstrument(self)]
+        if self.injector is not None:
+            chain.append(InjectInstrument(self.injector))
+        if self.protector is not None:
+            chain.append(ProtectInstrument(self.protector))
+        if self._cost is not None:
+            chain.append(self._cost)
+        self.instruments: tuple[Instrument, ...] = tuple(chain)
+
+    @property
+    def cost(self) -> Optional[Instrument]:
+        """Hardware cost instrument (``None`` — the default — disables cost
+        accounting entirely; the hot path never consults it)."""
+        return self._cost
+
+    @cost.setter
+    def cost(self, instrument: Optional[Instrument]) -> None:
+        self._cost = instrument
+        self._rebuild_chain()
 
     @staticmethod
     def _scale_key(site: GemmSite, operand: str) -> str:
@@ -220,101 +265,70 @@ class GemmExecutor:
     ) -> None:
         self.injector = injector
         self.protector = protector
+        self._rebuild_chain()
 
     def reset_counters(self) -> None:
         """Zero the MAC accounting (fresh energy measurement)."""
         self.total_macs = 0
         self.macs_by_component = {}
 
-    def _execute(
-        self,
-        a_q: np.ndarray,
-        b_q: np.ndarray,
-        out_scale: np.ndarray,
-        site: GemmSite,
-        b_f64: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        rows = int(np.prod(a_q.shape[:-1]))
-        macs = rows * a_q.shape[-1] * b_q.shape[-1]
-        self.total_macs += macs
-        key = site.component.value
-        self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
-        if self.call_log is not None:
-            out_shape = tuple(a_q.shape[:-1]) + (int(b_q.shape[-1]),)
-            self.call_log.append(GemmCall(site=site, macs=macs, shape=out_shape))
+    def dispatch(self, call: DispatchCall) -> np.ndarray:
+        """Run one GEMM call through the instrument chain.
+
+        ``before`` hooks quantize/log the call and vote on materialization;
+        the executor charges the MACs and picks the route; ``after`` hooks
+        then corrupt, protect, and cost-account the result. The bypass
+        route (nothing needs integer accumulators and the int8 reduction
+        cannot leave int32 range) runs the GEMM on the BLAS pipeline and
+        dequantizes directly — bit-identical to the integer route.
+        """
+        for instrument in self.instruments:
+            instrument.before(call)
+        self.total_macs += call.macs
+        key = call.site.component.value
+        self.macs_by_component[key] = self.macs_by_component.get(key, 0) + call.macs
+        a_q, b_q = call.a_q, call.b_q
         no_overflow = (
             self.fast_gemm
             and a_q.dtype == np.int8
             and b_q.dtype == np.int8
             and a_q.shape[-1] * 127 * 127 <= INT32_MAX
         )
-        targeted = self.injector is not None and self.injector.targets(site)
-        if no_overflow and not targeted and self.protector is None:
-            # Fast path: int8 accumulators are exact integers in float64 and
-            # cannot leave int32 range, and nobody needs them as ints — run
-            # the GEMM on the BLAS pipeline and dequantize directly
-            # (bit-identical to the integer route).
-            if self.injector is not None:
-                self.injector.register_untargeted(site)
+        if no_overflow and not call.need_int:
+            for instrument in self.instruments:
+                instrument.after(call)  # bookkeeping only: call.acc is None
+            b_f64 = call.b_f64
             if b_f64 is None:
                 b_f64 = b_q.astype(np.float64)
-            return (a_q.astype(np.float64) @ b_f64) * out_scale
-        clean = gemm_int32(
-            a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm, b_f64=b_f64
+            return (a_q.astype(np.float64) @ b_f64) * call.out_scale
+        call.clean = gemm_int32(
+            a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm, b_f64=call.b_f64
         )
-        acc = clean
-        if self.injector is not None:
-            acc = self.injector.corrupt(clean, site)
-        if self.protector is not None:
-            acc = self._protect(a_q, b_q, clean, acc, site, macs)
-        return acc.astype(np.float64) * out_scale
+        call.acc = call.clean
+        for instrument in self.instruments:
+            instrument.after(call)
+        return call.acc.astype(np.float64) * call.out_scale
 
-    def _protect(
-        self,
-        a_q: np.ndarray,
-        b_q: np.ndarray,
-        clean: np.ndarray,
-        acc: np.ndarray,
-        site: GemmSite,
-        macs: int,
-    ) -> np.ndarray:
-        """Consult the protector per 2-D GEMM slice; recover tripped slices.
-
-        The slicing/charging protocol lives in
-        :func:`~repro.abft.checksums.slice_inspections` (shared with the
-        replay engine's bookkeeping); recovery granularity, the protector's
-        inspection statistics, and the charged recovery MACs all match the
-        paper's per-GEMM protocol independent of batch size.
-        """
-        report = checksum_report(a_q, b_q, acc)
-        if report.diffs.ndim <= 1:
-            for _, sub, sub_macs in slice_inspections(report.diffs, macs):
-                if self.protector.inspect(sub, site, sub_macs):
-                    return clean  # recovery: recompute at nominal voltage
-            return acc
-        n_slices = int(np.prod(report.diffs.shape[:-1]))
-        acc_slices = acc.reshape(n_slices, *acc.shape[-2:])
-        clean_slices = clean.reshape(n_slices, *clean.shape[-2:])
-        out = acc_slices
-        for s, sub, slice_macs in slice_inspections(report.diffs, macs):
-            if self.protector.inspect(sub, site, slice_macs):
-                if out is acc_slices:
-                    out = acc_slices.copy()
-                out[s] = clean_slices[s]
-        return out.reshape(acc.shape)
+    def replay_call(self, site: GemmSite, macs: int, shape: tuple[int, ...]) -> None:
+        """Replay the bookkeeping of one skipped clean GEMM (DESIGN.md
+        section 7): charge the MACs and hand every instrument its
+        ``replay`` hook — RNG-counter advance, zero-discrepancy protector
+        inspections, hardware cost — so a resumed forward is
+        indistinguishable from a full one."""
+        call = DispatchCall(site=site, macs=macs, out_shape=shape, replayed=True)
+        self.total_macs += macs
+        key = site.component.value
+        self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
+        for instrument in self.instruments:
+            instrument.replay(call)
 
     def linear(self, x: np.ndarray, weight: QuantizedWeight, site: GemmSite) -> np.ndarray:
         """Weight GEMM ``x @ W`` with ``x`` of shape ``(..., m, in)``."""
-        a_q, a_params = self._quantize(x, site, "a")
-        out_scale = a_params.scale * weight.params.scale
-        return self._execute(a_q, weight.q, out_scale, site, b_f64=weight.q_f64)
+        return self.dispatch(DispatchCall(site=site, kind="linear", a=x, weight=weight))
 
     def matmul(self, a: np.ndarray, b: np.ndarray, site: GemmSite) -> np.ndarray:
         """Activation-activation GEMM (QK^T, SV) with stacked operands."""
-        a_q, a_params = self._quantize(a, site, "a")
-        b_q, b_params = self._quantize(b, site, "b")
-        out_scale = np.asarray(a_params.scale * b_params.scale)
-        return self._execute(a_q, b_q, out_scale, site)
+        return self.dispatch(DispatchCall(site=site, kind="matmul", a=a, b=b))
 
 
 class QuantizedTransformerLM:
@@ -614,7 +628,7 @@ class QuantizedTransformerLM:
         ex = self.executor
         saved_log = ex.call_log
         boundaries: list[np.ndarray] = []
-        calls: list[list[GemmCall]] = []
+        calls: list[list[GemmCallRecord]] = []
         try:
             h = self._embed_tokens(tokens, position=0)
             for i, layer in enumerate(self.layers):
@@ -759,7 +773,7 @@ class QuantizedTransformerLM:
         saved_log = ex.call_log
         cache = self._empty_cache(prompts.shape[0])
         boundaries: list[np.ndarray] = []
-        calls: list[list[GemmCall]] = []
+        calls: list[list[GemmCallRecord]] = []
         try:
             h = self._embed_tokens(prompts, position=0)
             for i, layer in enumerate(self.layers):

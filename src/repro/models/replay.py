@@ -34,19 +34,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.abft.checksums import slice_inspections
-from repro.errors.sites import GemmSite, Stage
+from repro.dispatch.pipeline import GemmCallRecord
+from repro.errors.sites import Stage
 
-
-@dataclass(frozen=True)
-class GemmCall:
-    """One executed GEMM of a recorded clean forward: enough to replay its
-    bookkeeping (RNG stream advance, protector inspection, MAC charge)
-    without re-executing the arithmetic."""
-
-    site: GemmSite
-    macs: int
-    shape: tuple[int, ...]
+#: Backwards-compatible alias: the per-call record now lives in the
+#: dispatch pipeline (see DESIGN.md section 8), since live dispatch and
+#: replayed bookkeeping share one instrument protocol.
+GemmCall = GemmCallRecord
 
 
 def _freeze(arr: np.ndarray) -> np.ndarray:
@@ -222,29 +216,19 @@ def resume_layer(
     )
 
 
-def replay_skipped_calls(executor, calls: Sequence[GemmCall]) -> None:
+def replay_skipped_calls(executor, calls: Sequence[GemmCallRecord]) -> None:
     """Replay the bookkeeping of skipped clean GEMMs on ``executor``.
 
-    Mirrors what a full forward would have done at each untargeted site:
-    charge the MACs, advance the injector's per-call RNG counter
-    (``register_untargeted``), and hand the protector the zero-discrepancy
-    checksum inspections it would have performed — sliced and charged by
-    the same :func:`~repro.abft.checksums.slice_inspections` protocol as
-    ``GemmExecutor._protect`` — so recovery statistics and charged recovery
-    MACs are identical whether or not the prefix was recomputed.
+    Each record dispatches through the executor's instrument chain
+    (``GemmExecutor.replay_call``), mirroring what a full forward would
+    have done at each untargeted site: charge the MACs, advance the
+    injector's per-call RNG counter (``register_untargeted``), hand the
+    protector the zero-discrepancy checksum inspections it would have
+    performed (sliced and charged by the same
+    :func:`~repro.abft.checksums.slice_inspections` protocol as the live
+    protect instrument), and charge the hardware cost instrument — so
+    recovery statistics, charged recovery MACs, and measured cycles are
+    identical whether or not the prefix was recomputed.
     """
-    injector = executor.injector
-    protector = executor.protector
     for call in calls:
-        executor.total_macs += call.macs
-        key = call.site.component.value
-        executor.macs_by_component[key] = (
-            executor.macs_by_component.get(key, 0) + call.macs
-        )
-        if injector is not None:
-            injector.register_untargeted(call.site)
-        if protector is not None:
-            lead = call.shape[:-2]
-            zero = np.zeros(lead + (call.shape[-1],), dtype=np.int64)
-            for _, report, sub_macs in slice_inspections(zero, call.macs):
-                protector.inspect(report, call.site, sub_macs)
+        executor.replay_call(call.site, call.macs, call.shape)

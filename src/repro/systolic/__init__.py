@@ -8,8 +8,15 @@ hardware-faithful Log2LinearFunction ablation.
 """
 
 from repro.systolic.dataflow import Dataflow, WS, OS, tile_latency_cycles
-from repro.systolic.tiling import TileJob, iter_tiles, tile_counts
-from repro.systolic.array import SystolicArray, GemmRunReport
+from repro.systolic.tiling import (
+    TileJob,
+    TilingPlan,
+    iter_tiles,
+    plan_cycles,
+    tile_counts,
+    tiling_plan,
+)
+from repro.systolic.array import SystolicArray, GemmRunReport, SiteCost
 from repro.systolic.stat_unit import Log2LinearUnit, StatisticalUnit, StatUnitReading
 
 __all__ = [
@@ -18,10 +25,14 @@ __all__ = [
     "OS",
     "tile_latency_cycles",
     "TileJob",
+    "TilingPlan",
     "iter_tiles",
+    "plan_cycles",
     "tile_counts",
+    "tiling_plan",
     "SystolicArray",
     "GemmRunReport",
+    "SiteCost",
     "Log2LinearUnit",
     "StatisticalUnit",
     "StatUnitReading",

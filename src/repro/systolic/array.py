@@ -22,12 +22,12 @@ from repro.errors.injector import ErrorInjector
 from repro.errors.sites import Component, GemmSite, Stage
 from repro.quant.gemm import gemm_int32, wrap_int32
 from repro.systolic.dataflow import Dataflow, tile_latency_cycles
-from repro.systolic.tiling import iter_tiles
+from repro.systolic.tiling import iter_tiles, tiling_plan
 
 
 @dataclass
-class GemmRunReport:
-    """Cycle and recovery accounting for one tiled GEMM execution."""
+class SiteCost:
+    """Cycle and recovery accounting charged to one :class:`GemmSite`."""
 
     tiles: int = 0
     compute_cycles: int = 0
@@ -46,7 +46,7 @@ class GemmRunReport:
         """Recovery cycles as a fraction of compute cycles."""
         return self.recovery_cycles / self.compute_cycles if self.compute_cycles else 0.0
 
-    def merge(self, other: "GemmRunReport") -> None:
+    def merge(self, other: "SiteCost") -> None:
         self.tiles += other.tiles
         self.compute_cycles += other.compute_cycles
         self.recovery_cycles += other.recovery_cycles
@@ -54,6 +54,73 @@ class GemmRunReport:
         self.injected_tiles += other.injected_tiles
         self.macs += other.macs
         self.recovered_macs += other.recovered_macs
+
+
+@dataclass
+class GemmRunReport(SiteCost):
+    """Cycle and recovery accounting for a run of (tiled) GEMM executions.
+
+    Totals live on the inherited :class:`SiteCost` counters; ``by_site``
+    keeps the same counters **keyed by** :class:`GemmSite`, so merging
+    reports from many GEMMs preserves the per-layer/per-component/per-stage
+    breakdown instead of lumping every call together. All mutation goes
+    through :meth:`charge` (or :meth:`merge`), which updates both views in
+    lock step.
+    """
+
+    by_site: dict[GemmSite, SiteCost] = field(default_factory=dict)
+
+    def charge(
+        self,
+        site: GemmSite,
+        tiles: int = 0,
+        compute_cycles: int = 0,
+        recovery_cycles: int = 0,
+        recovered_tiles: int = 0,
+        injected_tiles: int = 0,
+        macs: int = 0,
+        recovered_macs: int = 0,
+    ) -> None:
+        """Charge one execution's counters to ``site`` (and the totals)."""
+        delta = SiteCost(
+            tiles=tiles,
+            compute_cycles=compute_cycles,
+            recovery_cycles=recovery_cycles,
+            recovered_tiles=recovered_tiles,
+            injected_tiles=injected_tiles,
+            macs=macs,
+            recovered_macs=recovered_macs,
+        )
+        SiteCost.merge(self, delta)
+        cost = self.by_site.get(site)
+        if cost is None:
+            self.by_site[site] = delta
+        else:
+            cost.merge(delta)
+
+    def merge(self, other: "GemmRunReport") -> None:
+        """Aggregate ``other`` per site (not lumped): each of its
+        :class:`GemmSite` entries merges into the matching entry here, so
+        layerwise/component cost breakdowns survive aggregation."""
+        SiteCost.merge(self, other)
+        for site, cost in other.by_site.items():
+            mine = self.by_site.get(site)
+            if mine is None:
+                self.by_site[site] = SiteCost(**vars(cost))
+            else:
+                mine.merge(cost)
+
+    def component_totals(self) -> dict[str, SiteCost]:
+        """Per-component aggregation of the per-site breakdown."""
+        out: dict[str, SiteCost] = {}
+        for site, cost in self.by_site.items():
+            key = site.component.value
+            agg = out.get(key)
+            if agg is None:
+                out[key] = SiteCost(**vars(cost))
+            else:
+                agg.merge(cost)
+        return out
 
 
 _DEFAULT_SITE = GemmSite(layer=0, component=Component.Q, stage=Stage.PREFILL)
@@ -99,8 +166,21 @@ class SystolicArray:
         m, k = a_q.shape
         n = b_q.shape[1]
         with_checksum = protector is not None
-        out = np.zeros((m, n), dtype=np.int64)
         report = GemmRunReport()
+        if injector is None and protector is None:
+            # Un-instrumented run: per-tile wraparound accumulation equals
+            # the monolithic wrapped GEMM (modular addition is associative),
+            # and the cycle walk collapses to the memoized tiling plan — so
+            # skip the Python tile loop entirely, bit-identically.
+            plan = tiling_plan(m, k, n, self.size)
+            report.charge(
+                site,
+                tiles=plan.tiles,
+                compute_cycles=plan.cycles(self.dataflow, with_checksum),
+                macs=plan.macs,
+            )
+            return gemm_int32(a_q, b_q), report
+        out = np.zeros((m, n), dtype=np.int64)
         for tile in iter_tiles(m, k, n, self.size):
             a_tile = a_q[tile.i0 : tile.i1, tile.k0 : tile.k1]
             b_tile = b_q[tile.k0 : tile.k1, tile.j0 : tile.j1]
@@ -111,20 +191,23 @@ class SystolicArray:
             cycles = tile_latency_cycles(
                 self.dataflow, tile.m, tile.k, tile.n, with_checksum
             )
-            report.tiles += 1
-            report.compute_cycles += cycles
-            report.macs += tile.macs
-            if np.any(observed != clean):
-                report.injected_tiles += 1
+            injected = bool(np.any(observed != clean))
+            recovered = False
             if protector is not None:
                 tile_report = checksum_report(a_tile, b_tile, observed)
                 if protector.inspect(tile_report, site, tile.macs):
                     observed = clean  # recompute at nominal voltage
-                    report.recovered_tiles += 1
-                    report.recovered_macs += tile.macs
-                    report.recovery_cycles += tile_latency_cycles(
-                        self.dataflow, tile.m, tile.k, tile.n, with_checksum
-                    )
+                    recovered = True
+            report.charge(
+                site,
+                tiles=1,
+                compute_cycles=cycles,
+                macs=tile.macs,
+                injected_tiles=int(injected),
+                recovered_tiles=int(recovered),
+                recovered_macs=tile.macs if recovered else 0,
+                recovery_cycles=cycles if recovered else 0,
+            )
             block = out[tile.i0 : tile.i1, tile.j0 : tile.j1]
             out[tile.i0 : tile.i1, tile.j0 : tile.j1] = wrap_int32(block + observed)
         return out, report

@@ -1,10 +1,26 @@
-"""GEMM tiling onto a fixed-size systolic array."""
+"""GEMM tiling onto a fixed-size systolic array.
+
+Besides the per-tile iterator (:func:`iter_tiles`, used by the functional
+simulator when faults must be injected tile by tile), this module memoizes
+**tiling plans**: for a given ``(m, k, n, size)`` the tile count, MAC count,
+and total latency cycles per dataflow are closed-form sums over the tile
+edge lengths, computed once and cached (:func:`tiling_plan`,
+:func:`plan_cycles`). The cost instrument of the GEMM dispatch pipeline
+(see DESIGN.md section 8) hits these caches on every call, so hardware cost
+accounting stays off the hot path: the handful of distinct GEMM shapes a
+model executes resolve to dictionary lookups after the first forward.
+"""
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Iterator
+
+import numpy as np
+
+from repro.systolic.dataflow import Dataflow
 
 
 @dataclass(frozen=True)
@@ -42,6 +58,78 @@ def tile_counts(m: int, k: int, n: int, size: int) -> tuple[int, int, int]:
         math.ceil(k / size),
         math.ceil(n / size),
     )
+
+
+def _edge_sizes(dim: int, size: int) -> np.ndarray:
+    """Tile edge lengths along one dimension: ``size`` repeated, then the
+    remainder (if any)."""
+    full, rem = divmod(dim, size)
+    edges = [size] * full
+    if rem:
+        edges.append(rem)
+    return np.asarray(edges, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """Memoized tiling of one ``m x k x n`` GEMM onto a ``size``-PE array."""
+
+    m: int
+    k: int
+    n: int
+    size: int
+    tiles: int
+    macs: int
+
+    def cycles(self, dataflow: Dataflow, with_checksum: bool = False) -> int:
+        """Total latency cycles of the plan's tile walk (memoized)."""
+        return plan_cycles(self.m, self.k, self.n, self.size, dataflow, with_checksum)
+
+
+@functools.lru_cache(maxsize=None)
+def tiling_plan(m: int, k: int, n: int, size: int) -> TilingPlan:
+    """The memoized plan for an ``m x k x n`` GEMM on a ``size`` array.
+
+    Cached per unique shape (a model executes only a handful), so the
+    dispatch pipeline's cost instrument never re-walks tiles per call.
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if size <= 0:
+        raise ValueError("array size must be positive")
+    nm, nk, nn = tile_counts(m, k, n, size)
+    return TilingPlan(m=m, k=k, n=n, size=size, tiles=nm * nk * nn, macs=m * k * n)
+
+
+@functools.lru_cache(maxsize=None)
+def plan_cycles(
+    m: int, k: int, n: int, size: int, dataflow: Dataflow, with_checksum: bool = False
+) -> int:
+    """Total cycles of the full tile walk — the vectorized (closed-form)
+    equivalent of summing :func:`~repro.systolic.dataflow.tile_latency_cycles`
+    over :func:`iter_tiles`, asserted equal in ``tests/test_dispatch.py``.
+
+    Per-tile latencies are separable sums of the tile edge lengths
+    (``k_i + m_i + n_i - 1`` for WS/IS, ``+ min(m_i, n_i) - 1`` more for
+    OS), so the walk collapses to products of tile counts with whole-dim
+    sums plus, for OS, one outer ``min`` over the m/n edge vectors.
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if size <= 0:
+        raise ValueError("array size must be positive")
+    nm, nk, nn = tile_counts(m, k, n, size)
+    tiles = nm * nk * nn
+    checksum = 1 if with_checksum else 0
+    # sum over all tiles of (k_i + m_i + n_i): each edge sum telescopes to
+    # the whole dimension, repeated once per tile of the other two axes.
+    edge_total = nk * nn * m + nm * nn * k + nm * nk * n
+    if dataflow is Dataflow.OS:
+        drain = int(
+            np.minimum.outer(_edge_sizes(m, size), _edge_sizes(n, size)).sum()
+        ) * nk
+        return edge_total + tiles * (checksum - 2) + drain
+    return edge_total + tiles * (checksum - 1)
 
 
 def iter_tiles(m: int, k: int, n: int, size: int) -> Iterator[TileJob]:

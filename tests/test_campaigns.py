@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import math
+from pathlib import Path
 
 import pytest
 
@@ -445,3 +446,25 @@ class TestCampaignCli:
         assert main(["campaign", "report", "--spec", str(spec_file),
                      "--store", store, "--csv", csv_path]) == 0
         assert "wrote 2 rows" in capsys.readouterr().out
+
+    def test_report_costs_flag(self, tmp_path, opt_bundle, capsys):
+        from repro.cli import main
+        from repro.dispatch import CostSpec
+
+        spec = _small_spec(name="cli-cost-camp", seeds=(0,), cost=CostSpec(size=32))
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--spec", str(spec_file), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--spec", str(spec_file),
+                     "--store", store]) == 0
+        assert "cycles" not in capsys.readouterr().out
+        csv_path = str(tmp_path / "out.csv")
+        assert main(["campaign", "report", "--spec", str(spec_file),
+                     "--store", store, "--costs", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "energy (uJ)" in out
+        header, row = Path(csv_path).read_text().strip().splitlines()[:2]
+        cycles = int(row.split(",")[header.split(",").index("cycles")])
+        assert cycles > 0
