@@ -14,7 +14,12 @@ Emits ``benchmarks/results/BENCH_replay.json`` with trials/sec per cell
 
 Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``) shrinks the workload to
 ``opt-mini`` and skips the speedup assertion so CI can exercise the
-benchmark in seconds.
+benchmark in seconds. The **>= 3x assertion is enforced only in full
+(non-smoke) runs**: a smoke cell times sub-millisecond forwards on a
+2-layer model, where a layer-0 trial resumes from the very first boundary
+and replay's bookkeeping overhead can legitimately record sub-1x
+"speedups" (see the committed ``BENCH_replay.json``) — that is measurement
+noise on a workload replay is not built for, not a regression.
 """
 
 from __future__ import annotations
@@ -109,6 +114,11 @@ def _run():
         title=(
             f"Q1.1 layer cells of {MODEL} ({SIZING.lm_sequences} sequences x "
             f"{len(BERS)} BERs, bit-identical scores across routes)"
+            + (
+                "; smoke mode: sub-ms cells, >=3x asserted only in full runs"
+                if SMOKE
+                else ""
+            )
         ),
     )
 

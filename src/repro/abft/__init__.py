@@ -20,6 +20,7 @@ from repro.abft.protectors import (
     ClassicalABFT,
     ApproxABFT,
     StatisticalABFT,
+    LaneProtector,
     ProtectionStats,
 )
 from repro.abft.baselines import MethodProfile, METHOD_PROFILES
@@ -38,6 +39,7 @@ __all__ = [
     "ClassicalABFT",
     "ApproxABFT",
     "StatisticalABFT",
+    "LaneProtector",
     "ProtectionStats",
     "MethodProfile",
     "METHOD_PROFILES",

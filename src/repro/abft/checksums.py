@@ -142,3 +142,22 @@ def slice_inspections(diffs: np.ndarray, macs: int):
     for s in range(n_slices):
         d = flat[s]
         yield s, ChecksumReport(diffs=d, msd=int(np.abs(d).sum())), slice_macs
+
+
+def lane_of_slice(index: int, n_slices: int, n_lanes: int) -> int:
+    """Owning lane of 2-D slice ``index`` in a lane-packed dispatch.
+
+    Lane packing stacks K trials along the *leading* batch axis (DESIGN.md
+    section 9), and :func:`slice_inspections` flattens leading axes in
+    C order, so a packed call's slices form ``n_lanes`` contiguous runs of
+    ``n_slices // n_lanes`` — slice ``index`` belongs to run
+    ``index // run``. This is the single definition of lane ownership,
+    shared by the protect instrument's inspection routing and the per-lane
+    cost accounting, so the two can never disagree about which lane a
+    recovery belongs to.
+    """
+    if n_lanes <= 0 or n_slices % n_lanes:
+        raise ValueError(
+            f"{n_slices} slices do not split into {n_lanes} equal lane runs"
+        )
+    return index // (n_slices // n_lanes)

@@ -21,9 +21,9 @@ Implemented policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.abft.checksums import ChecksumReport
+from repro.abft.checksums import ChecksumReport, lane_of_slice
 from repro.abft.region import CriticalRegion
 from repro.errors.sites import GemmSite
 
@@ -74,6 +74,58 @@ class Protector:
         recover = self.should_recover(report, site)
         self.stats.record(site, report.any_error, recover, macs)
         return recover
+
+    def for_slice(self, index: Optional[int], n_slices: int) -> "Protector":
+        """Protector owning 2-D slice ``index`` of ``n_slices``.
+
+        Lane-routing hook for the dispatch pipeline's protect instrument: a
+        plain protector owns every slice of every call; :class:`LaneProtector`
+        overrides this to hand each lane's slices to that lane's protector.
+        """
+        return self
+
+
+class LaneProtector(Protector):
+    """Routes per-slice inspections to one protector per batch lane.
+
+    A lane-packed dispatch (DESIGN.md section 9) inspects every 2-D slice of
+    the packed call exactly as the solo runs would, but each slice's
+    decision — and its statistics and charged recovery MACs — must land on
+    the protector of the trial that owns the slice. Lanes stack along the
+    leading batch axis, so the slice runs resolve through
+    :func:`~repro.abft.checksums.lane_of_slice`. Every lane protector sees
+    precisely the inspections of its solo run; this wrapper keeps no
+    decision logic of its own.
+    """
+
+    name = "lanes"
+
+    def __init__(self, lanes: Sequence[Protector]) -> None:
+        super().__init__()
+        if not lanes or any(lane is None for lane in lanes):
+            raise ValueError("a lane protector needs one protector per lane")
+        self.lanes: tuple[Protector, ...] = tuple(lanes)
+
+    def reset(self) -> None:
+        super().reset()
+        for lane in self.lanes:
+            lane.reset()
+
+    def lane_of(self, index: int, n_slices: int) -> int:
+        return lane_of_slice(index, n_slices, len(self.lanes))
+
+    def for_slice(self, index: Optional[int], n_slices: int) -> Protector:
+        if index is None:
+            raise ValueError(
+                "lane-packed dispatches need a leading batch axis; a plain "
+                "2-D GEMM has no lane structure"
+            )
+        return self.lanes[self.lane_of(index, n_slices)]
+
+    def should_recover(self, report: ChecksumReport, site: GemmSite) -> bool:
+        raise NotImplementedError(
+            "LaneProtector only routes; decisions belong to its lanes"
+        )
 
 
 class NoProtection(Protector):

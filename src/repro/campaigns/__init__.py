@@ -27,9 +27,11 @@ from repro.dispatch.cost import CostSpec
 from repro.campaigns.stopping import CONTINUE, STOP, StoppingPolicy
 from repro.campaigns.store import ResultStore, StoredRecord, TrialResult
 
-#: Executor names resolved lazily: the executor drags in the ReaLM pipeline,
-#: whose calibration path imports the sweeps, which import this package.
+#: Executor/lane names resolved lazily: the executor drags in the ReaLM
+#: pipeline, whose calibration path imports the sweeps, which import this
+#: package.
 _EXECUTOR_EXPORTS = frozenset({"RunReport", "evaluate_trial", "run_campaign"})
+_LANE_EXPORTS = frozenset({"LanePacker", "evaluate_lane_pack", "prepare_lanes"})
 
 
 def __getattr__(name: str):
@@ -37,6 +39,10 @@ def __getattr__(name: str):
         from repro.campaigns import executor
 
         return getattr(executor, name)
+    if name in _LANE_EXPORTS:
+        from repro.campaigns import lanes
+
+        return getattr(lanes, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -45,6 +51,7 @@ __all__ = [
     "CellSummary",
     "CostSpec",
     "ErrorSpec",
+    "LanePacker",
     "NO_METHOD",
     "ResultStore",
     "RunReport",
@@ -56,9 +63,11 @@ __all__ = [
     "CONTINUE",
     "STOP",
     "aggregate",
+    "evaluate_lane_pack",
     "evaluate_trial",
     "example_spec",
     "export_csv",
+    "prepare_lanes",
     "report_table",
     "run_campaign",
     "status_table",

@@ -25,27 +25,28 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
-from repro.abft.protectors import ClassicalABFT, Protector
+from repro.campaigns.lanes import (
+    DEFAULT_MAX_LANES,
+    LanePacker,
+    build_injector,
+    build_protector,
+    evaluate_lane_pack,
+    trial_costs as _trial_costs,
+)
 from repro.campaigns.spec import NO_METHOD, CampaignSpec, Trial
 from repro.campaigns.stopping import STOP
 from repro.campaigns.store import ResultStore, TrialResult
 from repro.characterization.evaluator import ModelEvaluator
-from repro.circuits.voltage import VoltageBerModel
-from repro.core.methods import METHODS, analytic_recovered_macs
+from repro.core.methods import METHODS
 from repro.core.realm import ReaLMConfig, ReaLMPipeline
 from repro.dispatch.cost import CostSpec
-from repro.energy.model import EnergyModel
-from repro.errors.injector import ErrorInjector
-from repro.errors.sites import Component
 from repro.training.zoo import get_pretrained
 from repro.utils.logging import get_logger
 
 logger = get_logger("campaigns")
-
-_VOLTAGE_MODEL = VoltageBerModel()
 
 
 def _needs_pipeline(method: str) -> bool:
@@ -70,36 +71,17 @@ def evaluate_trial(
     ``recovered_macs`` / ``energy_j`` columns with hardware costs measured
     on the trial's actual GEMM calls (energy at the trial's voltage, or
     nominal when the grid has no voltage axis).
+
+    This is the per-trial reference route the lane-packed executor
+    (:mod:`repro.campaigns.lanes`) is asserted bit-identical against.
     """
     start = time.perf_counter()
-    ber = _VOLTAGE_MODEL.ber(trial.voltage) if trial.voltage is not None else None
-    error_model = trial.error.build(ber=ber)
-    injector = (
-        ErrorInjector(error_model, trial.site.to_filter(), seed=trial.seed)
-        if error_model is not None
-        else None
-    )
+    injector = build_injector(trial)
     cost_instrument = cost.build() if cost is not None else None
-
-    protector: Optional[Protector] = None
-    method = trial.method
-    if method not in (NO_METHOD, "no-protection"):
-        spec = METHODS[method]
-        if method == "classical-abft":
-            protector = ClassicalABFT()
-        elif spec.behavioral:
-            if pipeline is None:
-                raise ValueError(f"method {method!r} needs a calibrated pipeline")
-            components = (
-                tuple(Component(c) for c in trial.site.components)
-                if trial.site.components is not None
-                else tuple(evaluator.bundle.config.components)
-            )
-            pipeline.calibrate(components)
-            protector = pipeline.protector_for(method, components)
+    protector = build_protector(trial, evaluator, pipeline)
 
     score = evaluator.run(injector, protector, cost=cost_instrument)
-    if method not in (NO_METHOD,) and METHODS[method].exact_correction:
+    if trial.method not in (NO_METHOD,) and METHODS[trial.method].exact_correction:
         score = evaluator.clean_score  # detected-and-replayed: fault-free output
     cycles = recovered_macs = 0
     energy_j = 0.0
@@ -119,38 +101,6 @@ def evaluate_trial(
         elapsed_s=time.perf_counter() - start,
         worker=os.getpid(),
     )
-
-
-def _trial_costs(trial, cost_instrument, injector, evaluator):
-    """Hardware costs of one scored trial: (cycles, recovered_macs, energy_j).
-
-    Cycles and MAC counts come straight from the cost instrument's measured
-    report. Energy accounting is method-aware, mirroring
-    ``ReaLMPipeline.evaluate_method_at``: a registered method contributes
-    its detection-power overhead and compute factor (2.0 for DMR), and the
-    non-behavioral methods — which recover analytically rather than through
-    a protector the instrument can observe — charge their replay MACs from
-    the injector statistics. Energy is evaluated at the trial's voltage
-    (nominal when the grid has no voltage axis).
-    """
-    report = cost_instrument.report
-    recovered_macs = report.recovered_macs
-    params = cost_instrument.params
-    method = trial.method
-    if method in METHODS:
-        spec = METHODS[method]
-        params = replace(
-            params,
-            detection_overhead=spec.detection_overhead,
-            compute_factor=spec.compute_factor,
-        )
-        if not spec.behavioral and injector is not None:
-            recovered_macs = analytic_recovered_macs(
-                method, injector.stats.injected_errors, evaluator.bundle.config.d_model
-            )
-    voltage = params.v_nominal if trial.voltage is None else trial.voltage
-    energy_j = EnergyModel(params).breakdown(report.macs, recovered_macs, voltage).total_j
-    return report.total_cycles, recovered_macs, energy_j
 
 
 # --------------------------------------------------------------- worker side
@@ -202,6 +152,40 @@ def _run_trial_payload(payload: dict) -> dict:
         return {"key": trial.key, "trial": payload, "error": repr(exc)}
 
 
+def _run_pack_payload(payload: dict) -> list[dict]:
+    """Pool entry point for a lane pack: trial dicts in, outcome dicts out.
+
+    Single-lane packs route straight through the per-trial reference path.
+    A multi-lane pack that fails for any reason degrades to per-trial
+    execution instead of failing all its lanes at once — the lane
+    vectorization is a pure throughput optimization, never a correctness
+    dependency.
+    """
+    trial_payloads = payload["trials"]
+    cost_payload = payload.get("cost")
+
+    def solo(trial_payload: dict) -> dict:
+        single = dict(trial_payload)
+        if cost_payload is not None:
+            single["cost"] = cost_payload
+        return _run_trial_payload(single)
+
+    if len(trial_payloads) == 1:
+        return [solo(trial_payloads[0])]
+    cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
+    trials = [Trial.from_dict(p) for p in trial_payloads]
+    try:
+        evaluator, pipeline = _trial_context(trials[0])
+        results = evaluate_lane_pack(trials, evaluator, pipeline, cost=cost)
+        return [
+            {"key": trial.key, "trial": trial_payload, "result": result.to_dict()}
+            for trial, trial_payload, result in zip(trials, trial_payloads, results)
+        ]
+    except Exception as exc:
+        logger.warning("lane pack failed (%r); re-running its trials solo", exc)
+        return [solo(p) for p in trial_payloads]
+
+
 # --------------------------------------------------------------- parent side
 @dataclass
 class RunReport:
@@ -232,16 +216,16 @@ class _Cell:
 
 
 class _SerialRunner:
-    """Runs trials in-process, sharing the worker caches.
+    """Runs lane packs in-process, sharing the worker caches.
 
-    ``run`` yields each outcome as it completes so the parent can persist
-    it immediately — materializing the wave first would mean a crash loses
-    every already-computed result.
+    ``run`` yields each pack's outcomes as they complete so the parent can
+    persist them immediately — materializing the wave first would mean a
+    crash loses every already-computed result.
     """
 
-    def run(self, payloads: Sequence[dict]) -> Iterator[dict]:
+    def run(self, payloads: Sequence[dict]) -> Iterator[list[dict]]:
         for payload in payloads:
-            yield _run_trial_payload(payload)
+            yield _run_pack_payload(payload)
 
     def close(self) -> None:
         pass
@@ -318,8 +302,8 @@ class _PoolRunner:
             initargs=initargs if self.shared_packs else (),
         )
 
-    def run(self, payloads: Sequence[dict]) -> Iterator[dict]:
-        return self.pool.imap_unordered(_run_trial_payload, payloads, chunksize=1)
+    def run(self, payloads: Sequence[dict]) -> Iterator[list[dict]]:
+        return self.pool.imap_unordered(_run_pack_payload, payloads, chunksize=1)
 
     def close(self) -> None:
         self.pool.close()
@@ -333,6 +317,7 @@ def run_campaign(
     store: ResultStore,
     workers: int = 0,
     on_result=None,
+    lane_width: int = DEFAULT_MAX_LANES,
 ) -> RunReport:
     """Execute every not-yet-stored trial of ``spec``, writing into ``store``.
 
@@ -341,6 +326,11 @@ def run_campaign(
     to the store the moment it arrives, so a killed run resumes cleanly.
     ``on_result`` (if given) is called with each new ``StoredRecord``-shaped
     payload dict, for progress display.
+
+    ``lane_width`` caps how many trials pack into one batched forward
+    (DESIGN.md section 9); results are bit-identical at any width, so the
+    knob only trades activation memory against per-dispatch overhead.
+    ``lane_width=1`` restores strictly per-trial execution.
     """
     start = time.perf_counter()
     policy = spec.stopping
@@ -399,6 +389,7 @@ def run_campaign(
                 raise
         else:
             runner = _SerialRunner()
+    packer = LanePacker(max_lanes=max(1, lane_width)) if runner is not None else None
     try:
         wave_index = 0
         while active:
@@ -413,32 +404,36 @@ def run_campaign(
                     wave.append(trial)
                     owner[trial.key] = cell
                 del cell.pending[:take]
+            packs = packer.pack(wave)
             wave_index += 1
             logger.info(
-                "wave %d: %d trials across %d cells (%s)",
-                wave_index, len(wave), len(active),
+                "wave %d: %d trials in %d lane packs across %d cells (%s)",
+                wave_index, len(wave), len(packs), len(active),
                 f"{workers} workers" if workers > 1 else "serial",
             )
             payloads = []
-            for trial in wave:
-                payload = trial.to_dict()
+            for pack in packs:
+                payload = {"trials": [trial.to_dict() for trial in pack]}
                 if spec.cost is not None:
                     payload["cost"] = spec.cost.to_dict()
                 payloads.append(payload)
-            for outcome in runner.run(payloads):
-                trial = Trial.from_dict(outcome["trial"])
-                cell = owner[outcome["key"]]
-                if "error" in outcome:
-                    report.failed += 1
-                    report.errors.append(f"{trial.cell_label}#s{trial.seed}: {outcome['error']}")
-                    logger.info("trial failed: %s", report.errors[-1])
-                    continue
-                result = TrialResult.from_dict(outcome["result"])
-                store.add(trial, result)
-                report.executed += 1
-                cell.values.append(result.degradation)
-                if on_result is not None:
-                    on_result(outcome)
+            for outcomes in runner.run(payloads):
+                for outcome in outcomes:
+                    trial = Trial.from_dict(outcome["trial"])
+                    cell = owner[outcome["key"]]
+                    if "error" in outcome:
+                        report.failed += 1
+                        report.errors.append(
+                            f"{trial.cell_label}#s{trial.seed}: {outcome['error']}"
+                        )
+                        logger.info("trial failed: %s", report.errors[-1])
+                        continue
+                    result = TrialResult.from_dict(outcome["result"])
+                    store.add(trial, result)
+                    report.executed += 1
+                    cell.values.append(result.degradation)
+                    if on_result is not None:
+                        on_result(outcome)
 
             still_active: list[_Cell] = []
             for cell in active:

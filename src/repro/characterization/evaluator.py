@@ -208,25 +208,37 @@ class ModelEvaluator:
         self._clean_score: Optional[float] = None
 
     # ------------------------------------------------------------- scoring
-    def score(self) -> float:
+    def score(self, lanes: int = 1):
         """Run the task with whatever injector/protector is attached.
 
         Scoring is scoped inside this evaluator's replay session (if any):
         the clean pass records traces, injected passes resume from them.
+        ``lanes > 1`` scores a lane-packed batch of K trials in one pass
+        (DESIGN.md section 9) and returns one score per lane; the attached
+        instruments must then be the lane-aware wrappers.
         """
         with self.model.replay_into(self._replay_session):
-            return self._score_task()
+            if lanes == 1:
+                return self._score_task()
+            with self.model.lanes(lanes):
+                return self._score_task(lanes=lanes)
 
-    def _score_task(self) -> float:
+    def _score_task(self, lanes: int = 1):
         if self.task == "perplexity":
-            return evaluate_perplexity(self.model, self._data, batched=self.batched)
+            return evaluate_perplexity(
+                self.model, self._data, batched=self.batched, lanes=lanes
+            )
         if self.task == "lambada":
-            return evaluate_last_token_accuracy(self.model, self._data, batched=self.batched)
+            return evaluate_last_token_accuracy(
+                self.model, self._data, batched=self.batched, lanes=lanes
+            )
         if self.task == "xsum":
-            return self._harness.summarization_score(self.model, self._data)
+            return self._harness.summarization_score(self.model, self._data, lanes=lanes)
         if self.task == "gsm8k":
-            return self._harness.arithmetic_score(self.model, self._data)
-        return evaluate_multiple_choice(self.model, self._data, batched=self.batched)
+            return self._harness.arithmetic_score(self.model, self._data, lanes=lanes)
+        return evaluate_multiple_choice(
+            self.model, self._data, batched=self.batched, lanes=lanes
+        )
 
     @property
     def clean_score(self) -> float:
@@ -251,6 +263,7 @@ class ModelEvaluator:
         injector: Optional[ErrorInjector] = None,
         protector: Optional[Protector] = None,
         cost: Optional[CostInstrument] = None,
+        lanes: Optional[int] = None,
     ) -> float:
         """Attach, score, detach; returns the raw score.
 
@@ -260,6 +273,15 @@ class ModelEvaluator:
         run executed or replayed (DESIGN.md section 8). The baseline is
         cached before attaching, so clean-score forwards are never charged
         to the trial's cost report.
+
+        ``lanes=K`` runs a lane-packed batch of K trials in one scoring
+        pass (DESIGN.md section 9): ``injector``/``protector``/``cost``
+        must then be the lane-aware wrappers
+        (:class:`~repro.errors.injector.LaneInjector`,
+        :class:`~repro.abft.protectors.LaneProtector`,
+        :class:`~repro.dispatch.cost.LaneCostInstrument`) and the return
+        value is one score per lane, each bit-identical to running that
+        lane's trial alone.
         """
         baseline = self.clean_score  # ensure cached before attaching  # noqa: F841
         executor = self.model.executor
@@ -267,7 +289,7 @@ class ModelEvaluator:
         self.model.attach(injector, protector)
         executor.cost = cost
         try:
-            return self.score()
+            return self.score(lanes=1 if lanes is None else lanes)
         finally:
             self.model.attach(None, None)
             executor.cost = saved_cost

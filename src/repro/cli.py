@@ -250,7 +250,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> str:
 
     spec = _load_spec(args)
     with _open_store(args, spec) as store:
-        report = run_campaign(spec, store, workers=args.workers)
+        lanes = {} if args.lanes is None else {"lane_width": args.lanes}
+        report = run_campaign(spec, store, workers=args.workers, **lanes)
         out = [f"campaign {spec.name}: {report.summary()}"]
         out.extend(f"FAILED {line}" for line in report.errors)
         out.append(f"store: {store.directory}")
@@ -342,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--spec", required=True, help="path to a campaign spec JSON")
     c.add_argument("--workers", type=int, default=0,
                    help="worker processes (0 = serial in-process)")
+    c.add_argument("--lanes", type=int, default=None,
+                   help="max trials packed into one batched forward "
+                        "(default: the library's lane width; 1 = per-trial "
+                        "execution; results are bit-identical)")
     c.add_argument("--store", default=None,
                    help="result-store directory (default: cache dir by name)")
     c.set_defaults(func=cmd_campaign_run)

@@ -19,7 +19,7 @@ from repro.dispatch.pipeline import (
     QuantizeInstrument,
     RecordInstrument,
 )
-from repro.dispatch.cost import CostInstrument, CostSpec
+from repro.dispatch.cost import CostInstrument, CostSpec, LaneCostInstrument
 
 __all__ = [
     "GemmCall",
@@ -31,4 +31,5 @@ __all__ = [
     "ProtectInstrument",
     "CostInstrument",
     "CostSpec",
+    "LaneCostInstrument",
 ]

@@ -20,6 +20,7 @@ evaluations stay within a few percent of their uninstrumented wall clock
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.dispatch.pipeline import GemmCall, Instrument
 from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
@@ -100,6 +101,62 @@ class CostInstrument(Instrument):
         model = EnergyModel(self.params)
         v = self.params.v_nominal if voltage is None else voltage
         return model.breakdown(self.report.macs, self.report.recovered_macs, v)
+
+
+class LaneCostInstrument(Instrument):
+    """Per-lane hardware cost accounting for lane-packed dispatches.
+
+    Holds one :class:`CostInstrument` per batch lane (DESIGN.md section 9).
+    Every observed call's 2-D slices split into equal contiguous lane runs
+    (the same ownership rule as
+    :func:`~repro.abft.checksums.lane_of_slice`), so each lane is charged
+    tiles, cycles, MACs — and, via the protect instrument's per-lane
+    recovery breakdown, recovery work — **bit-identically** to what its
+    solo run's instrument would have measured: the per-slice tiling plan
+    depends only on the slice's (m, k, n), which packing never changes.
+    """
+
+    name = "cost"
+
+    def __init__(self, lanes: Sequence[CostInstrument]) -> None:
+        if not lanes:
+            raise ValueError("a lane cost instrument needs at least one lane")
+        self.lanes: tuple[CostInstrument, ...] = tuple(lanes)
+
+    def reset(self) -> None:
+        for lane in self.lanes:
+            lane.reset()
+
+    def after(self, call: GemmCall) -> None:
+        self._observe(call)
+
+    def replay(self, call: GemmCall) -> None:
+        self._observe(call)
+
+    def _observe(self, call: GemmCall) -> None:
+        n_lanes = len(self.lanes)
+        n_slices, m, k, n = call.slice_shape()
+        if n_slices % n_lanes or call.macs % n_lanes:
+            raise ValueError(
+                f"call at {call.site} ({n_slices} slices, {call.macs} MACs) "
+                f"does not split into {n_lanes} lanes"
+            )
+        lane_slices = n_slices // n_lanes
+        lane_macs = call.macs // n_lanes
+        rec_slices = call.recovered_slices_by_lane or [0] * n_lanes
+        rec_macs = call.recovered_macs_by_lane or [0] * n_lanes
+        for j, inst in enumerate(self.lanes):
+            plan = tiling_plan(m, k, n, inst.size)
+            cycles = plan.cycles(inst.dataflow, with_checksum=call.protected)
+            inst.report.charge(
+                call.site,
+                tiles=plan.tiles * lane_slices,
+                compute_cycles=cycles * lane_slices,
+                macs=lane_macs,
+                recovered_tiles=plan.tiles * rec_slices[j],
+                recovered_macs=rec_macs[j],
+                recovery_cycles=cycles * rec_slices[j],
+            )
 
 
 @dataclass(frozen=True)

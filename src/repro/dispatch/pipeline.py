@@ -86,9 +86,14 @@ class GemmCall:
     # accumulators (materialized route only)
     clean: Optional[np.ndarray] = None
     acc: Optional[np.ndarray] = None
-    # recovery outcome (set by ProtectInstrument, read by CostInstrument)
+    # recovery outcome (set by ProtectInstrument, read by CostInstrument);
+    # the per-lane breakdowns are filled only on lane-packed dispatches
+    # (DESIGN.md section 9), where the cost instrument must attribute each
+    # recovered slice to the trial lane that tripped it.
     recovered_slices: int = 0
     recovered_macs: int = 0
+    recovered_slices_by_lane: Optional[list[int]] = None
+    recovered_macs_by_lane: Optional[list[int]] = None
 
     @property
     def stage(self):
@@ -222,13 +227,21 @@ class ProtectInstrument(Instrument):
         call.need_int = True
         call.protected = True
 
+    def _lane_count(self) -> Optional[int]:
+        lanes = getattr(self.protector, "lanes", None)
+        return len(lanes) if lanes is not None else None
+
     def after(self, call: GemmCall) -> None:
         # ``before`` forces materialization, so ``call.acc`` is never None.
         report = checksum_report(call.a_q, call.b_q, call.acc)
         macs = call.macs
+        n_lanes = self._lane_count()
+        if n_lanes is not None:
+            call.recovered_slices_by_lane = [0] * n_lanes
+            call.recovered_macs_by_lane = [0] * n_lanes
         if report.diffs.ndim <= 1:
             for _, sub, sub_macs in slice_inspections(report.diffs, macs):
-                if self.protector.inspect(sub, call.site, sub_macs):
+                if self.protector.for_slice(None, 1).inspect(sub, call.site, sub_macs):
                     # recovery: recompute at nominal voltage
                     call.acc = call.clean
                     call.recovered_slices += 1
@@ -241,19 +254,25 @@ class ProtectInstrument(Instrument):
         clean_slices = clean.reshape(n_slices, *clean.shape[-2:])
         out = acc_slices
         for s, sub, slice_macs in slice_inspections(report.diffs, macs):
-            if self.protector.inspect(sub, call.site, slice_macs):
+            protector = self.protector.for_slice(s, n_slices)
+            if protector.inspect(sub, call.site, slice_macs):
                 if out is acc_slices:
                     out = acc_slices.copy()
                 out[s] = clean_slices[s]
                 call.recovered_slices += 1
                 call.recovered_macs += slice_macs
+                if n_lanes is not None:
+                    lane = self.protector.lane_of(s, n_slices)
+                    call.recovered_slices_by_lane[lane] += 1
+                    call.recovered_macs_by_lane[lane] += slice_macs
         call.acc = out.reshape(acc.shape)
 
     def replay(self, call: GemmCall) -> None:
         # A skipped clean call would have produced zero discrepancies at
-        # every slice; hand the protector exactly those inspections.
+        # every slice; hand the owning protector exactly those inspections.
         call.protected = True
         lead = call.out_shape[:-2]
         zero = np.zeros(lead + (call.out_shape[-1],), dtype=np.int64)
-        for _, report, sub_macs in slice_inspections(zero, call.macs):
-            self.protector.inspect(report, call.site, sub_macs)
+        n_slices = int(np.prod(lead)) if lead else 1
+        for s, report, sub_macs in slice_inspections(zero, call.macs):
+            self.protector.for_slice(s, n_slices).inspect(report, call.site, sub_macs)

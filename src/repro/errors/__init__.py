@@ -7,19 +7,21 @@ additive errors with controlled magnitude and frequency so that
 ``MSD = freq * mag`` (Sec. III-B), enabling the Q1.4 trade-off study.
 """
 
-from repro.errors.sites import Component, Stage, GemmSite, SiteFilter
+from repro.errors.sites import Component, Stage, GemmSite, SiteFilter, SiteFilterUnion
 from repro.errors.models import BitFlipModel, MagFreqModel, StuckHighBitModel, ErrorModel
-from repro.errors.injector import ErrorInjector, InjectionStats
+from repro.errors.injector import ErrorInjector, InjectionStats, LaneInjector
 
 __all__ = [
     "Component",
     "Stage",
     "GemmSite",
     "SiteFilter",
+    "SiteFilterUnion",
     "BitFlipModel",
     "MagFreqModel",
     "StuckHighBitModel",
     "ErrorModel",
     "ErrorInjector",
     "InjectionStats",
+    "LaneInjector",
 ]

@@ -9,11 +9,12 @@ targeted and applies the configured error model, keeping running statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors.models import ErrorModel
-from repro.errors.sites import GemmSite, SiteFilter
+from repro.errors.sites import GemmSite, SiteFilter, SiteFilterUnion
 from repro.utils.seeding import derive_rng
 
 
@@ -96,6 +97,13 @@ class ErrorInjector:
         self._call_index += 1
         self.stats.record(site, False, 0)
 
+    def _stream(self, site: GemmSite) -> np.random.Generator:
+        """The per-(site, call-index) RNG stream at the current counter —
+        the single definition shared by :meth:`corrupt` and
+        :meth:`corrupt_into`, so the solo and lane-packed corruption paths
+        can never drift apart in their draws."""
+        return derive_rng(self.seed, f"inject/{site}/{self._call_index}")
+
     def corrupt(self, acc: np.ndarray, site: GemmSite) -> np.ndarray:
         """Return the (possibly corrupted) accumulator array for ``site``."""
         self._call_index += 1
@@ -104,7 +112,102 @@ class ErrorInjector:
         if not self.targets(site):
             self.stats.record(site, False, 0)
             return acc
-        rng = derive_rng(self.seed, f"inject/{site}/{self._call_index}")
-        corrupted, n_errors = self.model.corrupt(acc, rng)
+        corrupted, n_errors = self.model.corrupt(acc, self._stream(site))
         self.stats.record(site, True, n_errors)
         return corrupted
+
+    def corrupt_into(self, out: np.ndarray, block: slice, site: GemmSite) -> int:
+        """Corrupt this injector's lane block of a packed accumulator.
+
+        Mirrors :meth:`corrupt` exactly — the same call-counter advance,
+        the same memoized filter check, the same :meth:`_stream` RNG
+        derivation — but applies the error model to ``out[block]`` in
+        place. The block has precisely the shape this injector would have
+        seen running its trial alone (lanes stack along the leading batch
+        axis, DESIGN.md section 9), so the model draws an identical stream
+        and flips identical bits; statistics update as in the solo run.
+        Returns the number of injected errors.
+        """
+        self._call_index += 1
+        if not self.targets(site):
+            self.stats.record(site, False, 0)
+            return 0
+        corrupted, n_errors = self.model.corrupt(out[block], self._stream(site))
+        out[block] = corrupted
+        self.stats.record(site, True, n_errors)
+        return n_errors
+
+
+class LaneInjector:
+    """K per-lane injector streams over one lane-packed accumulator.
+
+    A lane-packed forward (DESIGN.md section 9) stacks K trials' token
+    batches along the batch axis and runs them as one dispatch stream. This
+    wrapper presents the single-injector surface the dispatch chain expects
+    (:meth:`targets`, :meth:`corrupt`, :meth:`register_untargeted`,
+    ``site_filter``/``enabled`` for replay reasoning) while keeping one
+    fully independent :class:`ErrorInjector` per lane — own error model,
+    own filter, own seed-derived RNG streams, own statistics — so every
+    lane's draws and counters are bit-identical to running its trial alone.
+
+    ``lanes`` entries may be ``None`` for clean lanes (no error model):
+    such lanes are never corrupted and keep no statistics, exactly like a
+    solo trial run with no injector attached.
+    """
+
+    def __init__(self, lanes: Sequence[Optional[ErrorInjector]]) -> None:
+        if not lanes:
+            raise ValueError("a lane injector needs at least one lane")
+        self.lanes: tuple[Optional[ErrorInjector], ...] = tuple(lanes)
+        self._live = tuple(lane for lane in self.lanes if lane is not None)
+        self.site_filter = (
+            SiteFilterUnion(tuple(lane.site_filter for lane in self._live))
+            if self._live
+            else SiteFilter.only(layers=[])  # clean pack: targets nothing
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """The pack participates in injection iff any lane does (replay
+        reasoning reads this exactly as on a solo injector)."""
+        return any(lane.enabled for lane in self._live)
+
+    def reset(self) -> None:
+        for lane in self._live:
+            lane.reset()
+
+    def targets(self, site: GemmSite) -> bool:
+        """Whether *any* lane would corrupt a GEMM at ``site`` (each lane's
+        answer is already memoized per site, so this is K dict hits)."""
+        return any(lane.targets(site) for lane in self._live)
+
+    def register_untargeted(self, site: GemmSite) -> None:
+        """Advance every lane's stream exactly as its solo run would."""
+        for lane in self._live:
+            lane.register_untargeted(site)
+
+    def corrupt(self, acc: np.ndarray, site: GemmSite) -> np.ndarray:
+        """Apply each lane's error model to that lane's block only.
+
+        The packed accumulator's leading axis is ``n_lanes * lane_batch``
+        rows (lane j owns the j-th contiguous block); every live lane's
+        call counter advances whether or not its own filter targets the
+        site, mirroring what each solo run's :meth:`ErrorInjector.corrupt`
+        would have done on this dispatch.
+        """
+        if not self.targets(site):
+            self.register_untargeted(site)
+            return acc
+        n_lanes = len(self.lanes)
+        if acc.shape[0] % n_lanes:
+            raise ValueError(
+                f"packed accumulator batch {acc.shape[0]} does not split "
+                f"into {n_lanes} lanes"
+            )
+        rows = acc.shape[0] // n_lanes
+        out = np.array(acc, dtype=np.int64)
+        for j, lane in enumerate(self.lanes):
+            if lane is None:
+                continue
+            lane.corrupt_into(out, slice(j * rows, (j + 1) * rows), site)
+        return out

@@ -26,7 +26,17 @@ HIGH_BITS: tuple[int, ...] = tuple(range(16, 32))
 
 class ErrorModel(Protocol):
     """An error model corrupts an int32-valued accumulator array in place
-    semantics-free: it returns a *new* corrupted array and an error count."""
+    semantics-free: it returns a *new* corrupted array and an error count.
+
+    Lane contract (DESIGN.md section 9): ``corrupt`` must derive every draw
+    from ``acc``'s own shape/content and the supplied ``rng`` — never from
+    process-global state — because the lane-vectorized executor feeds each
+    lane its *block* of a packed accumulator (``ErrorInjector.corrupt_into``)
+    and relies on the draws being bit-identical to a solo run on the same
+    array. Per-instance memoization keyed on observable array properties
+    (e.g. :class:`StuckHighBitModel`'s per-width column picks) is fine:
+    every lane owns a private model instance.
+    """
 
     def corrupt(
         self, acc: np.ndarray, rng: np.random.Generator

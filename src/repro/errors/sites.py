@@ -90,11 +90,17 @@ class SiteFilter:
     ``None`` for a field means "match everything". This directly encodes the
     experimental protocols of Sec. IV: e.g. Q1.1 sets ``layers={k}``, Q1.3
     sets ``components={c}``, Q2.1 sets ``stages={...}``.
+
+    Like the injector that carries it, a filter is treated as immutable once
+    attached: :meth:`earliest_layer` answers are memoized (the replay engine
+    asks once per forward, for every resumed forward of every trial), so
+    replace a filter rather than mutating its fields in place.
     """
 
     layers: Optional[frozenset[int]] = None
     components: Optional[frozenset[Component]] = None
     stages: Optional[frozenset[Stage]] = None
+    _earliest_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def everywhere(cls) -> "SiteFilter":
@@ -156,7 +162,30 @@ class SiteFilter:
         index lies outside ``range(n_layers)``. A ``None`` lets the replay
         engine skip the forward entirely; an integer ``e`` means layers
         ``< e`` are provably untouched and can be restored from the trace.
+
+        Memoized per ``(n_layers, components, stage)``: the replay hot path
+        re-asks this for every resumed forward of every trial of a cell,
+        always with the same arguments.
         """
+        key = (
+            n_layers,
+            tuple(components) if components is not None else None,
+            stage,
+        )
+        cached = self._earliest_cache.get(key, -1)
+        if cached != -1:
+            return cached
+        self._earliest_cache[key] = answer = self._earliest_layer(
+            n_layers, components, stage
+        )
+        return answer
+
+    def _earliest_layer(
+        self,
+        n_layers: int,
+        components: Optional[Sequence[Component]],
+        stage: Optional[Stage],
+    ) -> Optional[int]:
         if stage is not None and not self.targets_stage(stage):
             return None
         if (
@@ -169,3 +198,52 @@ class SiteFilter:
             return 0
         eligible = [layer for layer in self.layers if 0 <= layer < n_layers]
         return min(eligible) if eligible else None
+
+
+@dataclass
+class SiteFilterUnion:
+    """Union of several :class:`SiteFilter`\\ s, for lane-packed execution.
+
+    A lane-packed forward (DESIGN.md section 9) carries one injector per
+    batch lane; the *pack* targets a site whenever any lane does, and the
+    replay engine may only resume from the earliest layer any lane can
+    touch. This object presents the same replay-reasoning surface as a
+    single filter (:meth:`matches`, :meth:`targets_stage`,
+    :meth:`earliest_layer`) over the member filters, so
+    ``repro.models.replay.resume_layer`` works unchanged.
+    """
+
+    filters: tuple[SiteFilter, ...]
+
+    def __post_init__(self) -> None:
+        self.filters = tuple(self.filters)
+        if not self.filters:
+            raise ValueError("a filter union needs at least one member")
+
+    def matches(self, site: GemmSite) -> bool:
+        return any(f.matches(site) for f in self.filters)
+
+    def targets_stage(self, stage: Stage) -> bool:
+        return any(f.targets_stage(stage) for f in self.filters)
+
+    def targets(
+        self,
+        n_layers: int,
+        components: Optional[Sequence[Component]] = None,
+        stage: Optional[Stage] = None,
+    ) -> bool:
+        return self.earliest_layer(n_layers, components=components, stage=stage) is not None
+
+    def earliest_layer(
+        self,
+        n_layers: int,
+        components: Optional[Sequence[Component]] = None,
+        stage: Optional[Stage] = None,
+    ) -> Optional[int]:
+        """Earliest layer *any* member filter could match (``None`` if none)."""
+        layers = [
+            f.earliest_layer(n_layers, components=components, stage=stage)
+            for f in self.filters
+        ]
+        reachable = [layer for layer in layers if layer is not None]
+        return min(reachable) if reachable else None

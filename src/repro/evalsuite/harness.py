@@ -11,6 +11,13 @@ The generation tasks (summarization / arithmetic) follow the paper's
 degradation protocol: the *reference* output is produced once by the
 fault-free model, cached by :class:`EvalHarness`, and every injected
 configuration is scored against it.
+
+Every batched evaluation additionally accepts ``lanes=K`` (DESIGN.md
+section 9): the task's batches are tiled K times along the batch axis — one
+lane per packed trial — and scored in single lane-packed forwards, returning
+one score per lane. Per-lane scores are assembled through exactly the same
+Python arithmetic as the solo path (same float conversions, same ordering),
+so a lane's score is bit-identical to scoring its trial alone.
 """
 
 from __future__ import annotations
@@ -31,43 +38,78 @@ from repro.evalsuite.metrics import exact_match, perplexity_from_nll, rouge1
 from repro.models.quantized import QuantizedTransformerLM, batch_groups
 
 
+def _require_batched_lanes(batched: bool, lanes: int) -> None:
+    if lanes < 1:
+        raise ValueError("lane count must be >= 1")
+    if lanes > 1 and not batched:
+        raise ValueError("lane-packed scoring requires the batched path")
+
+
 def evaluate_perplexity(
-    model: QuantizedTransformerLM, data: LanguageModelingData, batched: bool = True
-) -> float:
-    """Corpus perplexity (paper's WikiText-2 metric, lower is better)."""
+    model: QuantizedTransformerLM,
+    data: LanguageModelingData,
+    batched: bool = True,
+    lanes: int = 1,
+) -> float | np.ndarray:
+    """Corpus perplexity (paper's WikiText-2 metric, lower is better).
+
+    ``lanes > 1`` scores K packed trial lanes at once and returns one
+    perplexity per lane (shape ``(lanes,)``).
+    """
+    _require_batched_lanes(batched, lanes)
     if not batched:
         nlls = [model.sequence_nll(seq) for seq in data.sequences]
         return perplexity_from_nll(nlls)
-    nlls = [0.0] * len(data.sequences)
+    per_lane = [[0.0] * len(data.sequences) for _ in range(lanes)]
     for idxs, batch in batch_groups(data.sequences):
-        for i, nll in zip(idxs, model.sequence_nll_batch(batch)):
-            nlls[i] = float(nll)
-    return perplexity_from_nll(nlls)
+        stacked = model.sequence_nll_batch(
+            np.tile(batch, (lanes, 1)) if lanes > 1 else batch
+        ).reshape(lanes, len(idxs))
+        for j in range(lanes):
+            for i, nll in zip(idxs, stacked[j]):
+                per_lane[j][i] = float(nll)
+    if lanes == 1:
+        return perplexity_from_nll(per_lane[0])
+    return np.array([perplexity_from_nll(row) for row in per_lane])
 
 
 def evaluate_last_token_accuracy(
-    model: QuantizedTransformerLM, task: LastTokenTask, batched: bool = True
-) -> float:
+    model: QuantizedTransformerLM,
+    task: LastTokenTask,
+    batched: bool = True,
+    lanes: int = 1,
+) -> float | np.ndarray:
     """LAMBADA-style final-token accuracy in percent (higher is better)."""
+    _require_batched_lanes(batched, lanes)
     targets = np.asarray(task.targets)
-    correct = 0
     if not batched:
+        correct = 0
         for context, target in zip(task.contexts, task.targets):
             logits = model.forward_full(context)
             if int(np.argmax(logits[-1])) == int(target):
                 correct += 1
         return 100.0 * correct / len(task.contexts)
+    correct_by_lane = [0] * lanes
     for idxs, batch in batch_groups(task.contexts):
-        logits = model.forward_full(batch)
-        preds = np.argmax(logits[:, -1, :], axis=-1)
-        correct += int(np.sum(preds == targets[np.asarray(idxs)]))
-    return 100.0 * correct / len(task.contexts)
+        logits = model.forward_full(
+            np.tile(batch, (lanes, 1)) if lanes > 1 else batch
+        )
+        preds = np.argmax(logits[:, -1, :], axis=-1).reshape(lanes, len(idxs))
+        for j in range(lanes):
+            correct_by_lane[j] += int(np.sum(preds[j] == targets[np.asarray(idxs)]))
+    if lanes == 1:
+        return 100.0 * correct_by_lane[0] / len(task.contexts)
+    return np.array([100.0 * c / len(task.contexts) for c in correct_by_lane])
 
 
 def evaluate_multiple_choice(
-    model: QuantizedTransformerLM, task: MultipleChoiceTask, batched: bool = True
-) -> float:
+    model: QuantizedTransformerLM,
+    task: MultipleChoiceTask,
+    batched: bool = True,
+    lanes: int = 1,
+) -> float | np.ndarray:
     """HellaSwag-style accuracy by per-choice log-likelihood, in percent."""
+    _require_batched_lanes(batched, lanes)
     if not batched:
         correct = 0
         for context, choices, label in zip(task.contexts, task.choices, task.labels):
@@ -81,22 +123,31 @@ def evaluate_multiple_choice(
     for ei, (context, choices) in enumerate(zip(task.contexts, task.choices)):
         for ci, cont in enumerate(choices):
             rows.append((ei, ci, np.asarray(context), np.asarray(cont)))
-    scores: dict[tuple[int, int], float] = {}
+    scores: list[dict[tuple[int, int], float]] = [{} for _ in range(lanes)]
     by_shape: dict[tuple[int, int], list[int]] = {}
     for ri, (_, _, context, cont) in enumerate(rows):
         by_shape.setdefault((context.shape[0], cont.shape[0]), []).append(ri)
     for row_idxs in by_shape.values():
         contexts = np.stack([rows[ri][2] for ri in row_idxs])
         conts = np.stack([rows[ri][3] for ri in row_idxs])
-        logprobs = model.choice_logprob_batch(contexts, conts)
-        for ri, lp in zip(row_idxs, logprobs):
-            scores[(rows[ri][0], rows[ri][1])] = float(lp)
-    correct = 0
-    for ei, (choices, label) in enumerate(zip(task.choices, task.labels)):
-        per_choice = [scores[(ei, ci)] for ci in range(len(choices))]
-        if int(np.argmax(per_choice)) == int(label):
-            correct += 1
-    return 100.0 * correct / len(task.contexts)
+        if lanes > 1:
+            contexts = np.tile(contexts, (lanes, 1))
+            conts = np.tile(conts, (lanes, 1))
+        logprobs = model.choice_logprob_batch(contexts, conts).reshape(
+            lanes, len(row_idxs)
+        )
+        for j in range(lanes):
+            for ri, lp in zip(row_idxs, logprobs[j]):
+                scores[j][(rows[ri][0], rows[ri][1])] = float(lp)
+    accuracy = []
+    for lane_scores in scores:
+        correct = 0
+        for ei, (choices, label) in enumerate(zip(task.choices, task.labels)):
+            per_choice = [lane_scores[(ei, ci)] for ci in range(len(choices))]
+            if int(np.argmax(per_choice)) == int(label):
+                correct += 1
+        accuracy.append(100.0 * correct / len(task.contexts))
+    return accuracy[0] if lanes == 1 else np.array(accuracy)
 
 
 def _generate_all(
@@ -104,15 +155,25 @@ def _generate_all(
     prompts: list[np.ndarray],
     gen_len: int,
     batched: bool,
-) -> list[np.ndarray]:
-    """Generate continuations for every prompt, preserving input order."""
+    lanes: int = 1,
+) -> list[np.ndarray] | list[list[np.ndarray]]:
+    """Generate continuations for every prompt, preserving input order.
+
+    ``lanes > 1`` generates for K packed trial lanes in lock-step and
+    returns one continuation list per lane.
+    """
+    _require_batched_lanes(batched, lanes)
     if not batched:
         return [model.generate(p, gen_len) for p in prompts]
-    out: list[np.ndarray] = [None] * len(prompts)  # type: ignore[list-item]
+    out: list[list[np.ndarray]] = [[None] * len(prompts) for _ in range(lanes)]  # type: ignore[list-item]
     for idxs, batch in batch_groups(prompts):
-        for i, row in zip(idxs, model.generate_batch(batch, gen_len)):
-            out[i] = row
-    return out
+        gen = model.generate_batch(
+            np.tile(batch, (lanes, 1)) if lanes > 1 else batch, gen_len
+        ).reshape(lanes, len(idxs), -1)
+        for j in range(lanes):
+            for i, row in zip(idxs, gen[j]):
+                out[j][i] = row
+    return out[0] if lanes == 1 else out
 
 
 @dataclass
@@ -169,19 +230,35 @@ class EvalHarness:
         return self._ref_cache[key]
 
     def summarization_score(
-        self, model: QuantizedTransformerLM, task: SummarizationTask
-    ) -> float:
+        self, model: QuantizedTransformerLM, task: SummarizationTask, lanes: int = 1
+    ) -> float | np.ndarray:
         """Mean ROUGE-1 vs. the clean model's generations (X-Sum metric)."""
         refs = self._references(task.prompts, task.gen_len)
-        outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
-        scores = [rouge1(out, ref) for out, ref in zip(outputs, refs)]
-        return float(np.mean(scores))
+        if lanes == 1:
+            outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
+            scores = [rouge1(out, ref) for out, ref in zip(outputs, refs)]
+            return float(np.mean(scores))
+        by_lane = _generate_all(model, task.prompts, task.gen_len, self.batched, lanes)
+        return np.array(
+            [
+                float(np.mean([rouge1(out, ref) for out, ref in zip(outputs, refs)]))
+                for outputs in by_lane
+            ]
+        )
 
     def arithmetic_score(
-        self, model: QuantizedTransformerLM, task: ArithmeticTask
-    ) -> float:
+        self, model: QuantizedTransformerLM, task: ArithmeticTask, lanes: int = 1
+    ) -> float | np.ndarray:
         """Exact-match accuracy (%) vs. clean generations (GSM8K metric)."""
         refs = self._references(task.prompts, task.gen_len)
-        outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
-        matches = [exact_match(out, ref) for out, ref in zip(outputs, refs)]
-        return float(100.0 * np.mean(matches))
+        if lanes == 1:
+            outputs = _generate_all(model, task.prompts, task.gen_len, self.batched)
+            matches = [exact_match(out, ref) for out, ref in zip(outputs, refs)]
+            return float(100.0 * np.mean(matches))
+        by_lane = _generate_all(model, task.prompts, task.gen_len, self.batched, lanes)
+        return np.array(
+            [
+                float(100.0 * np.mean([exact_match(out, ref) for out, ref in zip(outputs, refs)]))
+                for outputs in by_lane
+            ]
+        )

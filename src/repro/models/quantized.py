@@ -402,6 +402,10 @@ class QuantizedTransformerLM:
         #: Active clean-trace replay session (see DESIGN.md section 7);
         #: managed by :meth:`replay_into`, ``None`` disables replay.
         self.replay: Optional[ReplaySession] = None
+        #: Lane-packed execution width (see DESIGN.md section 9): token
+        #: batches are ``lane_split`` stacked trial lanes sharing one
+        #: forward. Managed by :meth:`lanes`; ``1`` means normal execution.
+        self.lane_split: int = 1
         self._gain = outlier_gain(config)
 
     def _empty_cache(self, batch: int) -> KVCache:
@@ -427,6 +431,26 @@ class QuantizedTransformerLM:
             yield self
         finally:
             self.replay = saved
+
+    @contextmanager
+    def lanes(self, n: int):
+        """Scope lane-packed execution onto this (possibly shared) engine.
+
+        While active, token batches are interpreted as ``n`` stacked trial
+        lanes (lane j owns the j-th contiguous block of batch rows), which
+        lets the replay engine resume a packed forward from the per-lane
+        clean trace (see DESIGN.md section 9). The caller is responsible
+        for attaching matching lane-aware instruments
+        (:class:`~repro.errors.injector.LaneInjector`, ...).
+        """
+        if n < 1:
+            raise ValueError("lane count must be >= 1")
+        saved = self.lane_split
+        self.lane_split = n
+        try:
+            yield self
+        finally:
+            self.lane_split = saved
 
     @staticmethod
     def _as_batch(token_ids: np.ndarray) -> tuple[np.ndarray, bool]:
@@ -596,11 +620,35 @@ class QuantizedTransformerLM:
         return logits if batched else logits[0]
 
     # ----------------------------------------------------- clean-trace replay
+    def _lane_base(self, tokens: np.ndarray) -> Optional[np.ndarray]:
+        """Per-lane token block of a lane-packed batch, or ``None`` when the
+        batch is not ``lane_split`` stacked copies of one block (each lane
+        of a pack scores the same task content, so packed tokens tile)."""
+        lanes = self.lane_split
+        if tokens.ndim != 2 or tokens.shape[0] % lanes:
+            return None
+        base = tokens[: tokens.shape[0] // lanes]
+        return base if np.array_equal(tokens, np.tile(base, (lanes, 1))) else None
+
     def _replay_full(self, tokens: np.ndarray, stage: Stage) -> Optional[np.ndarray]:
         """Record-or-resume a ``forward_full``; ``None`` falls back to the
-        full route (no trace yet and a fault configuration is attached)."""
+        full route (no trace yet and a fault configuration is attached).
+
+        A lane-packed call (``lane_split > 1``, DESIGN.md section 9) looks
+        up the trace of its *per-lane* token block and resumes with every
+        restored array tiled across lanes — the packed equivalent of each
+        lane resuming alone.
+        """
         ex = self.executor
         session = self.replay
+        if self.lane_split > 1:
+            base = self._lane_base(tokens)
+            if base is None:
+                return None
+            trace = session.store.get(session.key_full(base, stage, ex))
+            if trace is None:
+                return None  # no per-lane trace: packed full route
+            return self._resume_full(trace, stage, self.lane_split)
         key = session.key_full(tokens, stage, ex)
         trace = session.store.get(key)
         if trace is None:
@@ -609,13 +657,24 @@ class QuantizedTransformerLM:
             logits, trace = self._record_full(tokens, stage)
             session.store.put(key, trace)
             return logits
+        return self._resume_full(trace, stage, 1)
+
+    def _resume_full(
+        self, trace: CleanTrace, stage: Stage, lanes: int
+    ) -> np.ndarray:
+        """Resume a ``forward_full`` from ``trace``, tiled across ``lanes``."""
+        ex = self.executor
         start = resume_layer(ex.injector, self.config.n_layers, self.config.components, stage)
         end = self.config.n_layers if start is None else start
         for i in range(end):
-            replay_skipped_calls(ex, trace.calls_by_layer[i])
+            replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
         if start is None:
-            return trace.logits
+            if lanes == 1:
+                return trace.logits
+            return np.tile(trace.logits, (lanes, 1, 1))
         h = trace.boundaries[start]
+        if lanes > 1:
+            h = np.tile(h, (lanes, 1, 1))
         for i in range(start, self.config.n_layers):
             h = self._block(self.layers[i], i, h, stage, cache=None, position=0)
         return self._logits(h)
@@ -733,7 +792,14 @@ class QuantizedTransformerLM:
         """
         ex = self.executor
         session = self.replay
-        n_layers = self.config.n_layers
+        if self.lane_split > 1:
+            base = self._lane_base(prompts)
+            if base is None:
+                return None
+            trace = session.store.get(session.key_generate(base, max_new_tokens, ex))
+            if trace is None:
+                return None  # no per-lane trace: packed full route
+            return self._resume_generate(trace, prompts, max_new_tokens, self.lane_split)
         key = session.key_generate(prompts, max_new_tokens, ex)
         trace = session.store.get(key)
         if trace is None:
@@ -742,8 +808,20 @@ class QuantizedTransformerLM:
             tokens, trace = self._record_generate(prompts, max_new_tokens)
             session.store.put(key, trace)
             return tokens
+        return self._resume_generate(trace, prompts, max_new_tokens, 1)
+
+    def _resume_generate(
+        self,
+        trace: CleanTrace,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        lanes: int,
+    ) -> np.ndarray:
+        """Resume a ``generate_batch`` from ``trace``, tiled across ``lanes``."""
+        ex = self.executor
+        n_layers = self.config.n_layers
         start = resume_layer(ex.injector, n_layers, self.config.components, Stage.PREFILL)
-        if start is None and ex.injector is None and ex.protector is None:
+        if lanes == 1 and start is None and ex.injector is None and ex.protector is None:
             # Fault-free repeat: charge the recorded MACs, return the trace.
             for i in range(n_layers):
                 replay_skipped_calls(ex, trace.calls_by_layer[i])
@@ -751,14 +829,20 @@ class QuantizedTransformerLM:
             return trace.new_tokens
         end = n_layers if start is None else start
         for i in range(end):
-            replay_skipped_calls(ex, trace.calls_by_layer[i])
+            replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
         cache = self._empty_cache(prompts.shape[0])
         for i in range(end):  # layers restored from the trace, not recomputed
-            cache.layers[i] = LayerKV(k=trace.kv[i][0], v=trace.kv[i][1])
+            k, v = trace.kv[i]
+            if lanes > 1:
+                k = np.tile(k, (lanes, 1, 1, 1))
+                v = np.tile(v, (lanes, 1, 1, 1))
+            cache.layers[i] = LayerKV(k=k, v=v)
         if start is None:
-            logits = trace.logits
+            logits = trace.logits if lanes == 1 else np.tile(trace.logits, (lanes, 1))
         else:
             h = trace.boundaries[start]
+            if lanes > 1:
+                h = np.tile(h, (lanes, 1, 1))
             for i in range(start, n_layers):
                 h = self._block(self.layers[i], i, h, Stage.PREFILL, cache.layers[i], position=0)
             logits = self._logits(h[:, -1:, :])[:, 0, :]

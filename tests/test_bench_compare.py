@@ -1,0 +1,111 @@
+"""Unit tests for the benchmark-baseline regression guard."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules["bench_compare"] = bench_compare
+_spec.loader.exec_module(bench_compare)
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+class TestRegressionMath:
+    def test_higher_is_better(self):
+        assert bench_compare.regression(4.0, 2.0, "higher") == 0.5
+        assert bench_compare.regression(4.0, 5.0, "higher") == -0.25
+        assert bench_compare.regression(0.0, 1.0, "higher") == 0.0
+
+    def test_lower_is_better(self):
+        assert bench_compare.regression(10.0, 15.0, "lower") == 0.5
+        assert bench_compare.regression(10.0, 5.0, "lower") == -0.5
+
+
+class TestComparePayloads:
+    def test_within_threshold_passes(self):
+        failures = bench_compare.compare_payloads(
+            "BENCH_lanes.json", {"speedup": 4.0}, {"speedup": 3.5}, 0.25, 0.6
+        )
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = bench_compare.compare_payloads(
+            "BENCH_lanes.json", {"speedup": 4.0}, {"speedup": 2.0}, 0.25, 0.6
+        )
+        assert len(failures) == 1 and "speedup" in failures[0]
+
+    def test_smoke_payloads_use_relaxed_threshold(self):
+        # 40% down: fails the 25% full-run bound, passes the smoke bound
+        base, fresh = {"speedup": 4.0, "smoke": True}, {"speedup": 2.4, "smoke": True}
+        assert bench_compare.compare_payloads(
+            "BENCH_lanes.json", base, fresh, 0.25, 0.6
+        ) == []
+        assert bench_compare.compare_payloads(
+            "BENCH_lanes.json", {"speedup": 4.0}, {"speedup": 2.4}, 0.25, 0.6
+        )
+
+    def test_replay_ratio_exempt_in_smoke_runs(self):
+        """bench_replay's smoke cells time one sub-ms trial; its ratio is
+        documented noise there and must never fail CI from a smoke run."""
+        assert bench_compare.compare_payloads(
+            "BENCH_replay.json",
+            {"deep_layer_speedup": 1.58, "smoke": True},
+            {"deep_layer_speedup": 0.40, "smoke": True},
+            0.25,
+            0.6,
+        ) == []
+        # full runs still enforce it
+        assert bench_compare.compare_payloads(
+            "BENCH_replay.json",
+            {"deep_layer_speedup": 4.9},
+            {"deep_layer_speedup": 2.0},
+            0.25,
+            0.6,
+        )
+
+    def test_lower_is_better_metric(self):
+        failures = bench_compare.compare_payloads(
+            "BENCH_dispatch.json", {"overhead_pct": 8.0}, {"overhead_pct": 12.0}, 0.25, 0.6
+        )
+        assert len(failures) == 1
+
+    def test_missing_metric_skipped(self):
+        assert bench_compare.compare_payloads(
+            "BENCH_lanes.json", {"other": 1}, {"speedup": 1.0}, 0.25, 0.6
+        ) == []
+
+
+class TestCompareDirs:
+    def test_end_to_end_pass_and_fail(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        _write(baseline, "BENCH_lanes.json", {"speedup": 4.0})
+        _write(fresh, "BENCH_lanes.json", {"speedup": 3.9})
+        assert bench_compare.compare_dirs(baseline, fresh, 0.25, 0.6) == []
+        _write(fresh, "BENCH_lanes.json", {"speedup": 1.0})
+        assert bench_compare.compare_dirs(baseline, fresh, 0.25, 0.6)
+
+    def test_empty_directories_fail_loudly(self, tmp_path):
+        failures = bench_compare.compare_dirs(
+            tmp_path / "a", tmp_path / "b", 0.25, 0.6
+        )
+        assert failures and "no benchmark payloads" in failures[0]
+
+    def test_main_exit_codes(self, tmp_path):
+        baseline, fresh = tmp_path / "base", tmp_path / "fresh"
+        _write(baseline, "BENCH_replay.json", {"deep_layer_speedup": 4.9})
+        _write(fresh, "BENCH_replay.json", {"deep_layer_speedup": 4.8})
+        argv = ["--baseline", str(baseline), "--fresh", str(fresh)]
+        assert bench_compare.main(argv) == 0
+        _write(fresh, "BENCH_replay.json", {"deep_layer_speedup": 1.0})
+        assert bench_compare.main(argv) == 1

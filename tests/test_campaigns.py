@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from pathlib import Path
 
 import pytest
@@ -268,6 +269,40 @@ class TestStore:
             store.add(_trial(0, component="K"), _result(0.0))
             cell = _trial(0).cell_id
             assert [r.result.degradation for r in store.cell_records(cell)] == [0.1, 0.3]
+
+    def test_wal_mode_and_covering_index(self, tmp_path):
+        """The index runs in WAL mode with a covering key index, so the
+        parent's streamed writes don't stall lane-pack result drains."""
+        with ResultStore(tmp_path / "s") as store:
+            (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode.lower() == "wal"
+            indexes = {
+                row[1] for row in store._conn.execute("PRAGMA index_list(results)")
+            }
+            assert "results_key_covering" in indexes
+            # record fetches by key are answered from the covering index
+            # alone (no table-row fetch) — the query ResultStore.get runs
+            (plan,) = store._conn.execute(
+                "EXPLAIN QUERY PLAN SELECT record FROM results "
+                "INDEXED BY results_key_covering WHERE key = 'x'"
+            ).fetchall()
+            assert "COVERING INDEX results_key_covering" in plan[-1]
+
+    def test_write_throughput_sustains_streamed_drains(self, tmp_path):
+        """Streamed single-record writes must keep up with a draining lane
+        pack: 200 writes well under a second of SQLite work apiece. The
+        bound is deliberately loose (CI disks fsync slowly); it exists to
+        catch a reintroduced full-database sync per write, which is an
+        order of magnitude off."""
+        n = 200
+        with ResultStore(tmp_path / "s") as store:
+            start = time.perf_counter()
+            for seed in range(n):
+                store.add(_trial(seed), _result(0.1))
+            elapsed = time.perf_counter() - start
+            assert len(store) == n
+        writes_per_s = n / elapsed
+        assert writes_per_s > 20, f"store writes too slow: {writes_per_s:.1f}/s"
 
 
 class TestExecutor:

@@ -67,6 +67,36 @@ class TestSiteFilterReasoning:
         assert SiteFilter.everywhere().targets_stage(Stage.DECODE)
         assert not SiteFilter.only(stages=[Stage.PREFILL]).targets_stage(Stage.DECODE)
 
+    def test_earliest_layer_memoization_never_changes_answer(self):
+        """The memoized hot path must agree with the uncached computation
+        for every (n_layers, components, stage) argument combination —
+        including ``None`` answers, which the cache must also store."""
+        opt_components = (Component.Q, Component.K, Component.O, Component.FC1)
+        filters = [
+            SiteFilter.everywhere(),
+            SiteFilter.only(layers=[2, 5]),
+            SiteFilter.only(layers=[9]),
+            SiteFilter.only(components=[Component.O]),
+            SiteFilter.only(components=[Component.GATE]),
+            SiteFilter.only(stages=[Stage.DECODE]),
+            SiteFilter.only(layers=[1], components=[Component.K], stages=[Stage.PREFILL]),
+        ]
+        cases = [
+            (n_layers, components, stage)
+            for n_layers in (2, 4, 8)
+            for components in (None, opt_components)
+            for stage in (None, Stage.PREFILL, Stage.DECODE)
+        ]
+        for flt in filters:
+            for n_layers, components, stage in cases:
+                uncached = flt._earliest_layer(n_layers, components, stage)
+                for _ in range(3):  # first call fills the cache, rest hit it
+                    assert (
+                        flt.earliest_layer(n_layers, components=components, stage=stage)
+                        == uncached
+                    )
+            assert flt._earliest_cache  # the hot path actually memoizes
+
 
 def _tiny_trace(n_floats: int) -> CleanTrace:
     return CleanTrace(

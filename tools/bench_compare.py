@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Guard committed benchmark baselines against throughput regressions.
+
+Compares freshly-emitted ``BENCH_*.json`` files against the baselines
+committed under ``benchmarks/results/`` and fails when a benchmark's
+headline throughput metric regressed by more than ``--threshold``
+(default 25%).
+
+Only *relative* metrics (speedups, overhead percentages) are compared —
+absolute trials/sec numbers depend on the machine, but a speedup is a
+ratio of two runs on the *same* machine, so it transfers across hosts.
+Smoke-mode payloads (``"smoke": true``) time sub-millisecond cells, so
+their threshold is relaxed (``--smoke-threshold``, default 60%): in CI the
+check is a tripwire for catastrophic regressions, while full benchmark
+runs enforce the tight bound.
+
+CI usage (see ``.github/workflows/ci.yml``): snapshot the committed
+baselines before the smoke benchmarks overwrite ``benchmarks/results/``,
+then compare::
+
+    cp benchmarks/results/BENCH_*.json "$BASELINES/"
+    ...run smoke benchmarks...
+    python tools/bench_compare.py --baseline "$BASELINES" --fresh benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+#: Headline metric(s) per benchmark payload: ``name -> [(key, direction,
+#: skip_smoke)]`` where direction is "higher" (speedup-like) or "lower"
+#: (overhead-like). A metric missing from either payload is skipped (new
+#: benchmarks gain baselines on their first committed run). ``skip_smoke``
+#: exempts a metric whenever either payload is a smoke run: bench_replay's
+#: smoke cells time a single sub-millisecond trial, and its own header
+#: documents that smoke ratios legitimately span below 1x — a noise band
+#: wider than any threshold worth failing CI over. The lanes/dispatch
+#: smoke ratios come from larger cells and stay comparable under load.
+METRICS: dict[str, list[tuple[str, str, bool]]] = {
+    "BENCH_replay.json": [("deep_layer_speedup", "higher", True)],
+    "BENCH_lanes.json": [("speedup", "higher", False)],
+    "BENCH_dispatch.json": [("overhead_pct", "lower", False)],
+}
+
+
+def regression(baseline: float, fresh: float, direction: str) -> float:
+    """Relative worsening of ``fresh`` vs ``baseline`` (negative = improved)."""
+    if baseline == 0:
+        return 0.0
+    if direction == "higher":
+        return (baseline - fresh) / abs(baseline)
+    return (fresh - baseline) / abs(baseline)
+
+
+def compare_payloads(
+    name: str,
+    baseline: dict,
+    fresh: dict,
+    threshold: float,
+    smoke_threshold: float,
+) -> list[str]:
+    """Failure messages for one benchmark's payload pair (empty = pass)."""
+    smoke = bool(baseline.get("smoke") or fresh.get("smoke"))
+    limit = smoke_threshold if smoke else threshold
+    failures = []
+    for key, direction, skip_smoke in METRICS.get(name, []):
+        if key not in baseline or key not in fresh:
+            continue
+        if smoke and skip_smoke:
+            print(f"{name}: {key} exempt in smoke runs (sub-ms noise) — skipping")
+            continue
+        reg = regression(float(baseline[key]), float(fresh[key]), direction)
+        verdict = "FAIL" if reg > limit else "ok"
+        print(
+            f"{name}: {key} baseline={baseline[key]} fresh={fresh[key]} "
+            f"({'+' if reg <= 0 else '-'}{abs(reg) * 100:.1f}% "
+            f"{'improvement' if reg <= 0 else 'regression'}, "
+            f"limit {limit * 100:.0f}%) [{verdict}]"
+        )
+        if reg > limit:
+            failures.append(
+                f"{name}: {key} regressed {reg * 100:.1f}% "
+                f"({baseline[key]} -> {fresh[key]}, limit {limit * 100:.0f}%)"
+            )
+    return failures
+
+
+def compare_dirs(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    threshold: float,
+    smoke_threshold: float,
+) -> list[str]:
+    failures: list[str] = []
+    compared = 0
+    for name in sorted(METRICS):
+        baseline_path = baseline_dir / name
+        fresh_path = fresh_dir / name
+        if not baseline_path.exists():
+            print(f"{name}: no committed baseline — skipping")
+            continue
+        if not fresh_path.exists():
+            print(f"{name}: not re-emitted by this run — skipping")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        failures.extend(
+            compare_payloads(name, baseline, fresh, threshold, smoke_threshold)
+        )
+        compared += 1
+    if compared == 0:
+        failures.append(
+            f"no benchmark payloads compared between {baseline_dir} and "
+            f"{fresh_dir} — wrong directories?"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="directory holding the freshly-emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max tolerated relative regression for full runs (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--smoke-threshold", type=float, default=0.60,
+        help="relaxed bound when either payload was a smoke run",
+    )
+    args = parser.parse_args(argv)
+    failures = compare_dirs(
+        args.baseline, args.fresh, args.threshold, args.smoke_threshold
+    )
+    for failure in failures:
+        print(f"bench-compare: {failure}", file=sys.stderr)
+    if not failures:
+        print("bench-compare: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
