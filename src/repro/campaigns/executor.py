@@ -31,14 +31,17 @@ from typing import Iterator, Optional, Sequence
 from repro.campaigns.lanes import (
     DEFAULT_MAX_LANES,
     LanePacker,
+    _count_trial_stats,
     build_injector,
     build_protector,
     evaluate_lane_pack,
     trial_costs as _trial_costs,
 )
+from repro.campaigns.progress import build_snapshot
 from repro.campaigns.spec import NO_METHOD, CampaignSpec, Trial
 from repro.campaigns.stopping import STOP
 from repro.campaigns.store import ResultStore, TrialResult
+import repro.telemetry as telemetry
 from repro.characterization.evaluator import ModelEvaluator
 from repro.core.methods import METHODS
 from repro.core.realm import ReaLMConfig, ReaLMPipeline
@@ -80,7 +83,8 @@ def evaluate_trial(
     cost_instrument = cost.build() if cost is not None else None
     protector = build_protector(trial, evaluator, pipeline)
 
-    score = evaluator.run(injector, protector, cost=cost_instrument)
+    with telemetry.span("trial.evaluate", cell=trial.cell_label, seed=trial.seed):
+        score = evaluator.run(injector, protector, cost=cost_instrument)
     if trial.method not in (NO_METHOD,) and METHODS[trial.method].exact_correction:
         score = evaluator.clean_score  # detected-and-replayed: fault-free output
     cycles = recovered_macs = 0
@@ -89,6 +93,10 @@ def evaluate_trial(
         cycles, recovered_macs, energy_j = _trial_costs(
             trial, cost_instrument, injector, evaluator
         )
+    elapsed = time.perf_counter() - start
+    metrics = telemetry.METRICS
+    _count_trial_stats(metrics, injector, protector)
+    metrics.histogram("trial.elapsed_s").observe(elapsed)
     return TrialResult(
         score=score,
         degradation=evaluator.degradation(score),
@@ -98,7 +106,7 @@ def evaluate_trial(
         cycles=cycles,
         recovered_macs=recovered_macs,
         energy_j=energy_j,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed,
         worker=os.getpid(),
     )
 
@@ -152,6 +160,24 @@ def _run_trial_payload(payload: dict) -> dict:
         return {"key": trial.key, "trial": payload, "error": repr(exc)}
 
 
+def _ship_telemetry(outcomes: list[dict]) -> list[dict]:
+    """Piggyback this worker's telemetry on the pack's last outcome dict.
+
+    Metric snapshots are cumulative per process (the parent keeps the latest
+    per pid and merges); spans are drained, so each pack ships only what it
+    added. Riding the existing result payloads means no side channel — the
+    serial runner, the pool, and any future transport all work unchanged.
+    """
+    if not outcomes:
+        return outcomes
+    snapshot = telemetry.runtime_snapshot()
+    snapshot["pid"] = os.getpid()
+    outcomes[-1]["metrics"] = snapshot
+    if telemetry.enabled():
+        outcomes[-1]["spans"] = telemetry.tracer().drain()
+    return outcomes
+
+
 def _run_pack_payload(payload: dict) -> list[dict]:
     """Pool entry point for a lane pack: trial dicts in, outcome dicts out.
 
@@ -159,7 +185,9 @@ def _run_pack_payload(payload: dict) -> list[dict]:
     A multi-lane pack that fails for any reason degrades to per-trial
     execution instead of failing all its lanes at once — the lane
     vectorization is a pure throughput optimization, never a correctness
-    dependency.
+    dependency. Degraded outcomes carry ``"degraded": True`` and bump the
+    ``lanes.pack_degradations`` counter so a campaign that quietly lost its
+    vectorization shows up in ``campaign watch`` / ``status --metrics``.
     """
     trial_payloads = payload["trials"]
     cost_payload = payload.get("cost")
@@ -171,19 +199,32 @@ def _run_pack_payload(payload: dict) -> list[dict]:
         return _run_trial_payload(single)
 
     if len(trial_payloads) == 1:
-        return [solo(trial_payloads[0])]
+        return _ship_telemetry([solo(trial_payloads[0])])
     cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
     trials = [Trial.from_dict(p) for p in trial_payloads]
     try:
         evaluator, pipeline = _trial_context(trials[0])
         results = evaluate_lane_pack(trials, evaluator, pipeline, cost=cost)
-        return [
-            {"key": trial.key, "trial": trial_payload, "result": result.to_dict()}
-            for trial, trial_payload, result in zip(trials, trial_payloads, results)
-        ]
+        return _ship_telemetry(
+            [
+                {"key": trial.key, "trial": trial_payload, "result": result.to_dict()}
+                for trial, trial_payload, result in zip(
+                    trials, trial_payloads, results
+                )
+            ]
+        )
     except Exception as exc:
-        logger.warning("lane pack failed (%r); re-running its trials solo", exc)
-        return [solo(p) for p in trial_payloads]
+        telemetry.METRICS.counter("lanes.pack_degradations").inc()
+        logger.warning(
+            "lane pack of %d trials (%s) degraded to per-trial execution",
+            len(trials),
+            trials[0].cell_label,
+            exc_info=exc,
+        )
+        outcomes = [solo(p) for p in trial_payloads]
+        for outcome in outcomes:
+            outcome["degraded"] = True
+        return _ship_telemetry(outcomes)
 
 
 # --------------------------------------------------------------- parent side
@@ -211,6 +252,7 @@ class RunReport:
 @dataclass
 class _Cell:
     label: str
+    total: int = 0  # trials the spec allots this cell, done or not
     values: list[float] = field(default_factory=list)
     pending: list[Trial] = field(default_factory=list)
 
@@ -344,6 +386,7 @@ def run_campaign(
         if cell is None:
             cell = cells[trial.cell_id] = _Cell(label=trial.cell_label)
             order.append(trial.cell_id)
+        cell.total += 1
         record = store.get(trial.key)
         if record is not None:
             report.cached += 1
@@ -363,6 +406,51 @@ def run_campaign(
             cell.pending.clear()
             continue
         active.append(cell)
+
+    # Live progress: the parent (sole store writer) snapshots campaign-wide
+    # state into the store's ``progress`` table for ``campaign watch`` /
+    # ``status --metrics`` readers in other processes. Worker metric
+    # snapshots are cumulative per pid; the parent keeps the latest one per
+    # worker and merges with its own registry at write time (its own pid is
+    # skipped from the shipped set so the serial runner is not counted
+    # twice).
+    worker_metrics: dict[int, dict] = {}
+    last_progress_write = 0.0
+    last_result_at: Optional[float] = None
+
+    def _write_progress(state: str) -> None:
+        nonlocal last_progress_write
+        now = time.perf_counter()
+        shipped = [
+            snap for pid, snap in worker_metrics.items() if pid != os.getpid()
+        ]
+        merged = telemetry.merge_snapshots(shipped + [telemetry.runtime_snapshot()])
+        snapshot = build_snapshot(
+            name=spec.name,
+            state=state,
+            totals={
+                "total": report.total,
+                "cached": report.cached,
+                "executed": report.executed,
+                "failed": report.failed,
+                "skipped": report.skipped,
+            },
+            elapsed_s=now - start,
+            cells=[
+                {
+                    "cell": cell_id,
+                    "label": cells[cell_id].label,
+                    "done": len(cells[cell_id].values),
+                    "total": cells[cell_id].total,
+                    "values": cells[cell_id].values,
+                }
+                for cell_id in order
+            ],
+            metrics=merged,
+            last_result_age_s=None if last_result_at is None else now - last_result_at,
+        )
+        store.write_progress(snapshot)
+        last_progress_write = now
 
     runner = None
     if active:
@@ -390,6 +478,7 @@ def run_campaign(
         else:
             runner = _SerialRunner()
     packer = LanePacker(max_lanes=max(1, lane_width)) if runner is not None else None
+    _write_progress("running")
     try:
         wave_index = 0
         while active:
@@ -419,10 +508,17 @@ def run_campaign(
                 payloads.append(payload)
             for outcomes in runner.run(payloads):
                 for outcome in outcomes:
+                    snapshot = outcome.pop("metrics", None)
+                    if snapshot is not None:
+                        worker_metrics[snapshot.get("pid", -1)] = snapshot
+                    spans = outcome.pop("spans", None)
+                    if spans and telemetry.enabled():
+                        telemetry.tracer().ingest(spans)
                     trial = Trial.from_dict(outcome["trial"])
                     cell = owner[outcome["key"]]
                     if "error" in outcome:
                         report.failed += 1
+                        telemetry.METRICS.counter("campaign.trials_failed").inc()
                         report.errors.append(
                             f"{trial.cell_label}#s{trial.seed}: {outcome['error']}"
                         )
@@ -431,9 +527,13 @@ def run_campaign(
                     result = TrialResult.from_dict(outcome["result"])
                     store.add(trial, result)
                     report.executed += 1
+                    telemetry.METRICS.counter("campaign.trials_executed").inc()
                     cell.values.append(result.degradation)
+                    last_result_at = time.perf_counter()
                     if on_result is not None:
                         on_result(outcome)
+                if time.perf_counter() - last_progress_write >= 0.5:
+                    _write_progress("running")
 
             still_active: list[_Cell] = []
             for cell in active:
@@ -451,5 +551,6 @@ def run_campaign(
             runner.close()
 
     report.elapsed_s = time.perf_counter() - start
+    _write_progress("finished")
     logger.info("campaign %s: %s", spec.name, report.summary())
     return report

@@ -43,8 +43,24 @@ from repro.dispatch.cost import CostInstrument, CostSpec, LaneCostInstrument
 from repro.energy.model import EnergyModel
 from repro.errors.injector import ErrorInjector, LaneInjector
 from repro.errors.sites import Component, Stage
+import repro.telemetry as telemetry
 
 _VOLTAGE_MODEL = VoltageBerModel()
+
+
+def _count_trial_stats(metrics, injector, protector) -> None:
+    """Fold one finished trial's injector/protector tallies into ``metrics``.
+
+    Shared by the solo route (``executor.evaluate_trial``) and the per-lane
+    accounting here so ``campaign watch`` reads the same counters either way.
+    """
+    if injector is not None:
+        metrics.counter("injector.corruptions").inc(injector.stats.injected_errors)
+    if protector is not None:
+        stats = protector.stats
+        metrics.counter("protector.inspected").inc(stats.inspected)
+        metrics.counter("protector.detected").inc(stats.detected)
+        metrics.counter("protector.recovered").inc(stats.recovered)
 
 #: Default pack width: enough lanes to amortize per-dispatch overhead
 #: without blowing up activation memory (a pack's working set scales
@@ -232,14 +248,23 @@ def evaluate_lane_pack(
     (telemetry, not part of the bit-exactness contract).
     """
     start = time.perf_counter()
-    injectors, _protectors, costs, packed = prepare_lanes(
+    injectors, protectors, costs, packed = prepare_lanes(
         trials, evaluator, pipeline, cost
     )
     pack_injector, pack_protector, pack_cost = packed
-    scores = evaluator.run(
-        pack_injector, pack_protector, cost=pack_cost, lanes=len(trials)
-    )
+    with telemetry.span(
+        "pack.evaluate", lanes=len(trials), cell=trials[0].cell_label
+    ):
+        scores = evaluator.run(
+            pack_injector, pack_protector, cost=pack_cost, lanes=len(trials)
+        )
     elapsed = (time.perf_counter() - start) / len(trials)
+    metrics = telemetry.METRICS
+    metrics.counter("lanes.packs").inc()
+    metrics.counter("lanes.packed_trials").inc(len(trials))
+    metrics.histogram("trial.elapsed_s").observe(elapsed * len(trials))
+    for injector, protector in zip(injectors, protectors):
+        _count_trial_stats(metrics, injector, protector)
     results = []
     for j, trial in enumerate(trials):
         score = float(scores[j]) if len(trials) > 1 else float(scores)

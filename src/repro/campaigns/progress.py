@@ -1,0 +1,166 @@
+"""Campaign progress snapshots: build (writer side) and read/render (watch).
+
+The running parent periodically serializes campaign-wide state — totals,
+throughput, per-cell completion and CI width, merged worker metrics — into
+the result store's ``progress`` table (DESIGN.md section 10). ``campaign
+watch`` and ``campaign status --metrics`` consume it from *other*
+processes, so the read path here opens the SQLite file directly instead of
+constructing a :class:`~repro.campaigns.store.ResultStore`: the store's
+constructor may rebuild the index (a write), and a second writer racing
+the campaign parent is exactly what the single-writer design forbids. A
+bare read-only connection under WAL never blocks the writer and never
+writes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.utils.tables import format_table
+
+
+def _cell_ci(values: list[float]) -> float:
+    """Half-width of the 95% normal CI on the cell mean (0 when n < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return 1.96 * math.sqrt(var / n)
+
+
+def build_snapshot(
+    name: str,
+    state: str,
+    totals: dict,
+    elapsed_s: float,
+    cells: list[dict],
+    metrics: dict,
+    last_result_age_s: Optional[float] = None,
+) -> dict:
+    """Assemble one JSON-able progress snapshot.
+
+    ``cells`` entries carry raw ``values`` (per-trial degradations); the
+    snapshot stores their count/mean/CI instead, so a row stays a few
+    hundred bytes regardless of campaign size.
+    """
+    executed = totals.get("executed", 0)
+    done = executed + totals.get("cached", 0)
+    remaining = (
+        totals.get("total", 0)
+        - done
+        - totals.get("failed", 0)
+        - totals.get("skipped", 0)
+    )
+    throughput = executed / elapsed_s if elapsed_s > 0 else 0.0
+    eta_s = remaining / throughput if throughput > 0 and remaining > 0 else None
+    cell_rows = []
+    for cell in cells:
+        values = cell.get("values", [])
+        cell_rows.append(
+            {
+                "cell": cell["cell"],
+                "label": cell["label"],
+                "done": cell["done"],
+                "total": cell["total"],
+                "mean": (sum(values) / len(values)) if values else None,
+                "ci": _cell_ci(values),
+            }
+        )
+    return {
+        "name": name,
+        "state": state,
+        "ts": time.time(),
+        "totals": dict(totals),
+        "elapsed_s": elapsed_s,
+        "throughput_per_s": throughput,
+        "eta_s": eta_s,
+        "last_result_age_s": last_result_age_s,
+        "cells": cell_rows,
+        "metrics": metrics,
+    }
+
+
+def read_latest_progress(store_dir: str | Path) -> Optional[dict]:
+    """Newest progress snapshot from a store directory, ``None`` if absent.
+
+    Missing directory, missing index, or a store created before the
+    ``progress`` table existed all read as "no progress yet" — the watch
+    loop keeps polling instead of crashing on a campaign that has not
+    started writing.
+    """
+    index_path = Path(store_dir) / "index.sqlite"
+    if not index_path.exists():
+        return None
+    try:
+        conn = sqlite3.connect(f"file:{index_path}?mode=ro", uri=True)
+        try:
+            row = conn.execute(
+                "SELECT payload FROM progress ORDER BY seq DESC LIMIT 1"
+            ).fetchone()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return None
+    if row is None:
+        return None
+    try:
+        return json.loads(row[0])
+    except (TypeError, json.JSONDecodeError):
+        return None
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """One watch frame: headline throughput/ETA plus the per-cell table."""
+    totals = snapshot.get("totals", {})
+    throughput = snapshot.get("throughput_per_s", 0.0)
+    header = (
+        f"campaign {snapshot.get('name', '?')} [{snapshot.get('state', '?')}] "
+        f"{totals.get('executed', 0) + totals.get('cached', 0)}"
+        f"/{totals.get('total', 0)} trials "
+        f"({totals.get('cached', 0)} cached, {totals.get('failed', 0)} failed, "
+        f"{totals.get('skipped', 0)} skipped) | "
+        f"{throughput:.2f} trials/s | "
+        f"elapsed {_fmt_duration(snapshot.get('elapsed_s'))} | "
+        f"eta {_fmt_duration(snapshot.get('eta_s'))}"
+    )
+    rows = [
+        [
+            cell["label"],
+            f"{cell['done']}/{cell['total']}",
+            "-" if cell["mean"] is None else f"{cell['mean']:.4g}",
+            f"{cell['ci']:.4g}",
+        ]
+        for cell in snapshot.get("cells", [])
+    ]
+    table = format_table(["cell", "done", "mean degr", "ci95"], rows)
+    return f"{header}\n{table}"
+
+
+def render_metrics(snapshot: dict) -> str:
+    """The merged metric registry of a snapshot, as counter/gauge tables."""
+    metrics = snapshot.get("metrics", {})
+    rows = [["counter", k, v] for k, v in sorted(metrics.get("counters", {}).items())]
+    rows += [["gauge", k, v] for k, v in sorted(metrics.get("gauges", {}).items())]
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        mean = h["sum"] / h["count"] if h.get("count") else 0.0
+        rows.append(["histogram", name, f"n={h.get('count', 0)} mean={mean:.4g}"])
+    if not rows:
+        return "no metrics recorded"
+    return format_table(["kind", "metric", "value"], rows)

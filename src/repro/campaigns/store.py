@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
@@ -135,6 +136,16 @@ class ResultStore:
             "CREATE INDEX IF NOT EXISTS results_key_covering"
             " ON results (key, record)"
         )
+        # Live campaign progress (DESIGN.md section 10): the running parent
+        # appends JSON snapshots here and `campaign watch` in another
+        # process reads the newest row through WAL. Progress is ephemeral
+        # telemetry — deliberately NOT part of the JSONL source of truth,
+        # so `_sync_index` rebuilds never touch it.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS progress ("
+            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " ts REAL NOT NULL, payload TEXT NOT NULL)"
+        )
         self._conn.commit()
         self._sync_index()
 
@@ -209,6 +220,39 @@ class ResultStore:
             os.fsync(handle.fileno())
         self._insert(payload)
         self._conn.commit()
+
+    # ------------------------------------------------------------- progress
+    #: Snapshot rows kept per store; older rows are pruned on write. Enough
+    #: history for throughput trends, small enough that the table never
+    #: competes with the results index for I/O.
+    PROGRESS_KEEP = 512
+
+    def write_progress(self, snapshot: dict) -> None:
+        """Append one progress snapshot (parent/writer side), pruning history."""
+        self._conn.execute(
+            "INSERT INTO progress (ts, payload) VALUES (?, ?)",
+            (time.time(), json.dumps(snapshot)),
+        )
+        self._conn.execute(
+            "DELETE FROM progress WHERE seq <= ("
+            " SELECT seq FROM progress ORDER BY seq DESC"
+            f" LIMIT 1 OFFSET {self.PROGRESS_KEEP})"
+        )
+        self._conn.commit()
+
+    def latest_progress(self) -> Optional[dict]:
+        """Newest snapshot, or ``None`` for a store that never ran."""
+        row = self._conn.execute(
+            "SELECT payload FROM progress ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def progress_history(self, limit: int = PROGRESS_KEEP) -> list[dict]:
+        """Up to ``limit`` most recent snapshots, oldest first."""
+        rows = self._conn.execute(
+            "SELECT payload FROM progress ORDER BY seq DESC LIMIT ?", (limit,)
+        ).fetchall()
+        return [json.loads(row[0]) for row in reversed(rows)]
 
     # ---------------------------------------------------------------- reads
     def __contains__(self, key: str) -> bool:

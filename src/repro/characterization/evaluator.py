@@ -36,6 +36,7 @@ from repro.models.export import quantize_model
 from repro.models.quantized import QuantizedTransformerLM
 from repro.models.replay import ReplaySession
 from repro.training.zoo import PretrainedBundle
+import repro.telemetry as telemetry
 
 #: Task registry: name -> (higher_is_better, default sizing kwargs).
 TASKS: dict[str, bool] = {
@@ -247,7 +248,8 @@ class ModelEvaluator:
             saved = (self.model.injector, self.model.protector)
             self.model.attach(None, None)
             try:
-                self._clean_score = self.score()
+                with telemetry.span("eval.clean", task=self.task):
+                    self._clean_score = self.score()
             finally:
                 self.model.attach(*saved)
         return self._clean_score
@@ -286,10 +288,19 @@ class ModelEvaluator:
         baseline = self.clean_score  # ensure cached before attaching  # noqa: F841
         executor = self.model.executor
         saved_cost = executor.cost
+        saved_trace = executor.trace
         self.model.attach(injector, protector)
         executor.cost = cost
+        if telemetry.enabled():
+            # Correlate modeled cycles with measured wall time per GemmSite;
+            # detached in the same finally so a clean run never inherits it.
+            executor.trace = telemetry.gemm_trace()
         try:
-            return self.score(lanes=1 if lanes is None else lanes)
+            with telemetry.span(
+                "eval.run", task=self.task, lanes=1 if lanes is None else lanes
+            ):
+                return self.score(lanes=1 if lanes is None else lanes)
         finally:
             self.model.attach(None, None)
             executor.cost = saved_cost
+            executor.trace = saved_trace

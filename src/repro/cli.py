@@ -21,11 +21,18 @@ Examples
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+import repro.telemetry as telemetry
+from repro.campaigns.progress import (
+    read_latest_progress,
+    render_metrics,
+    render_snapshot,
+)
 from repro.campaigns.report import aggregate, export_csv, report_table, status_table
-from repro.campaigns.spec import CampaignSpec, example_spec
+from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec, Trial, example_spec
 from repro.campaigns.store import ResultStore, default_store_dir
 from repro.characterization.evaluator import ModelEvaluator
 from repro.characterization.questions import (
@@ -248,6 +255,8 @@ def _open_store(
 def cmd_campaign_run(args: argparse.Namespace) -> str:
     from repro.campaigns.executor import run_campaign
 
+    if args.trace:
+        telemetry.enable()
     spec = _load_spec(args)
     with _open_store(args, spec) as store:
         lanes = {} if args.lanes is None else {"lane_width": args.lanes}
@@ -257,6 +266,15 @@ def cmd_campaign_run(args: argparse.Namespace) -> str:
         out.append(f"store: {store.directory}")
         out.append("")
         out.append(report_table(store, spec))
+    if args.trace:
+        telemetry.export_trace(
+            args.trace,
+            extra={
+                "metrics": telemetry.runtime_snapshot(),
+                "gemmSites": telemetry.gemm_trace().rows(),
+            },
+        )
+        out.append(f"trace: {args.trace}")
     if report.failed:
         args.exit_code = 1  # scripts/CI must not see a failed campaign as success
     return "\n".join(out)
@@ -270,7 +288,46 @@ def cmd_campaign_status(args: argparse.Namespace) -> str:
         args.exit_code = 1
         return f"{exc} — the campaign has not run (or --store is mistyped)"
     with store:
-        return status_table(spec, store)
+        out = status_table(spec, store)
+        directory = store.directory
+    if args.metrics:
+        snapshot = read_latest_progress(directory)
+        if snapshot is None:
+            out += "\n\nno progress snapshots recorded yet"
+        else:
+            out += "\n\n" + render_metrics(snapshot)
+    return out
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> str:
+    """Live progress: poll the store's ``progress`` table, frame by frame.
+
+    Reads go through :func:`~repro.campaigns.progress.read_latest_progress`
+    — a bare read-only SQLite connection — so watching never writes to a
+    store another process is running a campaign into.
+    """
+    spec = _load_spec(args)
+    directory = Path(args.store) if args.store else default_store_dir(spec.name)
+    remaining = args.refreshes
+    last = None
+    while True:
+        snapshot = read_latest_progress(directory)
+        if snapshot is None:
+            print(f"waiting for campaign {spec.name} to start ...", flush=True)
+        else:
+            last = snapshot
+            print(render_snapshot(snapshot), flush=True)
+            if snapshot.get("state") == "finished":
+                break
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                break
+        time.sleep(args.interval)
+    if last is None:
+        args.exit_code = 1
+        return f"no progress recorded in {directory}"
+    return f"campaign {spec.name}: {last.get('state', '?')}"
 
 
 def cmd_campaign_report(args: argparse.Namespace) -> str:
@@ -290,6 +347,64 @@ def cmd_campaign_report(args: argparse.Namespace) -> str:
 
 def cmd_campaign_example(args: argparse.Namespace) -> str:
     return example_spec().to_json()
+
+
+# ------------------------------------------------------------------- tracing
+def cmd_trace_export(args: argparse.Namespace) -> str:
+    """Trace one injected trial and write a Chrome-trace JSON.
+
+    The export carries the span timeline plus, under the ``"repro"`` key, a
+    metrics snapshot and the per-``GemmSite`` table correlating measured
+    wall time with the cost model's tiles/cycles/MACs (DESIGN.md section
+    10). Load the file in chrome://tracing or https://ui.perfetto.dev.
+    """
+    from repro.campaigns.lanes import build_injector, build_protector
+    from repro.dispatch.cost import CostSpec
+
+    telemetry.enable()
+    trial = Trial(
+        model=args.model,
+        task=args.task,
+        site=SiteSpec.only(components=[args.component], stages=["prefill"]),
+        error=ErrorSpec.bitflip(args.ber, bits=(30,)),
+        seed=args.seed,
+    )
+    evaluator = ModelEvaluator(get_pretrained(args.model), args.task)
+    cost_instrument = CostSpec().build()
+    injector = build_injector(trial)
+    protector = build_protector(trial, evaluator, None)
+    telemetry.gemm_trace().reset()
+    score = evaluator.run(injector, protector, cost=cost_instrument)
+    rows = telemetry.gemm_trace().rows(cost_instrument.report)
+    payload = telemetry.export_trace(
+        args.out,
+        extra={
+            "trial": trial.to_dict(),
+            "score": score,
+            "degradation": evaluator.degradation(score),
+            "metrics": telemetry.runtime_snapshot(),
+            "gemmSites": rows,
+        },
+    )
+    out = [
+        f"traced {args.model}/{args.task} {args.component}@BER={args.ber:g} "
+        f"seed={args.seed}: score {score:.4g} "
+        f"(degradation {evaluator.degradation(score):.4g})",
+        f"wrote {len(payload['traceEvents'])} span events to {args.out}",
+        "",
+        format_table(
+            ["site", "calls", "replays", "wall (s)", "MACs", "cycles", "tiles"],
+            [
+                [
+                    r["site"], r["calls"], r["replays"], r["wall_s"],
+                    r["macs"], r.get("cycles", "-"), r.get("tiles", "-"),
+                ]
+                for r in rows[: args.top]
+            ],
+            title="hottest GEMM sites (measured wall vs. modeled cost)",
+        ),
+    ]
+    return "\n".join(out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -349,12 +464,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "execution; results are bit-identical)")
     c.add_argument("--store", default=None,
                    help="result-store directory (default: cache dir by name)")
+    c.add_argument("--trace", default=None, metavar="PATH",
+                   help="enable span telemetry and write a Chrome-trace JSON "
+                        "of the whole run here (results stay bit-identical)")
     c.set_defaults(func=cmd_campaign_run)
 
     c = csub.add_parser("status", help="completion status of a campaign")
     c.add_argument("--spec", required=True)
     c.add_argument("--store", default=None)
+    c.add_argument("--metrics", action="store_true",
+                   help="also show the merged telemetry metrics from the "
+                        "latest progress snapshot")
     c.set_defaults(func=cmd_campaign_status)
+
+    c = csub.add_parser("watch", help="live progress of a running campaign")
+    c.add_argument("--spec", required=True)
+    c.add_argument("--store", default=None)
+    c.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between refreshes")
+    c.add_argument("--refreshes", type=int, default=None,
+                   help="stop after N refreshes (default: until finished)")
+    c.set_defaults(func=cmd_campaign_watch)
 
     c = csub.add_parser("report", help="aggregate a campaign's results")
     c.add_argument("--spec", required=True)
@@ -367,6 +497,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("example", help="print a ready-to-run example spec")
     c.set_defaults(func=cmd_campaign_example)
+
+    p = sub.add_parser("trace", help="span telemetry / Chrome-trace tooling")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser("export", help="trace one injected trial to JSON")
+    t.add_argument("--out", required=True, help="Chrome-trace JSON output path")
+    _add_model_arg(t)
+    t.add_argument("--task", default="perplexity")
+    t.add_argument("--component", default="O",
+                   choices=[c.value for c in Component])
+    t.add_argument("--ber", type=float, default=1e-3)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--top", type=int, default=10,
+                   help="GEMM-site rows to print (the JSON has all of them)")
+    t.set_defaults(func=cmd_trace_export)
 
     return parser
 

@@ -36,6 +36,7 @@ from repro.data.tasks import (
 )
 from repro.evalsuite.metrics import exact_match, perplexity_from_nll, rouge1
 from repro.models.quantized import QuantizedTransformerLM, batch_groups
+from repro.telemetry.spans import span as _span
 
 
 def _require_batched_lanes(batched: bool, lanes: int) -> None:
@@ -218,15 +219,19 @@ class EvalHarness:
             saved_injector = self.clean_model.injector
             saved_protector = self.clean_model.protector
             saved_cost = executor.cost
+            saved_trace = executor.trace
             self.clean_model.attach(None, None)
             executor.cost = None
+            executor.trace = None
             try:
-                self._ref_cache[key] = _generate_all(
-                    self.clean_model, prompts, gen_len, self.batched
-                )
+                with _span("harness.reference", prompts=len(prompts), gen_len=gen_len):
+                    self._ref_cache[key] = _generate_all(
+                        self.clean_model, prompts, gen_len, self.batched
+                    )
             finally:
                 self.clean_model.attach(saved_injector, saved_protector)
                 executor.cost = saved_cost
+                executor.trace = saved_trace
         return self._ref_cache[key]
 
     def summarization_score(

@@ -33,6 +33,7 @@ on protected vector units.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -68,6 +69,7 @@ from repro.quant.quantizer import (
     quantize_weight_per_channel,
     quantize_with_scale,
 )
+from repro.telemetry.spans import span as _span
 
 
 def softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -210,12 +212,13 @@ class GemmExecutor:
         #: (DESIGN.md section 7).
         self.call_log: Optional[list[GemmCallRecord]] = None
         self._cost: Optional[Instrument] = None
+        self._trace: Optional[Instrument] = None
         self._rebuild_chain()
 
     def _rebuild_chain(self) -> None:
         """Instrument chain in pipeline order (DESIGN.md section 8):
-        Quantize, Record, Inject, Protect, Cost — each present only while
-        its subject is attached."""
+        Quantize, Record, Inject, Protect, Cost, Trace — each present only
+        while its subject is attached."""
         chain: list[Instrument] = [QuantizeInstrument(self), RecordInstrument(self)]
         if self.injector is not None:
             chain.append(InjectInstrument(self.injector))
@@ -223,6 +226,8 @@ class GemmExecutor:
             chain.append(ProtectInstrument(self.protector))
         if self._cost is not None:
             chain.append(self._cost)
+        if self._trace is not None:
+            chain.append(self._trace)
         self.instruments: tuple[Instrument, ...] = tuple(chain)
 
     @property
@@ -234,6 +239,18 @@ class GemmExecutor:
     @cost.setter
     def cost(self, instrument: Optional[Instrument]) -> None:
         self._cost = instrument
+        self._rebuild_chain()
+
+    @property
+    def trace(self) -> Optional[Instrument]:
+        """Wall-time trace instrument (DESIGN.md section 10; ``None`` — the
+        default — means :meth:`dispatch` pays one ``is None`` test and the
+        chain is exactly the pre-telemetry chain)."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, instrument: Optional[Instrument]) -> None:
+        self._trace = instrument
         self._rebuild_chain()
 
     @staticmethod
@@ -274,6 +291,22 @@ class GemmExecutor:
 
     def dispatch(self, call: DispatchCall) -> np.ndarray:
         """Run one GEMM call through the instrument chain.
+
+        With a trace instrument attached the whole call is timed here —
+        the only boundary both the materialized and bypass routes cross
+        (the bypass kernel runs *after* the ``after`` hooks, so hook-level
+        timing would miss it).
+        """
+        trace = self._trace
+        if trace is None:
+            return self._dispatch(call)
+        t0 = time.perf_counter()
+        out = self._dispatch(call)
+        trace.observe(call, time.perf_counter() - t0)
+        return out
+
+    def _dispatch(self, call: DispatchCall) -> np.ndarray:
+        """The untimed dispatch route.
 
         ``before`` hooks quantize/log the call and vote on materialization;
         the executor charges the MACs and picks the route; ``after`` hooks
@@ -319,8 +352,15 @@ class GemmExecutor:
         self.total_macs += macs
         key = site.component.value
         self.macs_by_component[key] = self.macs_by_component.get(key, 0) + macs
+        trace = self._trace
+        if trace is None:
+            for instrument in self.instruments:
+                instrument.replay(call)
+            return
+        t0 = time.perf_counter()
         for instrument in self.instruments:
             instrument.replay(call)
+        trace.observe_replay(call, time.perf_counter() - t0)
 
     def linear(self, x: np.ndarray, weight: QuantizedWeight, site: GemmSite) -> np.ndarray:
         """Weight GEMM ``x @ W`` with ``x`` of shape ``(..., m, in)``."""
@@ -664,20 +704,24 @@ class QuantizedTransformerLM:
     ) -> np.ndarray:
         """Resume a ``forward_full`` from ``trace``, tiled across ``lanes``."""
         ex = self.executor
-        start = resume_layer(ex.injector, self.config.n_layers, self.config.components, stage)
-        end = self.config.n_layers if start is None else start
-        for i in range(end):
-            replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
-        if start is None:
-            if lanes == 1:
-                return trace.logits
-            return np.tile(trace.logits, (lanes, 1, 1))
-        h = trace.boundaries[start]
-        if lanes > 1:
-            h = np.tile(h, (lanes, 1, 1))
-        for i in range(start, self.config.n_layers):
-            h = self._block(self.layers[i], i, h, stage, cache=None, position=0)
-        return self._logits(h)
+        with _span("replay.resume", kind="full", stage=stage.value, lanes=lanes) as sp:
+            start = resume_layer(
+                ex.injector, self.config.n_layers, self.config.components, stage
+            )
+            sp.set(start=-1 if start is None else start)
+            end = self.config.n_layers if start is None else start
+            for i in range(end):
+                replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
+            if start is None:
+                if lanes == 1:
+                    return trace.logits
+                return np.tile(trace.logits, (lanes, 1, 1))
+            h = trace.boundaries[start]
+            if lanes > 1:
+                h = np.tile(h, (lanes, 1, 1))
+            for i in range(start, self.config.n_layers):
+                h = self._block(self.layers[i], i, h, stage, cache=None, position=0)
+            return self._logits(h)
 
     def _record_full(
         self, tokens: np.ndarray, stage: Stage
@@ -688,16 +732,17 @@ class QuantizedTransformerLM:
         saved_log = ex.call_log
         boundaries: list[np.ndarray] = []
         calls: list[list[GemmCallRecord]] = []
-        try:
-            h = self._embed_tokens(tokens, position=0)
-            for i, layer in enumerate(self.layers):
-                boundaries.append(h)
-                ex.call_log = layer_log = []
-                h = self._block(layer, i, h, stage, cache=None, position=0)
-                calls.append(layer_log)
-        finally:
-            ex.call_log = saved_log
-        logits = self._logits(h)
+        with _span("replay.record", kind="full", stage=stage.value):
+            try:
+                h = self._embed_tokens(tokens, position=0)
+                for i, layer in enumerate(self.layers):
+                    boundaries.append(h)
+                    ex.call_log = layer_log = []
+                    h = self._block(layer, i, h, stage, cache=None, position=0)
+                    calls.append(layer_log)
+            finally:
+                ex.call_log = saved_log
+            logits = self._logits(h)
         trace = CleanTrace(
             kind="full", boundaries=boundaries, calls_by_layer=calls, logits=logits
         )
@@ -820,33 +865,44 @@ class QuantizedTransformerLM:
         """Resume a ``generate_batch`` from ``trace``, tiled across ``lanes``."""
         ex = self.executor
         n_layers = self.config.n_layers
-        start = resume_layer(ex.injector, n_layers, self.config.components, Stage.PREFILL)
-        if lanes == 1 and start is None and ex.injector is None and ex.protector is None:
-            # Fault-free repeat: charge the recorded MACs, return the trace.
-            for i in range(n_layers):
-                replay_skipped_calls(ex, trace.calls_by_layer[i])
-            replay_skipped_calls(ex, trace.decode_calls)
-            return trace.new_tokens
-        end = n_layers if start is None else start
-        for i in range(end):
-            replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
-        cache = self._empty_cache(prompts.shape[0])
-        for i in range(end):  # layers restored from the trace, not recomputed
-            k, v = trace.kv[i]
-            if lanes > 1:
-                k = np.tile(k, (lanes, 1, 1, 1))
-                v = np.tile(v, (lanes, 1, 1, 1))
-            cache.layers[i] = LayerKV(k=k, v=v)
-        if start is None:
-            logits = trace.logits if lanes == 1 else np.tile(trace.logits, (lanes, 1))
-        else:
-            h = trace.boundaries[start]
-            if lanes > 1:
-                h = np.tile(h, (lanes, 1, 1))
-            for i in range(start, n_layers):
-                h = self._block(self.layers[i], i, h, Stage.PREFILL, cache.layers[i], position=0)
-            logits = self._logits(h[:, -1:, :])[:, 0, :]
-        return self._decode_loop(logits, cache, max_new_tokens)
+        with _span("replay.resume", kind="generate", lanes=lanes) as sp:
+            start = resume_layer(
+                ex.injector, n_layers, self.config.components, Stage.PREFILL
+            )
+            sp.set(start=-1 if start is None else start)
+            if (
+                lanes == 1
+                and start is None
+                and ex.injector is None
+                and ex.protector is None
+            ):
+                # Fault-free repeat: charge the recorded MACs, return the trace.
+                for i in range(n_layers):
+                    replay_skipped_calls(ex, trace.calls_by_layer[i])
+                replay_skipped_calls(ex, trace.decode_calls)
+                return trace.new_tokens
+            end = n_layers if start is None else start
+            for i in range(end):
+                replay_skipped_calls(ex, trace.calls_by_layer[i], lanes=lanes)
+            cache = self._empty_cache(prompts.shape[0])
+            for i in range(end):  # layers restored from the trace, not recomputed
+                k, v = trace.kv[i]
+                if lanes > 1:
+                    k = np.tile(k, (lanes, 1, 1, 1))
+                    v = np.tile(v, (lanes, 1, 1, 1))
+                cache.layers[i] = LayerKV(k=k, v=v)
+            if start is None:
+                logits = trace.logits if lanes == 1 else np.tile(trace.logits, (lanes, 1))
+            else:
+                h = trace.boundaries[start]
+                if lanes > 1:
+                    h = np.tile(h, (lanes, 1, 1))
+                for i in range(start, n_layers):
+                    h = self._block(
+                        self.layers[i], i, h, Stage.PREFILL, cache.layers[i], position=0
+                    )
+                logits = self._logits(h[:, -1:, :])[:, 0, :]
+            return self._decode_loop(logits, cache, max_new_tokens)
 
     def _record_generate(
         self, prompts: np.ndarray, max_new_tokens: int
@@ -858,21 +914,24 @@ class QuantizedTransformerLM:
         cache = self._empty_cache(prompts.shape[0])
         boundaries: list[np.ndarray] = []
         calls: list[list[GemmCallRecord]] = []
-        try:
-            h = self._embed_tokens(prompts, position=0)
-            for i, layer in enumerate(self.layers):
-                boundaries.append(h)
-                ex.call_log = layer_log = []
-                h = self._block(layer, i, h, Stage.PREFILL, cache.layers[i], position=0)
-                calls.append(layer_log)
-            logits = self._logits(h[:, -1:, :])[:, 0, :]
-            # KV arrays are never mutated in place (``append`` concatenates),
-            # so the post-prefill snapshot is a zero-copy set of references.
-            kv = [(lkv.k, lkv.v) for lkv in cache.layers]
-            ex.call_log = decode_log = []
-            new_tokens = self._decode_loop(logits, cache, max_new_tokens)
-        finally:
-            ex.call_log = saved_log
+        with _span("replay.record", kind="generate"):
+            try:
+                h = self._embed_tokens(prompts, position=0)
+                for i, layer in enumerate(self.layers):
+                    boundaries.append(h)
+                    ex.call_log = layer_log = []
+                    h = self._block(
+                        layer, i, h, Stage.PREFILL, cache.layers[i], position=0
+                    )
+                    calls.append(layer_log)
+                logits = self._logits(h[:, -1:, :])[:, 0, :]
+                # KV arrays are never mutated in place (``append`` concatenates),
+                # so the post-prefill snapshot is a zero-copy set of references.
+                kv = [(lkv.k, lkv.v) for lkv in cache.layers]
+                ex.call_log = decode_log = []
+                new_tokens = self._decode_loop(logits, cache, max_new_tokens)
+            finally:
+                ex.call_log = saved_log
         trace = CleanTrace(
             kind="generate",
             boundaries=boundaries,

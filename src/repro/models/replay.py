@@ -114,6 +114,10 @@ class TraceStore:
         self.max_bytes = max_bytes
         self._traces: OrderedDict[str, CleanTrace] = OrderedDict()
         self._nbytes = 0
+        #: Plain-int hit/miss tallies; ``repro.telemetry`` mirrors them into
+        #: gauges at snapshot time rather than importing a registry here.
+        self.hits = 0
+        self.misses = 0
 
     def _cap(self) -> int:
         if self.max_bytes is not None:
@@ -125,8 +129,11 @@ class TraceStore:
 
     def get(self, key: str) -> Optional[CleanTrace]:
         trace = self._traces.get(key)
-        if trace is not None:
-            self._traces.move_to_end(key)
+        if trace is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._traces.move_to_end(key)
         return trace
 
     def put(self, key: str, trace: CleanTrace) -> None:

@@ -34,6 +34,7 @@ from repro.models.config import ModelConfig
 from repro.models.quantized import QuantizedTransformerLM, QuantizedWeight
 from repro.models.replay import TRACES, CleanTrace, GemmCall
 from repro.quant.quantizer import QuantParams
+from repro.telemetry.spans import span as _span
 from repro.utils.logging import get_logger
 
 logger = get_logger("sharing")
@@ -190,23 +191,25 @@ def publish_bundle(
     traces: Optional[dict[str, CleanTrace]] = None,
 ) -> BundlePack:
     """Publish a calibrated engine (and its clean traces) for worker attach."""
-    arrays = _collect_model_arrays(model)
-    trace_metas: list[dict] = []
-    if traces:
-        trace_arrays, trace_metas = _collect_trace_arrays(traces)
-        arrays.update(trace_arrays)
-    shm, descriptors = _pack_arrays(arrays)
-    manifest = {
-        "fingerprint": fingerprint,
-        "shm_name": shm.name,
-        "config": dataclasses.asdict(model.config),
-        "mode": model.executor.mode,
-        "wraparound": model.executor.wraparound,
-        "scale_store": dict(model.executor.scale_store),
-        "arrays": descriptors,
-        "traces": trace_metas,
-    }
-    return BundlePack(manifest=manifest, shm=shm)
+    with _span("shm.publish", fingerprint=fingerprint[:12]) as sp:
+        arrays = _collect_model_arrays(model)
+        trace_metas: list[dict] = []
+        if traces:
+            trace_arrays, trace_metas = _collect_trace_arrays(traces)
+            arrays.update(trace_arrays)
+        shm, descriptors = _pack_arrays(arrays)
+        sp.set(nbytes=shm.size, arrays=len(descriptors), traces=len(trace_metas))
+        manifest = {
+            "fingerprint": fingerprint,
+            "shm_name": shm.name,
+            "config": dataclasses.asdict(model.config),
+            "mode": model.executor.mode,
+            "wraparound": model.executor.wraparound,
+            "scale_store": dict(model.executor.scale_store),
+            "arrays": descriptors,
+            "traces": trace_metas,
+        }
+        return BundlePack(manifest=manifest, shm=shm)
 
 
 # --------------------------------------------------------------- worker side
@@ -313,9 +316,10 @@ def attach_bundle(manifest: dict) -> QuantizedTransformerLM:
     the evaluator cache and the traces in the process trace store."""
     from repro.characterization.evaluator import register_quantized_model
 
-    shm = _open_segment(manifest["shm_name"])
-    model = attach_model(manifest, shm)
-    register_quantized_model(manifest["fingerprint"], model)
-    for key, trace in attach_traces(manifest, shm).items():
-        TRACES.put(key, trace)
-    return model
+    with _span("shm.attach", fingerprint=manifest["fingerprint"][:12]):
+        shm = _open_segment(manifest["shm_name"])
+        model = attach_model(manifest, shm)
+        register_quantized_model(manifest["fingerprint"], model)
+        for key, trace in attach_traces(manifest, shm).items():
+            TRACES.put(key, trace)
+        return model

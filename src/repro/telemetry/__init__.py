@@ -1,0 +1,94 @@
+"""``repro.telemetry`` — spans, metrics, and dispatch-chain wall tracing.
+
+Three cooperating pieces (DESIGN.md section 10):
+
+- **Spans** (:mod:`.spans`): opt-in wall-clock tracing of the trial hot
+  path with Chrome-trace/Perfetto export. Off by default; enable with
+  :func:`enable`, ``REPRO_TELEMETRY=1``, or ``campaign run --trace``.
+  Disabled-mode cost is one shared no-op singleton — nothing reaches the
+  dispatch chain.
+- **Metrics** (:mod:`.metrics`): always-on counters/gauges/histograms on
+  the trial control path, snapshotted by campaign workers into the result
+  store's ``progress`` table for ``campaign watch`` / ``status --metrics``.
+- **Dispatch tracing** (:mod:`.instrument`): a per-``GemmSite`` wall-time
+  instrument the evaluator attaches (only while spans are enabled)
+  alongside the hardware cost instrument, so modeled cycles and measured
+  wall time correlate per site.
+
+The overhead contract: with everything enabled, scores and statistics are
+bit-identical and ``benchmarks/bench_trial_lanes.py`` measures < 2% wall
+overhead on the lane-packed hot path (full runs assert it; the committed
+``BENCH_lanes.json`` baseline carries the ratio for ``bench_compare``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.instrument import SiteWall, TraceInstrument
+from repro.telemetry.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    runtime_snapshot,
+)
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Span,
+    SpanTracer,
+    disable,
+    enable,
+    enabled,
+    export_trace,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SiteWall",
+    "Span",
+    "SpanTracer",
+    "TraceInstrument",
+    "disable",
+    "enable",
+    "enabled",
+    "export_trace",
+    "gemm_trace",
+    "merge_snapshots",
+    "runtime_snapshot",
+    "span",
+    "tracer",
+]
+
+#: Process-wide dispatch-chain trace instrument, created on first use; the
+#: evaluator attaches it for the duration of each run while spans are
+#: enabled, so one export correlates every trial of the session.
+_GEMM_TRACE: TraceInstrument | None = None
+
+
+def gemm_trace() -> TraceInstrument:
+    global _GEMM_TRACE
+    if _GEMM_TRACE is None:
+        _GEMM_TRACE = TraceInstrument()
+    return _GEMM_TRACE
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+    )
+
+
+if _env_enabled():  # spawn-started workers and REPRO_TELEMETRY=1 sessions
+    enable()

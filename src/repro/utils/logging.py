@@ -3,15 +3,42 @@
 from __future__ import annotations
 
 import logging
+import os
+
+
+def _env_level() -> int | None:
+    """Level from ``REPRO_LOG_LEVEL`` (name or number), ``None`` if unset
+    or unparseable — a typo must not crash whatever imported us."""
+    raw = os.environ.get("REPRO_LOG_LEVEL", "").strip()
+    if not raw:
+        return None
+    if raw.lstrip("-").isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else None
 
 
 def get_logger(name: str) -> logging.Logger:
-    """Return a namespaced logger configured once with a terse format."""
+    """Return a namespaced logger configured once with a terse format.
+
+    ``hasHandlers()`` (not ``handlers``) guards the handler install: it
+    walks the ancestor chain, so when the application — or, for forked
+    campaign workers, the parent process — already configured logging, we
+    emit through that configuration instead of adding a second handler
+    that would print every record twice. ``REPRO_LOG_LEVEL`` (a name like
+    ``DEBUG``/``WARNING`` or a number) sets the library's level and, being
+    an environment variable, reaches spawned multiprocessing workers that
+    re-import this module with no memory of the parent's setup.
+    """
     logger = logging.getLogger(f"repro.{name}")
     root = logging.getLogger("repro")
-    if not root.handlers:
+    if not root.hasHandlers():
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
         root.addHandler(handler)
-        root.setLevel(logging.INFO)
+        if root.level == logging.NOTSET:
+            root.setLevel(logging.INFO)  # inherited config keeps its level
+    level = _env_level()
+    if level is not None:
+        root.setLevel(level)
     return logger

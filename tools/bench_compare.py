@@ -44,7 +44,15 @@ RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 #: smoke ratios come from larger cells and stay comparable under load.
 METRICS: dict[str, list[tuple[str, str, bool]]] = {
     "BENCH_replay.json": [("deep_layer_speedup", "higher", True)],
-    "BENCH_lanes.json": [("speedup", "higher", False)],
+    # telemetry_overhead_pct is a per-op measurement over a sub-percent
+    # base value, so even small absolute wobble reads as a large relative
+    # change on a smoke cell's millisecond denominator; the absolute <2%
+    # cap is asserted inside bench_trial_lanes itself (smoke included),
+    # and this entry guards full-run drift on top of it.
+    "BENCH_lanes.json": [
+        ("speedup", "higher", False),
+        ("telemetry_overhead_pct", "lower", True),
+    ],
     "BENCH_dispatch.json": [("overhead_pct", "lower", False)],
 }
 
