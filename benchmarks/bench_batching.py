@@ -5,8 +5,8 @@ resilience sweep of ``opt-mini`` under three engine configurations and
 reports the end-to-end speedup the batched engine delivers:
 
 - ``seed-equivalent``: per-sequence evaluation loop with the all-integer
-  GEMM route (``fast_gemm=False``) — a *conservative* stand-in for the
-  pre-batching engine, which additionally looped per attention head;
+  GEMM route (the ``numpy-int`` backend) — a *conservative* stand-in for
+  the pre-batching engine, which additionally looped per attention head;
 - ``single-sequence``: per-sequence evaluation on the fast engine
   (head-batched GEMMs + BLAS int8 pipeline);
 - ``batched``: the default batched path (whole task per forward,
@@ -32,6 +32,7 @@ from _common import bundle, table
 
 from repro.characterization.evaluator import ModelEvaluator, TaskSizing
 from repro.characterization.questions import DEFAULT_BERS, q13_components
+from repro.dispatch.backends import get_backend
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -51,7 +52,7 @@ def _evaluators():
     seed_like = ModelEvaluator(
         b, "perplexity", sizing=SIZING, batched=False, reuse_model=False, replay=False
     )
-    seed_like.model.executor.fast_gemm = False
+    seed_like.model.executor.backend = get_backend("numpy-int")
     single = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=False, replay=False)
     batched = ModelEvaluator(b, "perplexity", sizing=SIZING, batched=True, replay=False)
     return {"seed-equivalent": seed_like, "single-sequence": single, "batched": batched}

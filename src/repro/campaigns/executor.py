@@ -45,6 +45,7 @@ import repro.telemetry as telemetry
 from repro.characterization.evaluator import ModelEvaluator
 from repro.core.methods import METHODS
 from repro.core.realm import ReaLMConfig, ReaLMPipeline
+from repro.dispatch.backends import use_backend
 from repro.dispatch.cost import CostSpec
 from repro.training.zoo import get_pretrained
 from repro.utils.logging import get_logger
@@ -64,6 +65,7 @@ def evaluate_trial(
     evaluator: ModelEvaluator,
     pipeline: Optional[ReaLMPipeline] = None,
     cost: Optional[CostSpec] = None,
+    backend: Optional[str] = None,
 ) -> TrialResult:
     """Score one trial on an already-built evaluator.
 
@@ -73,7 +75,10 @@ def evaluate_trial(
     duration of the trial, filling the result's ``cycles`` /
     ``recovered_macs`` / ``energy_j`` columns with hardware costs measured
     on the trial's actual GEMM calls (energy at the trial's voltage, or
-    nominal when the grid has no voltage axis).
+    nominal when the grid has no voltage axis). ``backend`` selects the
+    GEMM backend for the duration (``CampaignSpec.backend``, DESIGN.md
+    section 11); an unavailable one degrades to the exact default with a
+    WARNING, and the result records what actually ran.
 
     This is the per-trial reference route the lane-packed executor
     (:mod:`repro.campaigns.lanes`) is asserted bit-identical against.
@@ -83,10 +88,15 @@ def evaluate_trial(
     cost_instrument = cost.build() if cost is not None else None
     protector = build_protector(trial, evaluator, pipeline)
 
-    with telemetry.span("trial.evaluate", cell=trial.cell_label, seed=trial.seed):
-        score = evaluator.run(injector, protector, cost=cost_instrument)
-    if trial.method not in (NO_METHOD,) and METHODS[trial.method].exact_correction:
-        score = evaluator.clean_score  # detected-and-replayed: fault-free output
+    # Non-exact trials pin their backend in trial identity; a campaign-level
+    # exact selection rides the payload instead (never part of the key).
+    requested = backend if backend is not None else trial.backend
+    with use_backend(evaluator.model.executor, requested) as active:
+        with telemetry.span("trial.evaluate", cell=trial.cell_label, seed=trial.seed):
+            score = evaluator.run(injector, protector, cost=cost_instrument)
+        if trial.method not in (NO_METHOD,) and METHODS[trial.method].exact_correction:
+            score = evaluator.clean_score  # detected-and-replayed: fault-free output
+        clean_score = evaluator.clean_score
     cycles = recovered_macs = 0
     energy_j = 0.0
     if cost_instrument is not None:
@@ -100,7 +110,7 @@ def evaluate_trial(
     return TrialResult(
         score=score,
         degradation=evaluator.degradation(score),
-        clean_score=evaluator.clean_score,
+        clean_score=clean_score,
         injected_errors=injector.stats.injected_errors if injector else 0,
         gemm_calls=injector.stats.gemm_calls if injector else 0,
         cycles=cycles,
@@ -108,6 +118,7 @@ def evaluate_trial(
         energy_j=energy_j,
         elapsed_s=elapsed,
         worker=os.getpid(),
+        backend=active.name,
     )
 
 
@@ -148,13 +159,21 @@ def _run_trial_payload(payload: dict) -> dict:
     The optional ``"cost"`` key carries the campaign-level
     :class:`~repro.dispatch.cost.CostSpec`; it is popped before the trial
     is parsed so it never leaks into trial identity or stored records.
+    The optional ``"gemm_backend"`` key carries the campaign-level exact
+    backend selection (``CampaignSpec.backend``) the same way — a
+    measurement setting, never part of the trial key. (A non-exact
+    backend instead rides the trial's own ``"backend"`` field, which *is*
+    identity.)
     """
     cost_payload = payload.pop("cost", None)
     cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
+    backend = payload.pop("gemm_backend", None)
     trial = Trial.from_dict(payload)
     try:
         evaluator, pipeline = _trial_context(trial)
-        result = evaluate_trial(trial, evaluator, pipeline, cost=cost)
+        result = evaluate_trial(
+            trial, evaluator, pipeline, cost=cost, backend=backend
+        )
         return {"key": trial.key, "trial": payload, "result": result.to_dict()}
     except Exception as exc:  # surfaced to the parent, which keeps going
         return {"key": trial.key, "trial": payload, "error": repr(exc)}
@@ -191,11 +210,14 @@ def _run_pack_payload(payload: dict) -> list[dict]:
     """
     trial_payloads = payload["trials"]
     cost_payload = payload.get("cost")
+    backend = payload.get("gemm_backend")
 
     def solo(trial_payload: dict) -> dict:
         single = dict(trial_payload)
         if cost_payload is not None:
             single["cost"] = cost_payload
+        if backend is not None:
+            single["gemm_backend"] = backend
         return _run_trial_payload(single)
 
     if len(trial_payloads) == 1:
@@ -204,7 +226,9 @@ def _run_pack_payload(payload: dict) -> list[dict]:
     trials = [Trial.from_dict(p) for p in trial_payloads]
     try:
         evaluator, pipeline = _trial_context(trials[0])
-        results = evaluate_lane_pack(trials, evaluator, pipeline, cost=cost)
+        results = evaluate_lane_pack(
+            trials, evaluator, pipeline, cost=cost, backend=backend
+        )
         return _ship_telemetry(
             [
                 {"key": trial.key, "trial": trial_payload, "result": result.to_dict()}
@@ -505,6 +529,8 @@ def run_campaign(
                 payload = {"trials": [trial.to_dict() for trial in pack]}
                 if spec.cost is not None:
                     payload["cost"] = spec.cost.to_dict()
+                if spec.backend is not None:
+                    payload["gemm_backend"] = spec.backend
                 payloads.append(payload)
             for outcomes in runner.run(payloads):
                 for outcome in outcomes:

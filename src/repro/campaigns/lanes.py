@@ -39,6 +39,7 @@ from repro.campaigns.store import TrialResult
 from repro.characterization.evaluator import ModelEvaluator
 from repro.circuits.voltage import VoltageBerModel
 from repro.core.methods import METHODS, analytic_recovered_macs
+from repro.dispatch.backends import use_backend
 from repro.dispatch.cost import CostInstrument, CostSpec, LaneCostInstrument
 from repro.energy.model import EnergyModel
 from repro.errors.injector import ErrorInjector, LaneInjector
@@ -160,7 +161,9 @@ def pack_signature(trial: Trial, config) -> tuple:
         )
         for stage in (Stage.PREFILL, Stage.DECODE)
     )
-    return (trial.model, trial.task, trial.method, resume)
+    # trial.backend is None for exact backends; a non-exact backend pins the
+    # whole pack's kernel, so trials carrying different ones never co-pack.
+    return (trial.model, trial.task, trial.method, trial.backend, resume)
 
 
 class LanePacker:
@@ -220,8 +223,10 @@ def prepare_lanes(
     """
     if not trials:
         raise ValueError("a lane pack needs at least one trial")
-    if len({(t.model, t.task, t.method) for t in trials}) > 1:
-        raise ValueError("a lane pack must share one (model, task, method)")
+    if len({(t.model, t.task, t.method, t.backend) for t in trials}) > 1:
+        raise ValueError(
+            "a lane pack must share one (model, task, method, backend)"
+        )
     injectors = [build_injector(t) for t in trials]
     protectors = [build_protector(t, evaluator, pipeline) for t in trials]
     costs = [cost.build() if cost is not None else None for _ in trials]
@@ -238,6 +243,7 @@ def evaluate_lane_pack(
     evaluator: ModelEvaluator,
     pipeline=None,
     cost: Optional[CostSpec] = None,
+    backend: Optional[str] = None,
 ) -> list[TrialResult]:
     """Score a pack of trials as lanes of one batched forward.
 
@@ -245,19 +251,24 @@ def evaluate_lane_pack(
     statistics, and cost columns are bit-identical to
     ``repro.campaigns.executor.evaluate_trial`` on the same trial;
     ``elapsed_s`` attributes the pack's wall clock evenly across lanes
-    (telemetry, not part of the bit-exactness contract).
+    (telemetry, not part of the bit-exactness contract). ``backend``
+    selects the GEMM backend for the whole pack (uniform by the packing
+    rules above); when ``None`` the pack honors the trials' own pinned
+    backend, falling back to the executor's current one.
     """
     start = time.perf_counter()
     injectors, protectors, costs, packed = prepare_lanes(
         trials, evaluator, pipeline, cost
     )
     pack_injector, pack_protector, pack_cost = packed
-    with telemetry.span(
-        "pack.evaluate", lanes=len(trials), cell=trials[0].cell_label
-    ):
-        scores = evaluator.run(
-            pack_injector, pack_protector, cost=pack_cost, lanes=len(trials)
-        )
+    requested = backend if backend is not None else trials[0].backend
+    with use_backend(evaluator.model.executor, requested) as active:
+        with telemetry.span(
+            "pack.evaluate", lanes=len(trials), cell=trials[0].cell_label
+        ):
+            scores = evaluator.run(
+                pack_injector, pack_protector, cost=pack_cost, lanes=len(trials)
+            )
     elapsed = (time.perf_counter() - start) / len(trials)
     metrics = telemetry.METRICS
     metrics.counter("lanes.packs").inc()
@@ -289,6 +300,7 @@ def evaluate_lane_pack(
                 energy_j=energy_j,
                 elapsed_s=elapsed,
                 worker=os.getpid(),
+                backend=active.name,
             )
         )
     return results

@@ -221,7 +221,7 @@ CSV_FIELDS = [
     "key", "cell", "model", "task", "site", "error", "error_kind", "ber",
     "bits", "mag", "freq", "sign", "method", "voltage", "seed",
     "score", "degradation", "clean_score", "injected_errors", "gemm_calls",
-    "cycles", "recovered_macs", "energy_j", "elapsed_s", "worker",
+    "cycles", "recovered_macs", "energy_j", "elapsed_s", "worker", "backend",
 ]
 
 
@@ -268,6 +268,7 @@ def export_csv(
                     "energy_j": result.energy_j,
                     "elapsed_s": result.elapsed_s,
                     "worker": result.worker,
+                    "backend": result.backend,
                 }
             )
     return len(records)

@@ -239,7 +239,14 @@ class ErrorSpec:
 
 @dataclass(frozen=True)
 class Trial:
-    """One fully-specified cell-and-seed of the campaign grid."""
+    """One fully-specified cell-and-seed of the campaign grid.
+
+    ``backend`` is ``None`` for every exact GEMM backend — exact backends
+    are bit-interchangeable, so naming one must not change the trial's
+    content key (the stored result is valid whichever exact kernel ran).
+    A *non-exact* backend changes the measurement, so ``expand()`` stamps
+    its name here and it becomes part of the key/cell identity.
+    """
 
     model: str
     task: str
@@ -248,6 +255,7 @@ class Trial:
     method: str = NO_METHOD
     voltage: Optional[float] = None
     seed: int = 0
+    backend: Optional[str] = None
 
     def to_dict(self) -> dict:
         out: dict = {
@@ -260,6 +268,8 @@ class Trial:
         }
         if self.voltage is not None:
             out["voltage"] = self.voltage
+        if self.backend is not None:
+            out["backend"] = self.backend
         return out
 
     @classmethod
@@ -272,6 +282,7 @@ class Trial:
             method=payload.get("method", NO_METHOD),
             voltage=payload.get("voltage"),
             seed=payload.get("seed", 0),
+            backend=payload.get("backend"),
         )
 
     @property
@@ -298,6 +309,8 @@ class Trial:
             parts.append(self.method)
         if self.voltage is not None:
             parts.append(f"{self.voltage:.2f}V")
+        if self.backend is not None:
+            parts.append(self.backend)
         return "/".join(parts)
 
 
@@ -311,6 +324,14 @@ class CampaignSpec:
     *measurement* setting, shared by the whole grid and deliberately **not**
     part of any trial's content key — toggling it never invalidates stored
     results, it only determines whether new trials carry cost columns.
+
+    ``backend`` names the GEMM backend every trial runs on (DESIGN.md
+    section 11; default: the workers' own resolution, i.e.
+    ``$REPRO_GEMM_BACKEND`` or ``numpy-f64``). Like ``cost`` it is a
+    measurement setting for *exact* backends — bit-identical results, so
+    trial keys are unchanged and stored results stay valid. Naming a
+    non-exact backend changes the numbers, so ``expand()`` stamps it into
+    every trial's content key.
     """
 
     name: str
@@ -323,13 +344,18 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (0,)
     stopping: Optional[StoppingPolicy] = None
     cost: Optional[CostSpec] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Deferred: the registries live in higher layers (characterization,
         # core) that themselves depend on this leaf module via the sweeps.
         from repro.characterization.evaluator import TASKS
         from repro.core.methods import METHODS
+        from repro.dispatch.backends import get_backend
         from repro.training.zoo import ZOO_SPECS
+
+        if self.backend is not None:
+            get_backend(self.backend)  # raises KeyError on unknown names
 
         if not self.name:
             raise ValueError("campaign needs a name")
@@ -374,6 +400,14 @@ class CampaignSpec:
         Repeated axis values (e.g. a duplicated seed in a hand-written JSON
         spec) are dropped: every returned trial has a unique key.
         """
+        # Only a non-exact backend is part of trial identity (see the class
+        # docstring); exact backends leave keys untouched by design.
+        trial_backend: Optional[str] = None
+        if self.backend is not None:
+            from repro.dispatch.backends import get_backend
+
+            if not get_backend(self.backend).exact:
+                trial_backend = self.backend
         seen: set[str] = set()
         trials: list[Trial] = []
         for model in self.models:
@@ -391,6 +425,7 @@ class CampaignSpec:
                                         method=method,
                                         voltage=voltage,
                                         seed=seed,
+                                        backend=trial_backend,
                                     )
                                     if trial.key not in seen:
                                         seen.add(trial.key)
@@ -417,6 +452,8 @@ class CampaignSpec:
             out["stopping"] = self.stopping.to_dict()
         if self.cost is not None:
             out["cost"] = self.cost.to_dict()
+        if self.backend is not None:
+            out["backend"] = self.backend
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -438,8 +475,8 @@ class CampaignSpec:
         """
         known = {
             "name", "models", "tasks", "sites", "errors", "methods",
-            "voltages", "seeds", "stopping", "cost", "bers", "bits",
-            "magfreq", "components", "stages",
+            "voltages", "seeds", "stopping", "cost", "backend", "bers",
+            "bits", "magfreq", "components", "stages",
         }
         unknown = set(payload) - known
         if unknown:
@@ -484,6 +521,7 @@ class CampaignSpec:
             seeds=tuple(seeds),
             stopping=StoppingPolicy.from_dict(stopping) if stopping else None,
             cost=CostSpec.from_dict(cost) if cost is not None else None,
+            backend=payload.get("backend"),
         )
 
     @classmethod

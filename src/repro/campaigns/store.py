@@ -44,6 +44,11 @@ class TrialResult:
     instrument attached (``CampaignSpec.cost``, DESIGN.md section 8) and
     default to zero otherwise — including for records stored before the
     columns existed.
+
+    ``backend`` records which GEMM backend actually executed the trial
+    (provenance, DESIGN.md section 11) — possibly the exact fallback when
+    the requested backend was unavailable in the worker. It is empty for
+    records stored before backends existed (implicitly ``numpy-f64``).
     """
 
     score: float
@@ -56,6 +61,7 @@ class TrialResult:
     energy_j: float = 0.0
     elapsed_s: float = 0.0
     worker: int = 0
+    backend: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +75,7 @@ class TrialResult:
             "energy_j": self.energy_j,
             "elapsed_s": self.elapsed_s,
             "worker": self.worker,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -84,6 +91,7 @@ class TrialResult:
             energy_j=payload.get("energy_j", 0.0),
             elapsed_s=payload.get("elapsed_s", 0.0),
             worker=payload.get("worker", 0),
+            backend=payload.get("backend", ""),
         )
 
 

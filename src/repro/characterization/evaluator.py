@@ -117,7 +117,7 @@ def quantized_model_for(
     """Calibrated quantized engine for ``bundle``, cached per process.
 
     The shared engine is *mutable*: executor-level knobs (``wraparound``,
-    ``fast_gemm``, ``mode``, ``scale_store``) set through one evaluator are
+    ``backend``, ``mode``, ``scale_store``) set through one evaluator are
     seen by every other sharer. Pass ``reuse=False`` for a private engine
     whenever you mutate executor state (ablations, benchmarks, tests)."""
     key = _bundle_fingerprint(bundle) if reuse else ""

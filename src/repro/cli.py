@@ -16,6 +16,8 @@ Examples
     python -m repro campaign status --spec grid.json
     python -m repro campaign report --spec grid.json --csv results.csv
     python -m repro campaign report --spec grid.json --costs
+    python -m repro backend list                         # GEMM backends
+    python -m repro campaign run --spec grid.json --backend blocked
 """
 
 from __future__ import annotations
@@ -252,12 +254,67 @@ def _open_store(
     return ResultStore(directory, create=create)
 
 
+def cmd_backend_list(args: argparse.Namespace) -> str:
+    """Enumerate registered GEMM backends with availability and timings."""
+    import numpy as np
+
+    from repro.dispatch.backends import list_backends
+
+    shapes = [(32, 64, 64), (64, 256, 64), (128, 512, 128)]
+    operands = []
+    rng = np.random.default_rng(0)
+    if not args.no_timing:
+        for m, k, n in shapes:
+            a = rng.integers(-127, 128, size=(m, k), dtype=np.int8)
+            b = rng.integers(-127, 128, size=(k, n), dtype=np.int8)
+            operands.append((a, b))
+    rows = []
+    for backend in list_backends():
+        available = backend.available()
+        row = [
+            backend.name,
+            "yes" if available else f"no ({backend.why_unavailable()})",
+            "yes" if backend.exact else "NO",
+            "yes" if backend.threaded else "no",
+            backend.kernel() if available else "-",
+        ]
+        if not args.no_timing:
+            if available:
+                timings = []
+                for a, b in operands:
+                    backend.matmul_int32(a, b)  # warm
+                    best = min(
+                        _time_once(backend, a, b) for _ in range(3)
+                    )
+                    timings.append(f"{best * 1e3:.2f}")
+                row.append(" / ".join(timings))
+            else:
+                row.append("-")
+        rows.append(row)
+    header = ["backend", "available", "exact", "threaded", "kernel"]
+    if not args.no_timing:
+        shape_label = ", ".join("x".join(map(str, s)) for s in shapes)
+        header.append(f"ms ({shape_label})")
+    return format_table(header, rows, title="registered GEMM backends")
+
+
+def _time_once(backend, a, b) -> float:
+    start = time.perf_counter()
+    backend.matmul_int32(a, b)
+    return time.perf_counter() - start
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> str:
+    import dataclasses
+
     from repro.campaigns.executor import run_campaign
 
     if args.trace:
         telemetry.enable()
     spec = _load_spec(args)
+    if args.backend is not None:
+        # replace() re-runs __post_init__, validating the name up front.
+        spec = dataclasses.replace(spec, backend=args.backend)
     with _open_store(args, spec) as store:
         lanes = {} if args.lanes is None else {"lane_width": args.lanes}
         report = run_campaign(spec, store, workers=args.workers, **lanes)
@@ -464,6 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "execution; results are bit-identical)")
     c.add_argument("--store", default=None,
                    help="result-store directory (default: cache dir by name)")
+    c.add_argument("--backend", default=None,
+                   help="GEMM backend for every trial (see `repro backend list`)")
     c.add_argument("--trace", default=None, metavar="PATH",
                    help="enable span telemetry and write a Chrome-trace JSON "
                         "of the whole run here (results stay bit-identical)")
@@ -497,6 +556,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("example", help="print a ready-to-run example spec")
     c.set_defaults(func=cmd_campaign_example)
+
+    p = sub.add_parser("backend", help="GEMM backend registry tooling")
+    bsub = p.add_subparsers(dest="backend_command", required=True)
+
+    b = bsub.add_parser("list", help="registered backends + availability")
+    b.add_argument("--no-timing", action="store_true",
+                   help="skip the per-backend micro-timings")
+    b.set_defaults(func=cmd_backend_list)
 
     p = sub.add_parser("trace", help="span telemetry / Chrome-trace tooling")
     tsub = p.add_subparsers(dest="trace_command", required=True)

@@ -20,6 +20,14 @@ from repro.dispatch.pipeline import (
     RecordInstrument,
 )
 from repro.dispatch.cost import CostInstrument, CostSpec, LaneCostInstrument
+from repro.dispatch.backends import (
+    GemmBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
 
 __all__ = [
     "GemmCall",
@@ -32,4 +40,10 @@ __all__ = [
     "CostInstrument",
     "CostSpec",
     "LaneCostInstrument",
+    "GemmBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
 ]

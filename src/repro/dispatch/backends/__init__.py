@@ -1,0 +1,47 @@
+"""Pluggable GEMM backends behind the dispatch pipeline (DESIGN.md §11).
+
+Importing this package registers the three built-in backends:
+
+- ``numpy-f64`` — the default float64-BLAS route (the exactness oracle),
+- ``numpy-int`` — the seed engine's all-integer materialization route,
+- ``blocked`` — multi-threaded cache-blocked int8 kernel (Numba when
+  importable, exact tiled-f32 NumPy fallback otherwise).
+
+Every registered backend is automatically run through the differential
+conformance suite in ``tests/test_backends.py``.
+"""
+
+from repro.dispatch.backends.base import GemmBackend
+from repro.dispatch.backends.blocked import BlockedBackend
+from repro.dispatch.backends.numpy_ref import NumpyF64Backend, NumpyIntBackend
+from repro.dispatch.backends.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+    use_backend,
+)
+
+register_backend(NumpyF64Backend())
+register_backend(NumpyIntBackend())
+register_backend(BlockedBackend())
+
+__all__ = [
+    "GemmBackend",
+    "NumpyF64Backend",
+    "NumpyIntBackend",
+    "BlockedBackend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "backend_names",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+    "use_backend",
+]

@@ -1,0 +1,187 @@
+"""``blocked``: multi-threaded cache-blocked int8 GEMM backend.
+
+Two kernels behind one exact contract:
+
+- **Numba** (when importable): a ``prange``-parallel int64-accumulating
+  tiled kernel over the raw int8 codes — no float detour at all.
+- **Tiled-NumPy fallback** (always available): k-blocked float32 BLAS.
+  int8 products are bounded by ``128^2 = 16384``, so any partial sum of
+  at most ``2^24 / 16384 = 1024`` of them is an integer of magnitude
+  <= 2^24 — exactly representable in float32 regardless of BLAS FMA or
+  summation order. Blocks accumulate in float64 (exact far past int32
+  range), so the full product matches the int64 oracle bit-for-bit for
+  *every* int8 input, including -128 codes. sgemm moves half the bytes
+  of the default dgemm route and doubles the SIMD width, and on hosts
+  with >= 2 cores the row dimension is additionally partitioned across a
+  thread pool (BLAS releases the GIL).
+
+Either way the backend stays ``exact``: the conformance suite in
+``tests/test_backends.py`` holds it to bit-equality with ``numpy-f64``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from repro.dispatch.backends.base import GemmBackend
+
+#: Largest k-block whose int8 partial sums stay exactly representable in
+#: float32: block * 128^2 <= 2^24 (16 777 216, itself a power of two and
+#: therefore exact).
+F32_K_BLOCK = (1 << 24) // (128 * 128)
+
+#: Minimum rows per thread before partitioned sgemm beats a single call;
+#: below this the submit/join overhead dominates the GEMM itself.
+_MIN_ROWS_PER_THREAD = 128
+
+
+def _compile_numba_kernel():
+    """Compile (and warm) the prange int8 GEMM; raises if Numba is absent
+    or compilation fails — the caller treats any exception as 'no Numba'."""
+    from numba import njit, prange  # noqa: PLC0415 - optional dependency
+
+    @njit(parallel=True, cache=False)
+    def matmul_i8(a, b):
+        m, k = a.shape
+        n = b.shape[1]
+        out = np.zeros((m, n), dtype=np.int64)
+        for i in prange(m):
+            # saxpy order: stream rows of b, skip the (common) zero codes.
+            for l in range(k):
+                ail = np.int64(a[i, l])
+                if ail != 0:
+                    for j in range(n):
+                        out[i, j] += ail * np.int64(b[l, j])
+        return out
+
+    warm = np.zeros((2, 3), dtype=np.int8)
+    matmul_i8(warm, np.zeros((3, 2), dtype=np.int8))
+    return matmul_i8
+
+
+class BlockedBackend(GemmBackend):
+    """Cache-blocked int8 kernel: Numba if importable, tiled-f32 fallback."""
+
+    name = "blocked"
+    exact = True
+    bypass = True
+
+    def __init__(self) -> None:
+        self._numba_matmul = None
+        self._numba_checked = False
+        self._n_threads = max(1, os.cpu_count() or 1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -------------------------------------------------------------- probing
+    @property
+    def threaded(self) -> bool:  # type: ignore[override]
+        return self._n_threads > 1
+
+    @property
+    def fast(self) -> bool:
+        """Whether a genuinely parallel kernel is active (Numba or >= 2
+        cores); single-core fallback hosts report speedups unasserted."""
+        return self._numba() is not None or self._n_threads > 1
+
+    def kernel(self) -> str:
+        if self._numba() is not None:
+            return f"numba-prange x{self._n_threads}"
+        if self._n_threads > 1:
+            return f"tiled-f32 x{self._n_threads} threads"
+        return "tiled-f32"
+
+    def _numba(self):
+        if not self._numba_checked:
+            self._numba_checked = True
+            try:
+                self._numba_matmul = _compile_numba_kernel()
+            except Exception:
+                self._numba_matmul = None
+        return self._numba_matmul
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._n_threads,
+                thread_name_prefix="repro-gemm",
+            )
+        return self._pool
+
+    # -------------------------------------------------------------- compute
+    def _sgemm(self, a32: np.ndarray, b32: np.ndarray) -> np.ndarray:
+        """``(R, k) @ (k, n)`` in float32, row-partitioned across threads
+        when the workload is large enough to amortize the pool."""
+        rows = a32.shape[0]
+        if self._n_threads <= 1 or rows < 2 * _MIN_ROWS_PER_THREAD:
+            return a32 @ b32
+        out = np.empty((rows, b32.shape[1]), dtype=np.float32)
+        chunk = -(-rows // self._n_threads)
+        bounds = [(lo, min(lo + chunk, rows)) for lo in range(0, rows, chunk)]
+        list(
+            self._thread_pool().map(
+                lambda s: np.matmul(a32[s[0]:s[1]], b32, out=out[s[0]:s[1]]),
+                bounds,
+            )
+        )
+        return out
+
+    def _product_f32(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None,
+        as_float: bool,
+    ) -> np.ndarray:
+        """Exact product of int8 operands via k-blocked float32 BLAS."""
+        k = a_q.shape[-1]
+        b_src = b_f64 if b_f64 is not None else b_q
+        b32 = b_src.astype(np.float32)
+        if k <= F32_K_BLOCK:
+            if b32.ndim == 2 and a_q.ndim >= 2:
+                lead = a_q.shape[:-1]
+                rows = int(np.prod(lead))  # explicit: -1 is ambiguous at k=0
+                flat = a_q.reshape(rows, k).astype(np.float32)
+                prod = self._sgemm(flat, b32).reshape(lead + (b32.shape[-1],))
+            else:
+                prod = a_q.astype(np.float32) @ b32
+            return prod.astype(np.float64) if as_float else prod.astype(np.int64)
+        # Accumulate f32 blocks in float64: every block product is an exact
+        # integer, and their running sum stays far below 2^53.
+        a32 = a_q.astype(np.float32)
+        acc: Optional[np.ndarray] = None
+        for lo in range(0, k, F32_K_BLOCK):
+            hi = min(lo + F32_K_BLOCK, k)
+            block = (a32[..., lo:hi] @ b32[..., lo:hi, :]).astype(np.float64)
+            acc = block if acc is None else acc + block
+        return acc if as_float else acc.astype(np.int64)
+
+    def product_int64(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if a_q.dtype == np.int8 and b_q.dtype == np.int8:
+            nb = self._numba()
+            if nb is not None and b_q.ndim == 2:
+                lead = a_q.shape[:-1]
+                rows = int(np.prod(lead))  # explicit: -1 is ambiguous at k=0
+                flat = np.ascontiguousarray(a_q.reshape(rows, a_q.shape[-1]))
+                out = nb(flat, np.ascontiguousarray(b_q))
+                return out.reshape(lead + (b_q.shape[-1],))
+            return self._product_f32(a_q, b_q, b_f64, as_float=False)
+        return a_q.astype(np.int64) @ b_q.astype(np.int64)
+
+    def matmul_f64(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if a_q.dtype == np.int8 and b_q.dtype == np.int8:
+            return self._product_f32(a_q, b_q, b_f64, as_float=True)
+        return super().matmul_f64(a_q, b_q, b_f64=b_f64)

@@ -1,0 +1,141 @@
+"""Backend registry and selection (DESIGN.md section 11).
+
+Selection order everywhere an executor is built::
+
+    explicit argument > $REPRO_GEMM_BACKEND > "numpy-f64"
+
+The environment variable is what reaches multiprocessing workers —
+spawned children re-import this module and resolve it afresh, forked
+children inherit both the variable and the parent's resolved executor.
+Resolution *never* fails open with a wrong answer: an unknown or
+unavailable backend falls back to the exact default with a WARNING
+(``strict=True`` raises instead, for validation paths).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.dispatch.backends.base import GemmBackend
+from repro.utils.logging import get_logger
+
+logger = get_logger("dispatch.backends")
+
+#: Environment variable naming the default backend for new executors.
+ENV_VAR = "REPRO_GEMM_BACKEND"
+
+#: The oracle backend: today's float64-BLAS route, always available.
+DEFAULT_BACKEND = "numpy-f64"
+
+_REGISTRY: dict[str, GemmBackend] = {}
+
+
+def register_backend(backend: GemmBackend, replace: bool = False) -> GemmBackend:
+    """Add ``backend`` to the registry under ``backend.name``.
+
+    Registration is intentionally static (import-time); availability is a
+    *runtime* probe so a registered-but-unavailable backend still shows up
+    in ``repro backend list`` with its reason.
+    """
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"GEMM backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (test-only backends clean up after themselves)."""
+    _REGISTRY.pop(name, None)
+
+
+def backend_names() -> list[str]:
+    """Registered names in registration order."""
+    return list(_REGISTRY)
+
+
+def list_backends() -> list[GemmBackend]:
+    """Registered backend instances in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_backend(name: str) -> GemmBackend:
+    """Strict lookup by name; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GEMM backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def resolve_backend(
+    name: "str | GemmBackend | None" = None, strict: bool = False
+) -> GemmBackend:
+    """Resolve a backend selection to a usable instance.
+
+    ``name`` may be a :class:`GemmBackend` instance (returned as-is when
+    available), a registered name, or ``None`` — which falls through to
+    ``$REPRO_GEMM_BACKEND`` and then the default. Unknown names and
+    unavailable backends degrade to the exact default with a WARNING so a
+    worker missing an optional dependency produces *slower* answers, never
+    wrong ones. ``strict=True`` raises instead of falling back.
+    """
+    if isinstance(name, GemmBackend):
+        if name.available():
+            return name
+        if strict:
+            raise RuntimeError(
+                f"GEMM backend {name.name!r} unavailable: {name.why_unavailable()}"
+            )
+        logger.warning(
+            "GEMM backend %r unavailable (%s); falling back to %s",
+            name.name, name.why_unavailable(), DEFAULT_BACKEND,
+        )
+        return _REGISTRY[DEFAULT_BACKEND]
+    requested = name or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    backend = _REGISTRY.get(requested)
+    if backend is None:
+        if strict:
+            raise KeyError(
+                f"unknown GEMM backend {requested!r}; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        logger.warning(
+            "unknown GEMM backend %r; falling back to %s (registered: %s)",
+            requested, DEFAULT_BACKEND, sorted(_REGISTRY),
+        )
+        return _REGISTRY[DEFAULT_BACKEND]
+    if not backend.available():
+        if strict:
+            raise RuntimeError(
+                f"GEMM backend {requested!r} unavailable: "
+                f"{backend.why_unavailable()}"
+            )
+        logger.warning(
+            "GEMM backend %r unavailable (%s); falling back to %s",
+            requested, backend.why_unavailable(), DEFAULT_BACKEND,
+        )
+        return _REGISTRY[DEFAULT_BACKEND]
+    return backend
+
+
+@contextmanager
+def use_backend(
+    executor, name: "str | GemmBackend | None" = None
+) -> Iterator[GemmBackend]:
+    """Temporarily select a backend on ``executor`` (no-op for ``None``).
+
+    The campaign layer runs trials through this so a per-spec or per-trial
+    backend choice never leaks into the shared cached engine.
+    """
+    if name is None:
+        yield executor.backend
+        return
+    saved = executor.backend
+    executor.backend = resolve_backend(name)
+    try:
+        yield executor.backend
+    finally:
+        executor.backend = saved

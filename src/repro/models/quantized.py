@@ -34,6 +34,7 @@ on protected vector units.
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -41,6 +42,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.abft.protectors import Protector
+from repro.dispatch.backends import GemmBackend, get_backend, resolve_backend
 from repro.dispatch.pipeline import (
     GemmCall as DispatchCall,
     GemmCallRecord,
@@ -58,11 +60,12 @@ from repro.models.kv_cache import KVCache, LayerKV
 from repro.models.replay import (
     CleanTrace,
     ReplaySession,
+    check_trace_backend,
     replay_skipped_calls,
     resume_layer,
 )
 from repro.models.rope import apply_rope_np, rope_tables
-from repro.quant.gemm import INT32_MAX, gemm_int32
+from repro.quant.gemm import INT32_MAX
 from repro.quant.quantizer import (
     QuantParams,
     quantize_activation_blockwise,
@@ -193,15 +196,19 @@ class GemmExecutor:
       setting, matching the paper's SmoothQuant-style quantization.
     """
 
-    def __init__(self, wraparound: bool = True) -> None:
+    def __init__(
+        self,
+        wraparound: bool = True,
+        backend: "GemmBackend | str | None" = None,
+    ) -> None:
         self.injector: Optional[ErrorInjector] = None
         self.protector: Optional[Protector] = None
         self.wraparound = wraparound
-        #: Route int8 GEMMs through the bit-exact float64 BLAS pipeline and
-        #: skip integer materialization where nothing consumes it. False
-        #: reproduces the seed engine's all-integer route (benchmark
-        #: baseline); results are bit-identical either way.
-        self.fast_gemm = True
+        #: The GEMM kernel strategy (DESIGN.md section 11). Resolution
+        #: order: explicit argument > $REPRO_GEMM_BACKEND > "numpy-f64".
+        #: Exact backends are bit-identical to each other; a non-exact one
+        #: additionally segregates replay-trace keys and trial provenance.
+        self.backend: GemmBackend = resolve_backend(backend)
         self.total_macs = 0
         self.macs_by_component: dict[str, int] = {}
         self.mode = "dynamic"
@@ -240,6 +247,23 @@ class GemmExecutor:
     def cost(self, instrument: Optional[Instrument]) -> None:
         self._cost = instrument
         self._rebuild_chain()
+
+    @property
+    def fast_gemm(self) -> bool:
+        """Deprecated alias for the backend choice: ``True`` for any
+        BLAS-routed backend, ``False`` for the all-integer ``numpy-int``
+        route. Setting it maps onto ``numpy-f64``/``numpy-int``."""
+        return self.backend.name != "numpy-int"
+
+    @fast_gemm.setter
+    def fast_gemm(self, value: bool) -> None:
+        warnings.warn(
+            "executor.fast_gemm is deprecated; select a GEMM backend instead "
+            '(GemmExecutor(backend="numpy-f64"/"numpy-int") or executor.backend)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.backend = get_backend("numpy-f64" if value else "numpy-int")
 
     @property
     def trace(self) -> Optional[Instrument]:
@@ -321,8 +345,9 @@ class GemmExecutor:
         key = call.site.component.value
         self.macs_by_component[key] = self.macs_by_component.get(key, 0) + call.macs
         a_q, b_q = call.a_q, call.b_q
+        backend = call.backend if call.backend is not None else self.backend
         no_overflow = (
-            self.fast_gemm
+            backend.bypass
             and a_q.dtype == np.int8
             and b_q.dtype == np.int8
             and a_q.shape[-1] * 127 * 127 <= INT32_MAX
@@ -330,12 +355,9 @@ class GemmExecutor:
         if no_overflow and not call.need_int:
             for instrument in self.instruments:
                 instrument.after(call)  # bookkeeping only: call.acc is None
-            b_f64 = call.b_f64
-            if b_f64 is None:
-                b_f64 = b_q.astype(np.float64)
-            return (a_q.astype(np.float64) @ b_f64) * call.out_scale
-        call.clean = gemm_int32(
-            a_q, b_q, wraparound=self.wraparound, blas=self.fast_gemm, b_f64=call.b_f64
+            return backend.matmul_f64(a_q, b_q, b_f64=call.b_f64) * call.out_scale
+        call.clean = backend.matmul_int32(
+            a_q, b_q, wraparound=self.wraparound, b_f64=call.b_f64
         )
         call.acc = call.clean
         for instrument in self.instruments:
@@ -688,6 +710,7 @@ class QuantizedTransformerLM:
             trace = session.store.get(session.key_full(base, stage, ex))
             if trace is None:
                 return None  # no per-lane trace: packed full route
+            check_trace_backend(trace, ex)
             return self._resume_full(trace, stage, self.lane_split)
         key = session.key_full(tokens, stage, ex)
         trace = session.store.get(key)
@@ -697,6 +720,7 @@ class QuantizedTransformerLM:
             logits, trace = self._record_full(tokens, stage)
             session.store.put(key, trace)
             return logits
+        check_trace_backend(trace, ex)
         return self._resume_full(trace, stage, 1)
 
     def _resume_full(
@@ -744,7 +768,12 @@ class QuantizedTransformerLM:
                 ex.call_log = saved_log
             logits = self._logits(h)
         trace = CleanTrace(
-            kind="full", boundaries=boundaries, calls_by_layer=calls, logits=logits
+            kind="full",
+            boundaries=boundaries,
+            calls_by_layer=calls,
+            logits=logits,
+            backend=ex.backend.name,
+            backend_exact=ex.backend.exact,
         )
         return trace.logits, trace
 
@@ -844,6 +873,7 @@ class QuantizedTransformerLM:
             trace = session.store.get(session.key_generate(base, max_new_tokens, ex))
             if trace is None:
                 return None  # no per-lane trace: packed full route
+            check_trace_backend(trace, ex)
             return self._resume_generate(trace, prompts, max_new_tokens, self.lane_split)
         key = session.key_generate(prompts, max_new_tokens, ex)
         trace = session.store.get(key)
@@ -853,6 +883,7 @@ class QuantizedTransformerLM:
             tokens, trace = self._record_generate(prompts, max_new_tokens)
             session.store.put(key, trace)
             return tokens
+        check_trace_backend(trace, ex)
         return self._resume_generate(trace, prompts, max_new_tokens, 1)
 
     def _resume_generate(
@@ -940,6 +971,8 @@ class QuantizedTransformerLM:
             kv=kv,
             new_tokens=new_tokens,
             decode_calls=decode_log,
+            backend=ex.backend.name,
+            backend_exact=ex.backend.exact,
         )
         return trace.new_tokens, trace
 

@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dispatch.backends import resolve_backend
 from repro.errors.sites import Component, GemmSite, Stage
 from repro.models.config import ModelConfig
 from repro.models.quantized import QuantizedTransformerLM, QuantizedWeight
@@ -103,6 +104,8 @@ def _collect_trace_arrays(
                 "decode_calls": [_call_meta(c) for c in trace.decode_calls]
                 if trace.decode_calls is not None
                 else None,
+                "backend": trace.backend,
+                "backend_exact": trace.backend_exact,
             }
         )
     return arrays, metas
@@ -205,6 +208,7 @@ def publish_bundle(
             "config": dataclasses.asdict(model.config),
             "mode": model.executor.mode,
             "wraparound": model.executor.wraparound,
+            "backend": model.executor.backend.name,
             "scale_store": dict(model.executor.scale_store),
             "arrays": descriptors,
             "traces": trace_metas,
@@ -251,6 +255,10 @@ def attach_model(manifest: dict, shm=None) -> QuantizedTransformerLM:
     model._init_runtime(config)
     model.executor.wraparound = manifest["wraparound"]
     model.executor.mode = manifest["mode"]
+    # Backend provenance travels with the published engine; resolve_backend
+    # degrades to the exact default with a WARNING when the worker lacks the
+    # parent's backend (mixed-availability pools must never compute wrong).
+    model.executor.backend = resolve_backend(manifest.get("backend"))
     model.executor.scale_store = dict(manifest["scale_store"])
     model.embed = get("embed")
     model.pos_embed = get("pos_embed") if "pos_embed" in manifest["arrays"] else None
@@ -307,6 +315,8 @@ def attach_traces(manifest: dict, shm=None) -> dict[str, CleanTrace]:
             decode_calls=[_call_from_meta(c) for c in meta["decode_calls"]]
             if meta["decode_calls"] is not None
             else None,
+            backend=meta.get("backend", "numpy-f64"),
+            backend_exact=meta.get("backend_exact", True),
         )
     return traces
 

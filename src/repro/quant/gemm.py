@@ -45,8 +45,14 @@ def gemm_int32(
     wraparound: bool = True,
     blas: bool = True,
     b_f64: np.ndarray | None = None,
+    backend=None,
 ) -> np.ndarray:
     """``a_q @ b_q`` with INT32 accumulator semantics.
+
+    Since the backend registry landed (DESIGN.md section 11) this is a
+    thin dispatcher: the kernels live in
+    :mod:`repro.dispatch.backends`, and ``blas=True``/``False`` map to
+    the ``numpy-f64``/``numpy-int`` backends that extracted them.
 
     Parameters
     ----------
@@ -68,17 +74,21 @@ def gemm_int32(
         Optional pre-converted float64 mirror of ``b_q`` (weights cache one
         on :class:`~repro.models.quantized.QuantizedWeight`); skips the
         per-call conversion on the BLAS route. Values must equal ``b_q``.
+    backend:
+        A :class:`~repro.dispatch.backends.GemmBackend` instance or
+        registered name; overrides the ``blas`` flag's route.
 
     Returns
     -------
     np.ndarray
         int64 array whose values all lie within int32 range.
     """
-    if blas and a_q.dtype == np.int8 and b_q.dtype == np.int8:
-        bf = b_f64 if b_f64 is not None else b_q.astype(np.float64)
-        exact = (a_q.astype(np.float64) @ bf).astype(np.int64)
-        if a_q.shape[-1] * 127 * 127 <= INT32_MAX:
-            return exact  # cannot leave int32 range: wrap/saturate are identity
-    else:
-        exact = a_q.astype(np.int64) @ b_q.astype(np.int64)
-    return wrap_int32(exact) if wraparound else saturate_int32(exact)
+    # Imported lazily: the backends package imports this module for the
+    # wrap/saturate semantics.
+    from repro.dispatch.backends import get_backend
+
+    if backend is None:
+        backend = get_backend("numpy-f64" if blas else "numpy-int")
+    elif isinstance(backend, str):
+        backend = get_backend(backend)
+    return backend.matmul_int32(a_q, b_q, wraparound=wraparound, b_f64=b_f64)

@@ -24,15 +24,21 @@ from repro.errors.sites import GemmSite
 
 
 class SiteWall:
-    """Accumulated wall clock of one site's dispatched + replayed calls."""
+    """Accumulated wall clock of one site's dispatched + replayed calls.
 
-    __slots__ = ("calls", "replays", "wall_s", "macs")
+    ``backend`` records the GEMM backend of the site's most recent live
+    dispatch (empty until one runs — replays execute no kernel), so
+    exported timings say which kernel produced them (DESIGN.md §11).
+    """
+
+    __slots__ = ("calls", "replays", "wall_s", "macs", "backend")
 
     def __init__(self) -> None:
         self.calls = 0
         self.replays = 0
         self.wall_s = 0.0
         self.macs = 0
+        self.backend = ""
 
     def to_dict(self) -> dict:
         return {
@@ -40,6 +46,7 @@ class SiteWall:
             "replays": self.replays,
             "wall_s": self.wall_s,
             "macs": self.macs,
+            "backend": self.backend,
         }
 
 
@@ -60,6 +67,8 @@ class TraceInstrument(Instrument):
         row.calls += 1
         row.wall_s += wall_s
         row.macs += call.macs
+        if call.backend is not None:
+            row.backend = call.backend.name
 
     def observe_replay(self, call: GemmCall, wall_s: float) -> None:
         row = self.by_site.get(call.site)

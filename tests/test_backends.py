@@ -1,0 +1,579 @@
+"""Cross-backend differential conformance suite (DESIGN.md section 11).
+
+Every registered GEMM backend — plus a test-only dummy proving third-party
+backends inherit the whole contract — is held to **bit-equality** with an
+independent int64 oracle and with the ``numpy-f64`` reference route:
+
+- adversarial shapes: empty/1x1/ragged tiles, k straddling the tiled-f32
+  block boundary, stacked batched operands, full int8 range incl. -128;
+- overflow semantics pinned against ``wrap_int32``/``saturate_int32`` at
+  wraparound-triggering magnitudes;
+- seeded property-based fuzz (hypothesis when importable, seeded random
+  shapes otherwise);
+- engine-level end-to-end equality: logits, injector RNG counters,
+  protector statistics, and cost columns, solo and lane-packed;
+- replay-trace quarantine for non-exact backends (segregated cache keys,
+  refused cross-backend resume) and campaign key/provenance rules.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.abft.protectors import ClassicalABFT
+from repro.campaigns.executor import evaluate_trial, run_campaign
+from repro.campaigns.lanes import evaluate_lane_pack
+from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec, Trial
+from repro.campaigns.store import ResultStore
+from repro.dispatch.backends import (
+    GemmBackend,
+    get_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.dispatch.backends.blocked import F32_K_BLOCK, BlockedBackend
+from repro.dispatch.backends.registry import (
+    ENV_VAR,
+    backend_names,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import BitFlipModel
+from repro.errors.sites import Component, SiteFilter, Stage
+from repro.models.quantized import GemmExecutor
+from repro.models.replay import ReplaySession, TraceStore, check_trace_backend
+from repro.quant.gemm import INT32_MAX, gemm_int32, saturate_int32, wrap_int32
+
+
+# --------------------------------------------------------------------------
+# Test-only backends. The mirror backend is registered at import time so
+# the registry-driven parametrizations below pick it up at collection —
+# proving a backend added from *outside* the package inherits the whole
+# conformance contract.
+# --------------------------------------------------------------------------
+class _MirrorBackend(GemmBackend):
+    """Exact dummy: delegates the product to the numpy-f64 oracle."""
+
+    name = "test-mirror"
+    exact = True
+    bypass = True
+
+    def product_int64(self, a_q, b_q, b_f64=None):
+        return get_backend("numpy-f64").product_int64(a_q, b_q, b_f64=b_f64)
+
+
+class _LossyBackend(GemmBackend):
+    """Deliberately wrong (off-by-one) — exercises the non-exact quarantine."""
+
+    name = "test-lossy"
+    exact = False
+    bypass = False
+
+    def product_int64(self, a_q, b_q, b_f64=None):
+        return get_backend("numpy-f64").product_int64(a_q, b_q, b_f64=b_f64) + 1
+
+
+class _UnavailableBackend(GemmBackend):
+    name = "test-unavailable"
+
+    def available(self):
+        return False
+
+    def why_unavailable(self):
+        return "always offline (test)"
+
+    def product_int64(self, a_q, b_q, b_f64=None):  # pragma: no cover
+        raise AssertionError("unavailable backend must never run")
+
+
+if "test-mirror" not in backend_names():
+    register_backend(_MirrorBackend())
+
+#: Registry snapshot at collection: the three real backends + the mirror.
+ALL_BACKENDS = tuple(backend_names())
+EXACT_BACKENDS = tuple(
+    n for n in ALL_BACKENDS if get_backend(n).exact and get_backend(n).available()
+)
+
+
+@pytest.fixture
+def lossy_backend():
+    backend = register_backend(_LossyBackend())
+    try:
+        yield backend
+    finally:
+        unregister_backend(backend.name)
+
+
+def _oracle_int32(a, b, wraparound=True):
+    """Independent reference: int64 matmul + accumulator semantics."""
+    exact = a.astype(np.int64) @ b.astype(np.int64)
+    if (
+        a.dtype == np.int8
+        and b.dtype == np.int8
+        and a.shape[-1] * 127 * 127 <= INT32_MAX
+    ):
+        return exact
+    return wrap_int32(exact) if wraparound else saturate_int32(exact)
+
+
+def _int8(rng, shape):
+    return rng.integers(-128, 128, size=shape, dtype=np.int8)
+
+
+# ------------------------------------------------------------- kernel level
+#: Adversarial shapes: degenerate dims, ragged tiles, and k values
+#: straddling the blocked backend's f32 block boundary (1024).
+SHAPES = [
+    ((0, 4), (4, 3)),
+    ((4, 0), (0, 3)),
+    ((1, 1), (1, 1)),
+    ((1, 7), (7, 1)),
+    ((17, 33), (33, 9)),
+    ((3, F32_K_BLOCK - 1), (F32_K_BLOCK - 1, 2)),
+    ((3, F32_K_BLOCK), (F32_K_BLOCK, 2)),
+    ((3, F32_K_BLOCK + 1), (F32_K_BLOCK + 1, 2)),
+    ((5, 2 * F32_K_BLOCK + 32), (2 * F32_K_BLOCK + 32, 4)),
+    ((2, 3, 8, 16), (2, 3, 16, 8)),
+]
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestKernelConformance:
+    """Every backend == the int64 oracle, bit for bit, on every input."""
+
+    def _backend(self, name):
+        backend = get_backend(name)
+        if not backend.available():
+            pytest.skip(f"{name} unavailable: {backend.why_unavailable()}")
+        return backend
+
+    @pytest.mark.parametrize("a_shape,b_shape", SHAPES)
+    def test_adversarial_shapes(self, name, a_shape, b_shape):
+        backend = self._backend(name)
+        rng = np.random.default_rng(hash((name, a_shape)) % (2**32))
+        a, b = _int8(rng, a_shape), _int8(rng, b_shape)
+        np.testing.assert_array_equal(
+            backend.matmul_int32(a, b), _oracle_int32(a, b)
+        )
+
+    def test_full_int8_range_including_minus_128(self, name):
+        backend = self._backend(name)
+        codes = np.arange(-128, 128, dtype=np.int8)
+        a = np.tile(codes, (4, 1))
+        b = np.tile(codes[:, None], (1, 6))
+        np.testing.assert_array_equal(
+            backend.matmul_int32(a, b), _oracle_int32(a, b)
+        )
+
+    @pytest.mark.parametrize("wraparound", [True, False])
+    def test_overflow_semantics_pinned(self, name, wraparound):
+        """Saturation-boundary magnitudes: k·127² far beyond INT32_MAX with
+        ±127 fill (quantizer-range codes, matching the bypass guard)."""
+        backend = self._backend(name)
+        k = 140_000
+        a = np.full((2, k), 127, dtype=np.int8)
+        a[1] = -127
+        b = np.full((k, 3), 127, dtype=np.int8)
+        b[:, 1] = -127
+        got = backend.matmul_int32(a, b, wraparound=wraparound)
+        expected = _oracle_int32(a, b, wraparound=wraparound)
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == expected.dtype
+        # the case must actually trigger overflow handling to mean anything
+        exact = a.astype(np.int64) @ b.astype(np.int64)
+        assert np.abs(exact).max() > INT32_MAX
+
+    def test_b_f64_mirror_is_equivalent(self, name):
+        backend = self._backend(name)
+        rng = np.random.default_rng(11)
+        a, b = _int8(rng, (9, 40)), _int8(rng, (40, 7))
+        np.testing.assert_array_equal(
+            backend.matmul_int32(a, b, b_f64=b.astype(np.float64)),
+            backend.matmul_int32(a, b),
+        )
+
+    def test_matmul_f64_bypass_is_exact(self, name):
+        """The bypass product must be the exact integer result in float64."""
+        backend = self._backend(name)
+        if not backend.bypass:
+            pytest.skip(f"{name} does not serve the bypass route")
+        rng = np.random.default_rng(13)
+        a, b = _int8(rng, (8, 64)), _int8(rng, (64, 5))
+        got = backend.matmul_f64(a, b)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(
+            got, (a.astype(np.int64) @ b.astype(np.int64)).astype(np.float64)
+        )
+
+    def test_fuzz_random_shapes(self, name):
+        backend = self._backend(name)
+        try:
+            from hypothesis import given, settings, strategies as st
+
+            @settings(max_examples=40, deadline=None)
+            @given(
+                m=st.integers(0, 9),
+                k=st.one_of(
+                    st.integers(0, 9),
+                    st.sampled_from(
+                        [F32_K_BLOCK - 1, F32_K_BLOCK, F32_K_BLOCK + 1]
+                    ),
+                ),
+                n=st.integers(0, 9),
+                seed=st.integers(0, 2**31 - 1),
+            )
+            def check(m, k, n, seed):
+                rng = np.random.default_rng(seed)
+                a, b = _int8(rng, (m, k)), _int8(rng, (k, n))
+                np.testing.assert_array_equal(
+                    backend.matmul_int32(a, b), _oracle_int32(a, b)
+                )
+
+            check()
+        except ImportError:  # pragma: no cover - hypothesis is in the image
+            rng = np.random.default_rng(99)
+            for _ in range(40):
+                m, n = rng.integers(0, 10, size=2)
+                k = int(
+                    rng.choice(
+                        [0, 1, 3, 8, F32_K_BLOCK - 1, F32_K_BLOCK, F32_K_BLOCK + 1]
+                    )
+                )
+                a, b = _int8(rng, (m, k)), _int8(rng, (k, n))
+                np.testing.assert_array_equal(
+                    backend.matmul_int32(a, b), _oracle_int32(a, b)
+                )
+
+
+class TestGemmInt32Delegation:
+    """quant.gemm.gemm_int32 is a thin dispatcher over the registry."""
+
+    def test_blas_flag_selects_backends(self, rng):
+        a, b = _int8(rng, (6, 20)), _int8(rng, (20, 4))
+        np.testing.assert_array_equal(
+            gemm_int32(a, b, blas=True),
+            get_backend("numpy-f64").matmul_int32(a, b),
+        )
+        np.testing.assert_array_equal(
+            gemm_int32(a, b, blas=False),
+            get_backend("numpy-int").matmul_int32(a, b),
+        )
+
+    def test_backend_argument_accepts_names_and_instances(self, rng):
+        a, b = _int8(rng, (6, 20)), _int8(rng, (20, 4))
+        expected = _oracle_int32(a, b)
+        np.testing.assert_array_equal(gemm_int32(a, b, backend="blocked"), expected)
+        np.testing.assert_array_equal(
+            gemm_int32(a, b, backend=BlockedBackend()), expected
+        )
+
+
+# ------------------------------------------------------------ registry level
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(_MirrorBackend())
+        register_backend(_MirrorBackend(), replace=True)  # explicit wins
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            get_backend("no-such-kernel")
+
+    def test_resolve_default_and_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend().name == "numpy-f64"
+        monkeypatch.setenv(ENV_VAR, "numpy-int")
+        assert resolve_backend().name == "numpy-int"
+        assert resolve_backend("blocked").name == "blocked"  # explicit wins
+
+    def test_resolve_unknown_falls_back_with_warning(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.dispatch.backends"):
+            backend = resolve_backend("no-such-kernel")
+        assert backend.name == "numpy-f64"
+        assert any("no-such-kernel" in r.message for r in caplog.records)
+        with pytest.raises(KeyError):
+            resolve_backend("no-such-kernel", strict=True)
+
+    def test_resolve_unavailable_falls_back_with_warning(self, caplog):
+        offline = _UnavailableBackend()
+        with caplog.at_level("WARNING", logger="repro.dispatch.backends"):
+            backend = resolve_backend(offline)
+        assert backend.name == "numpy-f64"
+        assert any("always offline" in r.message for r in caplog.records)
+        with pytest.raises(RuntimeError, match="always offline"):
+            resolve_backend(offline, strict=True)
+
+    def test_use_backend_restores_on_exit_and_error(self):
+        ex = GemmExecutor(backend="numpy-f64")
+        assert ex.backend.name == "numpy-f64"
+        with use_backend(ex, "numpy-int") as active:
+            assert active.name == "numpy-int" and ex.backend is active
+        assert ex.backend.name == "numpy-f64"
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend(ex, "blocked"):
+                raise RuntimeError("boom")
+        assert ex.backend.name == "numpy-f64"
+        with use_backend(ex, None) as active:  # None = keep current
+            assert active is ex.backend
+
+    def test_executor_constructor_accepts_backend(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert GemmExecutor().backend.name == "numpy-f64"
+        assert GemmExecutor(backend="numpy-int").backend.name == "numpy-int"
+        assert GemmExecutor(backend=BlockedBackend()).backend.name == "blocked"
+
+
+class TestSpawnPropagation:
+    """$REPRO_GEMM_BACKEND reaches fresh interpreters (spawn workers)."""
+
+    PROBE = (
+        "from repro.models.quantized import GemmExecutor; "
+        "print(GemmExecutor().backend.name)"
+    )
+
+    def _spawn(self, env_value):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        if env_value is None:
+            env.pop(ENV_VAR, None)
+        else:
+            env[ENV_VAR] = env_value
+        proc = subprocess.run(
+            [sys.executable, "-c", self.PROBE],
+            capture_output=True, text=True, env=env, cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout.strip().splitlines()[-1]
+
+    def test_env_var_selects_backend_in_fresh_process(self):
+        assert self._spawn("numpy-int") == "numpy-int"
+        assert self._spawn("blocked") == "blocked"
+
+    def test_unknown_env_value_degrades_to_default(self):
+        """Mixed-availability pools must degrade loudly, never answer wrong."""
+        assert self._spawn("no-such-kernel") == "numpy-f64"
+
+
+# ------------------------------------------------------------- engine level
+def _trial(seed=0, method="none"):
+    return Trial(
+        model="opt-mini",
+        task="perplexity",
+        site=SiteSpec.only(components=["O"], stages=["prefill"]),
+        error=ErrorSpec.bitflip(2e-3, bits=(30,)),
+        method=method,
+        seed=seed,
+    )
+
+
+#: TrialResult columns in the bit-exactness contract (elapsed_s / worker /
+#: backend are telemetry and provenance, explicitly excluded).
+RESULT_FIELDS = (
+    "score", "degradation", "clean_score", "injected_errors", "gemm_calls",
+    "cycles", "recovered_macs", "energy_j",
+)
+
+
+class TestEngineEquivalence:
+    """Exact backends are interchangeable at the engine level, bit for bit."""
+
+    def _forward(self, model, tokens, backend, seed=7):
+        injector = ErrorInjector(
+            BitFlipModel(2e-3, bits=(30,)),
+            SiteFilter.only(components=[Component.O]),
+            seed=seed,
+        )
+        protector = ClassicalABFT()
+        model.attach(injector, protector)
+        try:
+            with use_backend(model.executor, backend):
+                logits = model.forward_full(tokens)
+        finally:
+            model.attach(None, None)
+        return logits, injector, protector
+
+    @pytest.mark.parametrize(
+        "name", [n for n in EXACT_BACKENDS if n != "numpy-f64"]
+    )
+    def test_forward_full_logits_rng_and_protector(self, name, opt_quant):
+        vocab = opt_quant.config.vocab_size
+        tokens = np.stack([(np.arange(24) * (1 + i)) % vocab for i in range(2)])
+        ref, ref_inj, ref_prot = self._forward(opt_quant, tokens, "numpy-f64")
+        got, inj, prot = self._forward(opt_quant, tokens, name)
+        np.testing.assert_array_equal(ref, got)
+        assert inj._call_index == ref_inj._call_index
+        assert inj.stats.injected_errors == ref_inj.stats.injected_errors
+        assert inj.stats.per_site_errors == ref_inj.stats.per_site_errors
+        assert prot.stats.inspected == ref_prot.stats.inspected
+        assert prot.stats.detected == ref_prot.stats.detected
+        assert prot.stats.recovered == ref_prot.stats.recovered
+
+    @pytest.mark.parametrize(
+        "name", [n for n in EXACT_BACKENDS if n != "numpy-f64"]
+    )
+    def test_trial_columns_solo_and_lane_packed(self, name, opt_evaluator):
+        from repro.dispatch.cost import CostSpec
+
+        trials = [_trial(seed=s) for s in (0, 1, 2)]
+        cost = CostSpec()
+        resident = opt_evaluator.model.executor.backend.name
+        ref = [
+            evaluate_trial(t, opt_evaluator, cost=cost, backend="numpy-f64")
+            for t in trials
+        ]
+        solo = [
+            evaluate_trial(t, opt_evaluator, cost=cost, backend=name)
+            for t in trials
+        ]
+        packed = evaluate_lane_pack(
+            trials, opt_evaluator, cost=cost, backend=name
+        )
+        for r, s, p in zip(ref, solo, packed):
+            for field in RESULT_FIELDS:
+                assert getattr(r, field) == getattr(s, field), field
+                assert getattr(r, field) == getattr(p, field), field
+        assert all(r.backend == name for r in solo + packed)
+        # use_backend restored whatever backend the shared evaluator had
+        # (the session default, which CI pins via $REPRO_GEMM_BACKEND).
+        assert opt_evaluator.model.executor.backend.name == resident
+
+
+# -------------------------------------------------------------- replay level
+class TestReplayQuarantine:
+    """Non-exact backends never share clean traces with anyone else."""
+
+    def test_trace_keys_segregate_non_exact(self, lossy_backend, opt_quant):
+        session = ReplaySession("m", store=TraceStore())
+        tokens = np.arange(12) % opt_quant.config.vocab_size
+        ex = opt_quant.executor
+        exact_key = session.key_full(tokens, Stage.PREFILL, ex)
+        with use_backend(ex, "test-lossy"):
+            lossy_key = session.key_full(tokens, Stage.PREFILL, ex)
+        with use_backend(ex, "numpy-int"):
+            other_exact = session.key_full(tokens, Stage.PREFILL, ex)
+        assert lossy_key == exact_key + "/test-lossy"
+        assert other_exact == exact_key  # exact backends share one key
+
+    def test_check_trace_backend_contract(self, lossy_backend):
+        exact_ex = SimpleNamespace(backend=get_backend("numpy-f64"))
+        lossy_ex = SimpleNamespace(backend=lossy_backend)
+        exact_trace = SimpleNamespace(backend="numpy-int", backend_exact=True)
+        lossy_trace = SimpleNamespace(backend="test-lossy", backend_exact=False)
+        check_trace_backend(exact_trace, exact_ex)  # exact <-> exact: fine
+        check_trace_backend(lossy_trace, lossy_ex)  # same backend: fine
+        with pytest.raises(RuntimeError, match="cannot be resumed"):
+            check_trace_backend(lossy_trace, exact_ex)
+        with pytest.raises(RuntimeError, match="cannot be resumed"):
+            check_trace_backend(exact_trace, lossy_ex)
+        # pre-backend traces (no attributes at all) read as exact defaults
+        check_trace_backend(SimpleNamespace(), exact_ex)
+
+    def test_resume_refused_when_stored_trace_went_lossy(
+        self, lossy_backend, opt_quant
+    ):
+        """End-to-end: a trace whose provenance says non-exact is refused at
+        resume even when the cache key matches (attached manifests)."""
+        session = ReplaySession("quarantine-test", store=TraceStore())
+        tokens = np.stack(
+            [np.arange(16) % opt_quant.config.vocab_size for _ in range(2)]
+        )
+        with use_backend(opt_quant.executor, "numpy-f64"):
+            with opt_quant.replay_into(session):
+                clean = opt_quant.forward_full(tokens)  # records under numpy-f64
+        key = session.key_full(tokens, Stage.PREFILL, opt_quant.executor)
+        trace = session.store.get(key)
+        assert trace is not None and trace.backend == "numpy-f64"
+        assert trace.backend_exact is True
+        # exact <-> exact reuse stays bit-identical
+        with use_backend(opt_quant.executor, "numpy-int"):
+            with opt_quant.replay_into(session):
+                np.testing.assert_array_equal(
+                    clean, opt_quant.forward_full(tokens)
+                )
+        # forge non-exact provenance onto the stored trace: refused
+        trace.backend = "test-lossy"
+        trace.backend_exact = False
+        with pytest.raises(RuntimeError, match="test-lossy"):
+            with opt_quant.replay_into(session):
+                opt_quant.forward_full(tokens)
+
+
+# ------------------------------------------------------------ campaign level
+class TestCampaignBackend:
+    def test_exact_backend_never_changes_trial_keys(self):
+        spec = CampaignSpec(
+            name="k", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0, 1),
+        )
+        import dataclasses
+
+        pinned = dataclasses.replace(spec, backend="numpy-int")
+        assert [t.key for t in spec.expand()] == [t.key for t in pinned.expand()]
+        assert all(t.backend is None for t in pinned.expand())
+
+    def test_non_exact_backend_stamps_trial_identity(self, lossy_backend):
+        spec = CampaignSpec(
+            name="k", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0,), backend="test-lossy",
+        )
+        (trial,) = spec.expand()
+        assert trial.backend == "test-lossy"
+        assert "test-lossy" in trial.cell_label
+        import dataclasses
+
+        (plain,) = dataclasses.replace(spec, backend=None).expand()
+        assert trial.key != plain.key
+        assert Trial.from_dict(trial.to_dict()).key == trial.key
+
+    def test_unknown_backend_rejected_at_spec_validation(self):
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            CampaignSpec(
+                name="k", models=("opt-mini",),
+                sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+                errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+                backend="no-such-kernel",
+            )
+
+    def test_spec_backend_round_trips_through_json(self):
+        spec = CampaignSpec(
+            name="k", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            backend="numpy-int",
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()).backend == "numpy-int"
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_campaign_runs_under_pinned_backend(
+        self, tmp_path, opt_bundle, workers
+    ):
+        """The selection reaches (pool) workers and lands in provenance —
+        and the results dedup against the default-backend run (exact)."""
+        spec = CampaignSpec(
+            name="b", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0, 1), backend="numpy-int",
+        )
+        with ResultStore(tmp_path / "c") as store:
+            report = run_campaign(spec, store, workers=workers)
+            assert (report.executed, report.failed) == (2, 0)
+            for record in store.records():
+                assert record.result.backend == "numpy-int"
+            import dataclasses
+
+            unpinned = dataclasses.replace(spec, backend=None)
+            assert run_campaign(unpinned, store, workers=0).cached == 2

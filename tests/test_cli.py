@@ -73,3 +73,54 @@ class TestCommands:
         assert main(["magfreq", "--model", "opt-mini", "--component", "K",
                      "--seed", "3"]) == 0
         assert "MSD" in capsys.readouterr().out
+
+
+class TestBackendCommands:
+    def test_backend_list_shows_registry(self, capsys):
+        assert main(["backend", "list", "--no-timing"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy-f64", "numpy-int", "blocked"):
+            assert name in out
+        assert "exact" in out and "kernel" in out
+
+    def test_backend_list_with_timings(self, capsys):
+        assert main(["backend", "list"]) == 0
+        assert "ms (" in capsys.readouterr().out
+
+    def test_campaign_run_accepts_backend(self, opt_bundle, tmp_path, capsys):
+        import json
+
+        from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec
+        from repro.campaigns.store import ResultStore
+
+        spec = CampaignSpec(
+            name="cli-backend", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0,),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        store = tmp_path / "store"
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--store", str(store), "--backend", "numpy-int"]) == 0
+        with ResultStore(store, create=False) as opened:
+            (record,) = opened.records()
+            assert record.result.backend == "numpy-int"
+
+    def test_campaign_run_rejects_unknown_backend(self, opt_bundle, tmp_path):
+        import json
+
+        from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec
+
+        spec = CampaignSpec(
+            name="cli-bad-backend", models=("opt-mini",),
+            sites=(SiteSpec.only(components=["O"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0,),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            main(["campaign", "run", "--spec", str(path),
+                  "--store", str(tmp_path / "s"), "--backend", "no-such-kernel"])

@@ -151,3 +151,85 @@ class TestAttachedEngineIsolation:
             )
         finally:
             pack.close()
+
+
+class TestBackendProvenance:
+    def test_manifest_carries_and_restores_backend(self, opt_bundle):
+        from repro.dispatch.backends import get_backend, use_backend
+
+        model = quantized_model_for(opt_bundle)
+        with use_backend(model.executor, "numpy-int"):
+            pack = _publish(opt_bundle)
+        try:
+            assert pack.manifest["backend"] == "numpy-int"
+            attached = attach_model(pack.manifest)
+            assert attached.executor.backend.name == "numpy-int"
+        finally:
+            pack.close()
+
+    def test_unknown_backend_in_manifest_degrades_with_warning(
+        self, opt_bundle, caplog
+    ):
+        """A worker lacking the parent's backend must fall back to the exact
+        default with a WARNING — slower answers, never wrong ones."""
+        pack = _publish(opt_bundle)
+        try:
+            manifest = dict(pack.manifest)
+            manifest["backend"] = "numba-only-elsewhere"
+            with caplog.at_level("WARNING", logger="repro.dispatch.backends"):
+                attached = attach_model(manifest)
+            assert attached.executor.backend.name == "numpy-f64"
+            assert any(
+                "numba-only-elsewhere" in r.message for r in caplog.records
+            )
+            tokens = np.arange(8) % attached.config.vocab_size
+            np.testing.assert_array_equal(
+                quantized_model_for(opt_bundle).forward_full(tokens),
+                attached.forward_full(tokens),
+            )
+        finally:
+            pack.close()
+
+    def test_attached_traces_resume_exact_and_refuse_lossy(self, opt_bundle):
+        """Shared-memory worker path: attached trace metas round-trip backend
+        provenance; exact<->exact resume is bit-identical, non-exact refused."""
+        from repro.characterization.evaluator import ModelEvaluator
+        from repro.dispatch.backends import (
+            GemmBackend,
+            register_backend,
+            unregister_backend,
+        )
+        from repro.models.replay import TRACES
+        from repro.models.sharing import attach_traces
+
+        fingerprint = _bundle_fingerprint(opt_bundle)
+        evaluator = ModelEvaluator(opt_bundle, "perplexity", replay=True)
+        evaluator.clean_score  # record traces under the global store
+        traces = {k: t for k, t in TRACES.items() if k.startswith(fingerprint)}
+        assert traces, "clean scoring should have recorded traces"
+        pack = publish_bundle(fingerprint, evaluator.model, traces)
+        try:
+            rebuilt = attach_traces(pack.manifest)
+            for key, trace in rebuilt.items():
+                assert trace.backend == traces[key].backend
+                assert trace.backend_exact is True
+            # a non-exact executor must refuse every attached exact trace
+            class _Lossy(GemmBackend):
+                name = "test-shm-lossy"
+                exact = False
+
+                def product_int64(self, a_q, b_q, b_f64=None):
+                    return a_q.astype(np.int64) @ b_q.astype(np.int64)
+
+            from repro.models.replay import check_trace_backend
+
+            lossy = register_backend(_Lossy())
+            try:
+                ex = type("E", (), {"backend": lossy})()
+                for trace in rebuilt.values():
+                    with pytest.raises(RuntimeError, match="test-shm-lossy"):
+                        check_trace_backend(trace, ex)
+            finally:
+                unregister_backend("test-shm-lossy")
+        finally:
+            pack.close()

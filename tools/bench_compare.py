@@ -52,6 +52,7 @@ METRICS: dict[str, list[tuple[str, str, bool]]] = {
     "BENCH_lanes.json": [
         ("speedup", "higher", False),
         ("telemetry_overhead_pct", "lower", True),
+        ("backend_speedup", "higher", False),
     ],
     "BENCH_dispatch.json": [("overhead_pct", "lower", False)],
 }
