@@ -2,12 +2,16 @@
 
 Declarative :class:`CampaignSpec` grids expand into content-keyed
 :class:`Trial`\\ s; an append-only :class:`ResultStore` dedups completed
-trials (crash resume for free); serial and multiprocessing executors score
+trials (crash resume for free); serial and supervised-pool executors score
 the rest with per-worker model caching and optional per-cell Monte-Carlo
 early stopping; :mod:`repro.campaigns.report` aggregates the store into
-tables and CSV.
+tables and CSV. The supervision layer (:class:`SuperviseConfig`,
+DESIGN.md section 12) leases packs with deadlines, retries transient
+trial failures with backoff, and quarantines poison trials; the chaos
+harness (:class:`ChaosSpec`) injects deterministic faults to prove it.
 """
 
+from repro.campaigns.chaos import ChaosSpec
 from repro.campaigns.report import (
     CellSummary,
     aggregate,
@@ -26,6 +30,7 @@ from repro.campaigns.spec import (
 from repro.dispatch.cost import CostSpec
 from repro.campaigns.stopping import CONTINUE, STOP, StoppingPolicy
 from repro.campaigns.store import ResultStore, StoredRecord, TrialResult
+from repro.campaigns.supervise import PackDone, PackLost, SupervisedPool, SuperviseConfig
 
 #: Executor/lane names resolved lazily: the executor drags in the ReaLM
 #: pipeline, whose calibration path imports the sweeps, which import this
@@ -49,15 +54,20 @@ def __getattr__(name: str):
 __all__ = [
     "CampaignSpec",
     "CellSummary",
+    "ChaosSpec",
     "CostSpec",
     "ErrorSpec",
     "LanePacker",
     "NO_METHOD",
+    "PackDone",
+    "PackLost",
     "ResultStore",
     "RunReport",
     "SiteSpec",
     "StoppingPolicy",
     "StoredRecord",
+    "SupervisedPool",
+    "SuperviseConfig",
     "Trial",
     "TrialResult",
     "CONTINUE",

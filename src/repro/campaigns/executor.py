@@ -1,9 +1,15 @@
-"""Campaign executors: serial and multiprocessing-pool trial runners.
+"""Campaign executors: serial and supervised-pool trial runners.
 
 The single-trial primitive :func:`evaluate_trial` is shared by everything
 that scores an injected configuration — the characterization sweeps, the
 benchmarks, and both campaign executors — so a trial means exactly the same
 measurement everywhere.
+
+The parallel route runs on a :class:`~repro.campaigns.supervise.SupervisedPool`
+rather than a raw :class:`multiprocessing.Pool`: every lane pack is a lease
+with a deadline, dead or hung workers are respawned and their packs requeued,
+trial-level exceptions are retried with backoff, and trials that exhaust
+their retry budget are quarantined in the store (DESIGN.md section 12).
 
 The pool executor keys its caches per worker process: each worker loads (or
 trains, on a cold cache) every zoo model it touches **once**, builds one
@@ -22,12 +28,13 @@ mid-run loses at most the in-flight trials.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.campaigns import chaos as chaos_mod
+from repro.campaigns.chaos import ChaosSpec
 from repro.campaigns.lanes import (
     DEFAULT_MAX_LANES,
     LanePacker,
@@ -41,6 +48,12 @@ from repro.campaigns.progress import build_snapshot
 from repro.campaigns.spec import NO_METHOD, CampaignSpec, Trial
 from repro.campaigns.stopping import STOP
 from repro.campaigns.store import ResultStore, TrialResult
+from repro.campaigns.supervise import (
+    PackDone,
+    PackLost,
+    SupervisedPool,
+    SuperviseConfig,
+)
 import repro.telemetry as telemetry
 from repro.characterization.evaluator import ModelEvaluator
 from repro.core.methods import METHODS
@@ -66,6 +79,7 @@ def evaluate_trial(
     pipeline: Optional[ReaLMPipeline] = None,
     cost: Optional[CostSpec] = None,
     backend: Optional[str] = None,
+    attempt: int = 0,
 ) -> TrialResult:
     """Score one trial on an already-built evaluator.
 
@@ -82,7 +96,11 @@ def evaluate_trial(
 
     This is the per-trial reference route the lane-packed executor
     (:mod:`repro.campaigns.lanes`) is asserted bit-identical against.
+    ``attempt`` is the supervisor's retry counter (0 on first execution) —
+    it only feeds the chaos harness's per-trial fault point, never the
+    measurement.
     """
+    chaos_mod.maybe_fail_trial(trial.key, attempt)
     start = time.perf_counter()
     injector = build_injector(trial)
     cost_instrument = cost.build() if cost is not None else None
@@ -163,20 +181,32 @@ def _run_trial_payload(payload: dict) -> dict:
     backend selection (``CampaignSpec.backend``) the same way — a
     measurement setting, never part of the trial key. (A non-exact
     backend instead rides the trial's own ``"backend"`` field, which *is*
-    identity.)
+    identity.) ``"attempt"`` is the supervisor's retry counter for this
+    trial, consumed by the chaos harness; ``"chaos"`` activates a
+    :class:`~repro.campaigns.chaos.ChaosSpec` in this process.
     """
     cost_payload = payload.pop("cost", None)
     cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
     backend = payload.pop("gemm_backend", None)
+    chaos_payload = payload.pop("chaos", None)
+    if chaos_payload is not None:
+        chaos_mod.install(ChaosSpec.from_dict(chaos_payload))
+    attempt = payload.pop("attempt", 0)
     trial = Trial.from_dict(payload)
     try:
         evaluator, pipeline = _trial_context(trial)
         result = evaluate_trial(
-            trial, evaluator, pipeline, cost=cost, backend=backend
+            trial, evaluator, pipeline, cost=cost, backend=backend,
+            attempt=attempt,
         )
         return {"key": trial.key, "trial": payload, "result": result.to_dict()}
     except Exception as exc:  # surfaced to the parent, which keeps going
-        return {"key": trial.key, "trial": payload, "error": repr(exc)}
+        return {
+            "key": trial.key,
+            "trial": payload,
+            "error": repr(exc),
+            "worker": os.getpid(),
+        }
 
 
 def _ship_telemetry(outcomes: list[dict]) -> list[dict]:
@@ -211,6 +241,22 @@ def _run_pack_payload(payload: dict) -> list[dict]:
     trial_payloads = payload["trials"]
     cost_payload = payload.get("cost")
     backend = payload.get("gemm_backend")
+    chaos_payload = payload.get("chaos")
+    if chaos_payload is not None:
+        chaos_mod.install(ChaosSpec.from_dict(chaos_payload))
+    pack_attempt = payload.get("pack_attempt", 0)
+    attempts = [p.get("attempt", 0) for p in trial_payloads]
+    # ``attempt`` is supervision metadata, never trial identity — strip it
+    # before anything parses or re-emits the trial dicts.
+    clean_payloads = [
+        {k: v for k, v in p.items() if k != "attempt"} for p in trial_payloads
+    ]
+    trials = [Trial.from_dict(p) for p in clean_payloads]
+    # Pack-level chaos fault points: these model *worker* failures (hard
+    # death, a wedged process), so they fire before any trial work — the
+    # supervisor must recover the whole lease.
+    chaos_mod.maybe_kill_worker(trials[0].key, pack_attempt)
+    chaos_mod.maybe_hang(trials[0].key, pack_attempt)
 
     def solo(trial_payload: dict) -> dict:
         single = dict(trial_payload)
@@ -223,17 +269,17 @@ def _run_pack_payload(payload: dict) -> list[dict]:
     if len(trial_payloads) == 1:
         return _ship_telemetry([solo(trial_payloads[0])])
     cost = CostSpec.from_dict(cost_payload) if cost_payload is not None else None
-    trials = [Trial.from_dict(p) for p in trial_payloads]
     try:
         evaluator, pipeline = _trial_context(trials[0])
         results = evaluate_lane_pack(
-            trials, evaluator, pipeline, cost=cost, backend=backend
+            trials, evaluator, pipeline, cost=cost, backend=backend,
+            attempts=attempts,
         )
         return _ship_telemetry(
             [
                 {"key": trial.key, "trial": trial_payload, "result": result.to_dict()}
                 for trial, trial_payload, result in zip(
-                    trials, trial_payloads, results
+                    trials, clean_payloads, results
                 )
             ]
         )
@@ -260,16 +306,25 @@ class RunReport:
     cached: int = 0
     executed: int = 0
     skipped: int = 0  # pending seeds dropped by early stopping
-    failed: int = 0
+    failed: int = 0  # infrastructure gave up (pack lost after max_requeues)
+    retried: int = 0  # trial-level retries granted (each may still succeed)
+    quarantined: int = 0  # trials that failed max_retries + 1 attempts
+    poison_skipped: int = 0  # trials skipped because already quarantined
     stopped_cells: int = 0
     elapsed_s: float = 0.0
     errors: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
+        extras = ""
+        if self.retried or self.quarantined or self.poison_skipped:
+            extras = (
+                f", {self.retried} retried, {self.quarantined} quarantined"
+                f" (+{self.poison_skipped} already quarantined)"
+            )
         return (
             f"{self.total} trials: {self.cached} cached, {self.executed} executed, "
             f"{self.skipped} skipped by early stopping ({self.stopped_cells} cells), "
-            f"{self.failed} failed [{self.elapsed_s:.1f}s]"
+            f"{self.failed} failed{extras} [{self.elapsed_s:.1f}s]"
         )
 
 
@@ -284,23 +339,58 @@ class _Cell:
 class _SerialRunner:
     """Runs lane packs in-process, sharing the worker caches.
 
-    ``run`` yields each pack's outcomes as they complete so the parent can
-    persist them immediately — materializing the wave first would mean a
-    crash loses every already-computed result.
+    Speaks the same submit/``next_event`` protocol as :class:`_PoolRunner`
+    so the parent's drain loop (retries, quarantine, progress writes) is
+    identical for both. Each ``next_event`` call executes exactly one pack
+    and returns its :class:`PackDone`, so the parent persists outcomes as
+    they complete — materializing the wave first would mean a crash loses
+    every already-computed result. Leases are a no-op here: the runner
+    cannot outlive or kill itself, so deadlines are ignored and only the
+    retry-backoff eligibility time is honored.
     """
 
-    def run(self, payloads: Sequence[dict]) -> Iterator[list[dict]]:
-        for payload in payloads:
-            yield _run_pack_payload(payload)
+    def __init__(self) -> None:
+        self._next_job_id = 0
+        self._queue: list[tuple[float, int, dict]] = []  # (eligible_at, id, payload)
 
-    def close(self) -> None:
+    @property
+    def outstanding(self) -> int:
+        return len(self._queue)
+
+    def submit(self, payload: dict, deadline_s: float, delay_s: float = 0.0) -> int:
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._queue.append((time.monotonic() + delay_s, job_id, payload))
+        return job_id
+
+    def next_event(self) -> Optional[PackDone]:
+        if not self._queue:
+            return None
+        self._queue.sort(key=lambda item: item[0])
+        eligible_at, job_id, payload = self._queue.pop(0)
+        delay = eligible_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        return PackDone(
+            job_id=job_id, payload=payload, outcomes=_run_pack_payload(payload)
+        )
+
+    def close(self, force: bool = False) -> None:
         pass
 
 
-def _worker_init(manifests: Sequence[dict]) -> None:
-    """Pool initializer: attach parent-published engines + traces zero-copy."""
+def _worker_init(manifests: Sequence[dict], chaos_payload: Optional[dict] = None) -> None:
+    """Pool initializer: attach parent-published engines + traces zero-copy.
+
+    Chaos is installed first so the attach itself is a fault site
+    (:func:`repro.campaigns.chaos.maybe_fail_shm_attach`) — an injected
+    attach failure exercises the same degrade-and-rebuild path a real
+    ``/dev/shm`` problem would.
+    """
     from repro.models.sharing import attach_bundle
 
+    if chaos_payload is not None:
+        chaos_mod.install(ChaosSpec.from_dict(chaos_payload))
     for manifest in manifests:
         try:
             attach_bundle(manifest)
@@ -353,29 +443,48 @@ def _build_shared_packs(needed: dict[str, set[str]]):
 
 
 class _PoolRunner:
-    """Runs trials on a multiprocessing pool, streaming results back."""
+    """Runs lane packs on a :class:`SupervisedPool`, streaming events back.
 
-    def __init__(self, workers: int, shared_packs=None) -> None:
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
+    Replaces the raw ``multiprocessing.Pool`` of PRs 1-6: every pack is a
+    lease with a deadline, worker SIGKILLs and hangs are detected and the
+    pack requeued on a healthy worker (DESIGN.md section 12). The wrapper
+    only adds shared-memory pack lifecycle on top of the generic pool.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        shared_packs=None,
+        config: Optional[SuperviseConfig] = None,
+        chaos: Optional[ChaosSpec] = None,
+    ) -> None:
         self.workers = workers
         self.shared_packs = shared_packs or []
-        initargs = ([pack.manifest for pack in self.shared_packs],)
-        self.pool = ctx.Pool(
-            processes=workers,
-            initializer=_worker_init if self.shared_packs else None,
-            initargs=initargs if self.shared_packs else (),
+        manifests = [pack.manifest for pack in self.shared_packs]
+        self.pool = SupervisedPool(
+            workers,
+            _run_pack_payload,
+            initializer=_worker_init,
+            initargs=(manifests, chaos.to_dict() if chaos is not None else None),
+            config=config,
         )
 
-    def run(self, payloads: Sequence[dict]) -> Iterator[list[dict]]:
-        return self.pool.imap_unordered(_run_pack_payload, payloads, chunksize=1)
+    @property
+    def outstanding(self) -> int:
+        return self.pool.outstanding
 
-    def close(self) -> None:
-        self.pool.close()
-        self.pool.join()
-        for pack in self.shared_packs:
-            pack.close()
+    def submit(self, payload: dict, deadline_s: float, delay_s: float = 0.0) -> int:
+        return self.pool.submit(payload, deadline_s, delay_s=delay_s)
+
+    def next_event(self):
+        return self.pool.next_event()
+
+    def close(self, force: bool = False) -> None:
+        try:
+            self.pool.close(force=force)
+        finally:
+            for pack in self.shared_packs:
+                pack.close()
 
 
 def run_campaign(
@@ -384,24 +493,45 @@ def run_campaign(
     workers: int = 0,
     on_result=None,
     lane_width: int = DEFAULT_MAX_LANES,
+    supervise: Optional[SuperviseConfig] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> RunReport:
     """Execute every not-yet-stored trial of ``spec``, writing into ``store``.
 
-    ``workers <= 1`` runs serially in-process; otherwise a pool of
-    ``workers`` processes is used. Either way the parent writes each result
-    to the store the moment it arrives, so a killed run resumes cleanly.
-    ``on_result`` (if given) is called with each new ``StoredRecord``-shaped
-    payload dict, for progress display.
+    ``workers <= 1`` runs serially in-process; otherwise a supervised pool
+    of ``workers`` processes is used (DESIGN.md section 12) — worker
+    SIGKILLs, hangs past the lease deadline, and crashes are recovered by
+    requeueing the lost pack on a healthy worker. Either way the parent
+    writes each result to the store the moment it arrives, so a killed run
+    resumes cleanly. ``on_result`` (if given) is called with each new
+    ``StoredRecord``-shaped payload dict, for progress display.
 
     ``lane_width`` caps how many trials pack into one batched forward
     (DESIGN.md section 9); results are bit-identical at any width, so the
     knob only trades activation memory against per-dispatch overhead.
     ``lane_width=1`` restores strictly per-trial execution.
+
+    ``supervise`` overrides the spec's :class:`SuperviseConfig` (both a
+    measurement setting, never trial identity). A trial whose own execution
+    raises is retried with exponential backoff up to ``max_retries`` times;
+    one that fails every attempt is **quarantined**: persisted in the
+    store's quarantine log and skipped by every later run, so one poison
+    trial can never wedge a campaign in a crash loop. ``chaos`` injects
+    deterministic faults (:mod:`repro.campaigns.chaos`); when ``None``,
+    ``$REPRO_CHAOS`` is honored.
     """
     start = time.perf_counter()
     policy = spec.stopping
+    cfg = supervise or spec.supervise or SuperviseConfig()
+    installed_chaos = False
+    if chaos is None:
+        chaos = chaos_mod.active()
+    elif chaos is not chaos_mod.active():
+        chaos_mod.install(chaos)  # parent-side faults: torn store writes
+        installed_chaos = True
     report = RunReport()
 
+    quarantined_keys = store.quarantined_keys()
     cells: dict[str, _Cell] = {}
     order: list[str] = []
     for trial in spec.expand():
@@ -415,8 +545,16 @@ def run_campaign(
         if record is not None:
             report.cached += 1
             cell.values.append(record.result.degradation)
+        elif trial.key in quarantined_keys:
+            report.poison_skipped += 1
         else:
             cell.pending.append(trial)
+    if report.poison_skipped:
+        logger.warning(
+            "skipping %d quarantined trial(s); `campaign quarantine list` "
+            "shows them, `campaign quarantine clear` re-enables them",
+            report.poison_skipped,
+        )
 
     # Cells already satisfied by stored results (resume after a stop/kill).
     active: list[_Cell] = []
@@ -458,6 +596,9 @@ def run_campaign(
                 "executed": report.executed,
                 "failed": report.failed,
                 "skipped": report.skipped,
+                "retried": report.retried,
+                "quarantined": report.quarantined,
+                "poison_skipped": report.poison_skipped,
             },
             elapsed_s=now - start,
             cells=[
@@ -492,7 +633,7 @@ def run_campaign(
             # re-materializing per process.
             shared_packs = _build_shared_packs(needed)
             try:
-                runner = _PoolRunner(workers, shared_packs)
+                runner = _PoolRunner(workers, shared_packs, config=cfg, chaos=chaos)
             except Exception:
                 # Pool creation failed after the segments were published;
                 # unlink them now or they outlive the process in /dev/shm.
@@ -503,6 +644,71 @@ def run_campaign(
             runner = _SerialRunner()
     packer = LanePacker(max_lanes=max(1, lane_width)) if runner is not None else None
     _write_progress("running")
+
+    # Trial-level retry bookkeeping: retries granted so far and the error
+    # history per trial key. The taxonomy label is decided at quarantine
+    # time — the same exception repr twice in a row reads as deterministic,
+    # anything else as transient.
+    retries_granted: dict[str, int] = {}
+    error_history: dict[str, list[str]] = {}
+
+    def _submit_pack(trial_dicts: list[dict], delay_s: float = 0.0) -> None:
+        payload = {"trials": trial_dicts}
+        if spec.cost is not None:
+            payload["cost"] = spec.cost.to_dict()
+        if spec.backend is not None:
+            payload["gemm_backend"] = spec.backend
+        if chaos is not None:
+            payload["chaos"] = chaos.to_dict()
+        runner.submit(
+            payload,
+            deadline_s=cfg.trial_timeout * len(trial_dicts),
+            delay_s=delay_s,
+        )
+
+    def _handle_error(outcome: dict, trial: Trial) -> None:
+        """Retry a failed trial with backoff, or quarantine it for good."""
+        key = outcome["key"]
+        history = error_history.setdefault(key, [])
+        history.append(outcome["error"])
+        granted = retries_granted.get(key, 0)
+        if granted < cfg.max_retries:
+            retries_granted[key] = granted + 1
+            report.retried += 1
+            telemetry.METRICS.counter("campaign.trial_retries").inc()
+            delay = cfg.backoff(granted + 1, key)
+            retry_dict = dict(outcome["trial"])
+            retry_dict["attempt"] = granted + 1
+            logger.warning(
+                "retrying trial %s#s%d (attempt %d/%d, backoff %.2fs): %s",
+                trial.cell_label, trial.seed, granted + 2,
+                cfg.max_retries + 1, delay, outcome["error"],
+            )
+            _submit_pack([retry_dict], delay_s=delay)
+            return
+        kind = (
+            "deterministic"
+            if len(history) >= 2 and history[-1] == history[-2]
+            else "transient"
+        )
+        store.quarantine(
+            trial,
+            {
+                "error": outcome["error"],
+                "kind": kind,
+                "attempts": granted + 1,
+                "errors": list(history),
+                "worker": outcome.get("worker"),
+            },
+        )
+        report.quarantined += 1
+        telemetry.METRICS.counter("campaign.trials_quarantined").inc()
+        report.errors.append(
+            f"{trial.cell_label}#s{trial.seed}: quarantined ({kind}) after "
+            f"{granted + 1} attempts: {outcome['error']}"
+        )
+        logger.warning("trial quarantined: %s", report.errors[-1])
+
     try:
         wave_index = 0
         while active:
@@ -524,16 +730,33 @@ def run_campaign(
                 wave_index, len(wave), len(packs), len(active),
                 f"{workers} workers" if workers > 1 else "serial",
             )
-            payloads = []
             for pack in packs:
-                payload = {"trials": [trial.to_dict() for trial in pack]}
-                if spec.cost is not None:
-                    payload["cost"] = spec.cost.to_dict()
-                if spec.backend is not None:
-                    payload["gemm_backend"] = spec.backend
-                payloads.append(payload)
-            for outcomes in runner.run(payloads):
-                for outcome in outcomes:
+                _submit_pack([trial.to_dict() for trial in pack])
+            # Drain until every lease of this wave (including trial retries
+            # submitted along the way) is done, lost, or quarantined.
+            while runner.outstanding:
+                event = runner.next_event()
+                if time.perf_counter() - last_progress_write >= 0.5:
+                    _write_progress("running")
+                if event is None:
+                    continue  # heartbeat tick: nothing finished this poll
+                if isinstance(event, PackLost):
+                    # Requeue budget exhausted — a host problem, not a
+                    # poison trial, so the trials fail without quarantine.
+                    for trial_dict in event.payload["trials"]:
+                        clean = {
+                            k: v for k, v in trial_dict.items() if k != "attempt"
+                        }
+                        trial = Trial.from_dict(clean)
+                        report.failed += 1
+                        telemetry.METRICS.counter("campaign.trials_failed").inc()
+                        report.errors.append(
+                            f"{trial.cell_label}#s{trial.seed}: pack lost after "
+                            f"{event.requeues} requeues ({event.reason})"
+                        )
+                        logger.warning("trial failed: %s", report.errors[-1])
+                    continue
+                for outcome in event.outcomes:
                     snapshot = outcome.pop("metrics", None)
                     if snapshot is not None:
                         worker_metrics[snapshot.get("pid", -1)] = snapshot
@@ -543,12 +766,7 @@ def run_campaign(
                     trial = Trial.from_dict(outcome["trial"])
                     cell = owner[outcome["key"]]
                     if "error" in outcome:
-                        report.failed += 1
-                        telemetry.METRICS.counter("campaign.trials_failed").inc()
-                        report.errors.append(
-                            f"{trial.cell_label}#s{trial.seed}: {outcome['error']}"
-                        )
-                        logger.info("trial failed: %s", report.errors[-1])
+                        _handle_error(outcome, trial)
                         continue
                     result = TrialResult.from_dict(outcome["result"])
                     store.add(trial, result)
@@ -558,8 +776,6 @@ def run_campaign(
                     last_result_at = time.perf_counter()
                     if on_result is not None:
                         on_result(outcome)
-                if time.perf_counter() - last_progress_write >= 0.5:
-                    _write_progress("running")
 
             still_active: list[_Cell] = []
             for cell in active:
@@ -572,9 +788,23 @@ def run_campaign(
                     continue
                 still_active.append(cell)
             active = still_active
+    except BaseException:
+        # Leave an honest progress snapshot behind, then tear the pool down
+        # hard — force-close never hangs and always unlinks the shm packs.
+        if runner is not None:
+            runner.close(force=True)
+            runner = None
+        try:
+            report.elapsed_s = time.perf_counter() - start
+            _write_progress("failed")
+        except Exception:  # the store itself may be the thing that broke
+            logger.exception("could not write final 'failed' progress snapshot")
+        raise
     finally:
         if runner is not None:
             runner.close()
+        if installed_chaos:
+            chaos_mod.install(None)
 
     report.elapsed_s = time.perf_counter() - start
     _write_progress("finished")

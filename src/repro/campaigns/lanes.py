@@ -244,6 +244,7 @@ def evaluate_lane_pack(
     pipeline=None,
     cost: Optional[CostSpec] = None,
     backend: Optional[str] = None,
+    attempts: Optional[Sequence[int]] = None,
 ) -> list[TrialResult]:
     """Score a pack of trials as lanes of one batched forward.
 
@@ -255,7 +256,18 @@ def evaluate_lane_pack(
     selects the GEMM backend for the whole pack (uniform by the packing
     rules above); when ``None`` the pack honors the trials' own pinned
     backend, falling back to the executor's current one.
+
+    ``attempts`` carries the supervisor's per-trial retry counters into
+    the chaos harness's per-trial fault point — a lane whose trial is
+    chaos-marked raises here, which degrades the whole pack to per-trial
+    execution, exactly the path a real mid-pack failure takes.
     """
+    from repro.campaigns import chaos
+
+    for j, trial in enumerate(trials):
+        chaos.maybe_fail_trial(
+            trial.key, attempts[j] if attempts is not None else 0
+        )
     start = time.perf_counter()
     injectors, protectors, costs, packed = prepare_lanes(
         trials, evaluator, pipeline, cost

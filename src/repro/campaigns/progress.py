@@ -56,6 +56,8 @@ def build_snapshot(
         - done
         - totals.get("failed", 0)
         - totals.get("skipped", 0)
+        - totals.get("quarantined", 0)
+        - totals.get("poison_skipped", 0)
     )
     throughput = executed / elapsed_s if elapsed_s > 0 else 0.0
     eta_s = remaining / throughput if throughput > 0 and remaining > 0 else None
@@ -130,12 +132,14 @@ def render_snapshot(snapshot: dict) -> str:
     """One watch frame: headline throughput/ETA plus the per-cell table."""
     totals = snapshot.get("totals", {})
     throughput = snapshot.get("throughput_per_s", 0.0)
+    quarantined = totals.get("quarantined", 0) + totals.get("poison_skipped", 0)
+    quarantine_part = f", {quarantined} quarantined" if quarantined else ""
     header = (
         f"campaign {snapshot.get('name', '?')} [{snapshot.get('state', '?')}] "
         f"{totals.get('executed', 0) + totals.get('cached', 0)}"
         f"/{totals.get('total', 0)} trials "
         f"({totals.get('cached', 0)} cached, {totals.get('failed', 0)} failed, "
-        f"{totals.get('skipped', 0)} skipped) | "
+        f"{totals.get('skipped', 0)} skipped{quarantine_part}) | "
         f"{throughput:.2f} trials/s | "
         f"elapsed {_fmt_duration(snapshot.get('elapsed_s'))} | "
         f"eta {_fmt_duration(snapshot.get('eta_s'))}"

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.campaigns.stopping import StoppingPolicy
+from repro.campaigns.supervise import SuperviseConfig
 from repro.dispatch.cost import CostSpec
 from repro.errors.models import BitFlipModel, ErrorModel, MagFreqModel
 from repro.errors.sites import Component, SiteFilter, Stage
@@ -332,6 +333,11 @@ class CampaignSpec:
     trial keys are unchanged and stored results stay valid. Naming a
     non-exact backend changes the numbers, so ``expand()`` stamps it into
     every trial's content key.
+
+    ``supervise`` (a :class:`~repro.campaigns.supervise.SuperviseConfig`,
+    or a ``"supervise"`` object in JSON) tunes the supervision layer —
+    lease deadlines, trial retries, pack requeues (DESIGN.md section 12).
+    Like ``cost`` it is an execution setting, never part of trial keys.
     """
 
     name: str
@@ -345,6 +351,7 @@ class CampaignSpec:
     stopping: Optional[StoppingPolicy] = None
     cost: Optional[CostSpec] = None
     backend: Optional[str] = None
+    supervise: Optional[SuperviseConfig] = None
 
     def __post_init__(self) -> None:
         # Deferred: the registries live in higher layers (characterization,
@@ -454,6 +461,8 @@ class CampaignSpec:
             out["cost"] = self.cost.to_dict()
         if self.backend is not None:
             out["backend"] = self.backend
+        if self.supervise is not None:
+            out["supervise"] = self.supervise.to_dict()
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -475,8 +484,8 @@ class CampaignSpec:
         """
         known = {
             "name", "models", "tasks", "sites", "errors", "methods",
-            "voltages", "seeds", "stopping", "cost", "backend", "bers",
-            "bits", "magfreq", "components", "stages",
+            "voltages", "seeds", "stopping", "cost", "backend", "supervise",
+            "bers", "bits", "magfreq", "components", "stages",
         }
         unknown = set(payload) - known
         if unknown:
@@ -522,6 +531,11 @@ class CampaignSpec:
             stopping=StoppingPolicy.from_dict(stopping) if stopping else None,
             cost=CostSpec.from_dict(cost) if cost is not None else None,
             backend=payload.get("backend"),
+            supervise=(
+                SuperviseConfig.from_dict(payload["supervise"])
+                if payload.get("supervise") is not None
+                else None
+            ),
         )
 
     @classmethod

@@ -2,15 +2,29 @@
 
 Layout on disk (one directory per campaign)::
 
-    <store>/results.jsonl   append-only record log — the source of truth
-    <store>/index.sqlite    trial-key index + record cache, rebuilt on demand
+    <store>/results.jsonl      append-only record log — the source of truth
+    <store>/quarantine.jsonl   poison-trial failure records (DESIGN.md §12)
+    <store>/index.sqlite       trial-key index + record cache, rebuilt on demand
 
-Every record is one JSON line ``{"key", "cell", "trial", "result"}``. The
-SQLite index makes membership tests and per-cell aggregation cheap; if it is
-missing, stale, or the process died mid-write, :class:`ResultStore` rebuilds
-it from the JSONL log on open, silently dropping a torn trailing line. That
-property is what makes campaigns crash-resumable: whatever reached the log
-survives, and the executor skips every key already present.
+Every record is one JSON line ``{"key", "cell", "trial", "result", "crc"}``
+where ``crc`` is the CRC32 of the record's canonical form — so a line that
+was torn by a crash *or* silently bit-rotted on disk is detected, skipped
+with a WARNING, and counted in the ``store.corrupt_lines`` metric rather
+than read back as a wrong result. The SQLite index makes membership tests
+and per-cell aggregation cheap; if it is missing, stale, or the process
+died mid-write, :class:`ResultStore` rebuilds it from the JSONL log on
+open. That property is what makes campaigns crash-resumable: whatever
+reached the log survives, and the executor skips every key already present.
+
+Appends are fsync'd in batches (at most one fsync per
+:data:`ResultStore.FSYNC_INTERVAL_S`, plus one on close) so durability does
+not serialize the parent's result stream on disk latency;
+``REPRO_STORE_FSYNC=0`` opts out entirely for throwaway stores.
+
+``quarantine.jsonl`` holds the supervisor's poison-trial records — trials
+that kept failing after every retry. They are first-class store citizens:
+resume skips quarantined keys instead of re-exploding on them, and
+``campaign quarantine list|clear`` administers them.
 """
 
 from __future__ import annotations
@@ -19,15 +33,24 @@ import json
 import os
 import sqlite3
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import IO, Iterator, Optional
 
+import repro.telemetry as telemetry
 from repro.campaigns.spec import Trial
 from repro.training.zoo import cache_dir
 from repro.utils.logging import get_logger
 
 logger = get_logger("campaigns.store")
+
+
+def _line_crc(payload: dict) -> str:
+    """CRC32 (hex) of the record's canonical JSON, ``crc`` field excluded."""
+    body = {k: v for k, v in payload.items() if k != "crc"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(canonical.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 def default_store_dir(name: str) -> Path:
@@ -108,6 +131,11 @@ class StoredRecord:
 class ResultStore:
     """Single-writer JSONL + SQLite result store (open per campaign)."""
 
+    #: At most one fsync of the result log per interval; pending syncs are
+    #: settled on close. A crash in between loses at most the last
+    #: interval's results — which resume simply re-executes.
+    FSYNC_INTERVAL_S = 0.05
+
     def __init__(self, directory: str | Path, create: bool = True) -> None:
         """``create=False`` (read paths) refuses to fabricate an empty store
         out of a mistyped directory and raises ``FileNotFoundError`` instead."""
@@ -118,7 +146,12 @@ class ResultStore:
             )
         self.directory.mkdir(parents=True, exist_ok=True)
         self.log_path = self.directory / "results.jsonl"
+        self.quarantine_path = self.directory / "quarantine.jsonl"
         self.index_path = self.directory / "index.sqlite"
+        self._log_handle: Optional[IO[str]] = None
+        self._fsync = os.environ.get("REPRO_STORE_FSYNC", "1") != "0"
+        self._last_fsync = 0.0
+        self._fsync_pending = False
         self._conn = sqlite3.connect(self.index_path)
         # WAL keeps readers off the writer's lock and turns each commit into
         # one sequential WAL append instead of a full-database sync — the
@@ -154,11 +187,22 @@ class ResultStore:
             " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
             " ts REAL NOT NULL, payload TEXT NOT NULL)"
         )
+        # Poison-trial quarantine (DESIGN.md section 12): one row per trial
+        # the supervisor gave up on, mirrored from quarantine.jsonl exactly
+        # like results mirror results.jsonl.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            " key TEXT PRIMARY KEY, cell TEXT, record TEXT)"
+        )
         self._conn.commit()
         self._sync_index()
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
+        if self._log_handle is not None:
+            self._settle_fsync(force=True)
+            self._log_handle.close()
+            self._log_handle = None
         self._conn.close()
 
     def __enter__(self) -> "ResultStore":
@@ -168,45 +212,121 @@ class ResultStore:
         self.close()
 
     # ------------------------------------------------------------- recovery
-    def _log_records(self) -> Iterator[dict]:
-        """Parse the JSONL log, skipping torn/corrupt lines (crash debris)."""
-        if not self.log_path.exists():
+    def _parse_lines(self, path: Path, required: tuple[str, ...]) -> Iterator[dict]:
+        """Parse one JSONL log, dropping torn and CRC-mismatched lines.
+
+        Every dropped line is a WARNING plus a bump of the
+        ``store.corrupt_lines`` metric — corruption must be *visible*, not
+        silently absorbed into a smaller result set. Records written before
+        the ``crc`` field existed are accepted unverified.
+        """
+        if not path.exists():
             return
-        with self.log_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     payload = json.loads(line)
                 except json.JSONDecodeError:
-                    logger.info("skipping corrupt line in %s", self.log_path)
+                    logger.warning(
+                        "skipping corrupt line %d in %s (unparseable JSON)",
+                        number, path,
+                    )
+                    telemetry.METRICS.counter("store.corrupt_lines").inc()
                     continue
-                if "key" in payload and "trial" in payload and "result" in payload:
+                crc = payload.get("crc")
+                if crc is not None and crc != _line_crc(payload):
+                    logger.warning(
+                        "skipping corrupt line %d in %s (CRC mismatch: "
+                        "line says %s, content is %s)",
+                        number, path, crc, _line_crc(payload),
+                    )
+                    telemetry.METRICS.counter("store.corrupt_lines").inc()
+                    continue
+                if all(field in payload for field in required):
                     yield payload
 
-    def _sync_index(self) -> None:
-        """Rebuild the SQLite index whenever it disagrees with the log."""
-        log_count = len({payload["key"] for payload in self._log_records()})
-        (index_count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
-        if index_count == log_count:
-            return
-        logger.info(
-            "rebuilding index for %s (%d log records, %d indexed)",
-            self.directory, log_count, index_count,
-        )
-        self._conn.execute("DELETE FROM results")
-        for payload in self._log_records():
-            self._insert(payload)
-        self._conn.commit()
+    def _log_records(self) -> Iterator[dict]:
+        """Parse the result log, skipping torn/corrupt lines (crash debris)."""
+        yield from self._parse_lines(self.log_path, ("key", "trial", "result"))
 
-    def _insert(self, payload: dict) -> None:
+    def _quarantine_records_raw(self) -> Iterator[dict]:
+        yield from self._parse_lines(self.quarantine_path, ("key", "failure"))
+
+    def _sync_index(self) -> None:
+        """Rebuild the SQLite index whenever it disagrees with the logs."""
+        for table, records in (
+            ("results", self._log_records),
+            ("quarantine", self._quarantine_records_raw),
+        ):
+            log_count = len({payload["key"] for payload in records()})
+            (index_count,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()
+            if index_count == log_count:
+                continue
+            logger.info(
+                "rebuilding %s index for %s (%d log records, %d indexed)",
+                table, self.directory, log_count, index_count,
+            )
+            self._conn.execute(f"DELETE FROM {table}")
+            for payload in records():
+                self._insert(payload, table=table)
+            self._conn.commit()
+
+    def _insert(self, payload: dict, table: str = "results") -> None:
         self._conn.execute(
-            "INSERT OR REPLACE INTO results (key, cell, record) VALUES (?, ?, ?)",
+            f"INSERT OR REPLACE INTO {table} (key, cell, record) VALUES (?, ?, ?)",
             (payload["key"], payload.get("cell", ""), json.dumps(payload)),
         )
 
     # --------------------------------------------------------------- writes
+    def _append_line(self, path: Path, payload: dict) -> None:
+        """One CRC-stamped append, fsync'd in batches (see class docstring).
+
+        The result log keeps a persistent ``O_APPEND`` handle so batching
+        works across calls; the (rare) quarantine appends open-and-close.
+        Under an active chaos spec with ``torn_writes``, selected appends
+        are preceded by a deliberately torn junk line — recovery must skip
+        it, warn, and count it.
+        """
+        from repro.campaigns import chaos
+
+        payload = {**payload, "crc": _line_crc(payload)}
+        line = json.dumps(payload, sort_keys=True)
+        if path == self.log_path:
+            if self._log_handle is None:
+                self._log_handle = path.open("a", encoding="utf-8")
+            handle = self._log_handle
+        else:
+            handle = path.open("a", encoding="utf-8")
+        try:
+            if chaos.maybe_tear_store_line(payload["key"]):
+                handle.write(line[: max(8, len(line) // 2)].rstrip() + "\n")
+            handle.write(line + "\n")
+            handle.flush()
+            if self._fsync:
+                if path == self.log_path:
+                    self._fsync_pending = True
+                    self._settle_fsync()
+                else:
+                    os.fsync(handle.fileno())
+        finally:
+            if handle is not self._log_handle:
+                handle.close()
+
+    def _settle_fsync(self, force: bool = False) -> None:
+        """fsync the result log if due (or ``force``) and a sync is pending."""
+        if not (self._fsync and self._fsync_pending and self._log_handle):
+            return
+        now = time.monotonic()
+        if force or now - self._last_fsync >= self.FSYNC_INTERVAL_S:
+            os.fsync(self._log_handle.fileno())
+            self._last_fsync = now
+            self._fsync_pending = False
+
     def add(self, trial: Trial, result: TrialResult) -> None:
         """Append one result; flushed to the log before the index update.
 
@@ -221,13 +341,72 @@ class ResultStore:
             "trial": trial.to_dict(),
             "result": result.to_dict(),
         }
-        line = json.dumps(payload, sort_keys=True)
-        with self.log_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._append_line(self.log_path, payload)
         self._insert(payload)
         self._conn.commit()
+
+    # ----------------------------------------------------------- quarantine
+    def quarantine(self, trial: Trial, failure: dict) -> None:
+        """Persist a poison-trial failure record (DESIGN.md section 12).
+
+        ``failure`` carries the supervisor's post-mortem: ``error`` (last
+        exception repr), ``kind`` (``"deterministic"`` when the final two
+        attempts raised identically, else ``"transient"``), ``attempts``,
+        ``worker`` pid, ``backend``, and ``errors`` (every attempt's
+        exception). Re-quarantining a key replaces its record (latest
+        post-mortem wins on rebuild, mirroring ``INSERT OR REPLACE``).
+        """
+        payload = {
+            "key": trial.key,
+            "cell": trial.cell_id,
+            "trial": trial.to_dict(),
+            "failure": {**failure, "ts": time.time()},
+        }
+        self._append_line(self.quarantine_path, payload)
+        self._insert(payload, table="quarantine")
+        self._conn.commit()
+
+    def quarantined_keys(self) -> set[str]:
+        return {
+            row[0] for row in self._conn.execute("SELECT key FROM quarantine")
+        }
+
+    def quarantined_records(self) -> list[dict]:
+        """Every quarantine record, oldest first."""
+        rows = self._conn.execute(
+            "SELECT record FROM quarantine ORDER BY rowid"
+        )
+        return [json.loads(row[0]) for row in rows]
+
+    def clear_quarantine(self, keys: Optional[set[str]] = None) -> int:
+        """Drop quarantine records (all, or just ``keys``); returns count.
+
+        The only non-append mutation in the store: quarantine is an
+        operator-facing denylist, and "retry these trials" means removing
+        them from it. The JSONL file is rewritten to match.
+        """
+        keep = [
+            record
+            for record in self._quarantine_records_raw()
+            if keys is not None and record["key"] not in keys
+        ]
+        before = len(self.quarantined_keys())
+        if keys is None:
+            self._conn.execute("DELETE FROM quarantine")
+        else:
+            self._conn.executemany(
+                "DELETE FROM quarantine WHERE key = ?", [(k,) for k in keys]
+            )
+        self._conn.commit()
+        tmp = self.quarantine_path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in keep:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(self.quarantine_path)
+        return before - len(self.quarantined_keys())
 
     # ------------------------------------------------------------- progress
     #: Snapshot rows kept per store; older rows are pruned on write. Enough

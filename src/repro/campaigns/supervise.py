@@ -1,0 +1,442 @@
+"""Supervised campaign execution: leased packs, worker liveness, requeue.
+
+The raw ``multiprocessing.Pool`` the campaign executor used through PR 6
+assumed a perfectly reliable host: a SIGKILL'd worker could deadlock the
+shared task queue, a hung worker stalled the wave forever, and the parent
+had no idea which worker held which pack. This module replaces it with a
+DAVOS-style supervised pool (DESIGN.md section 12):
+
+- every submitted pack is a **lease**: a work unit with a deadline
+  (``trial_timeout`` x lanes), an eligibility time (exponential backoff +
+  deterministic jitter after a requeue), and a requeue budget;
+- each worker owns a **dedicated duplex pipe** instead of sharing queues —
+  the parent assigns leases itself, so worker death can corrupt at most
+  that worker's own channel, never the fleet's, and ``connection.wait``
+  doubles as the heartbeat poll;
+- the parent detects hard worker death (``SIGKILL`` included) via pipe EOF
+  plus ``Process.exitcode``, kills workers whose lease expired, respawns
+  replacements with the same initializer, and requeues the lost lease on a
+  healthy worker — transparently, up to ``max_requeues`` times per pack.
+
+The pool is deliberately generic — ``target`` is any picklable function of
+one payload — so the unit tests drive it with trivial sleep/kill targets
+and the campaign executor plugs in ``_run_pack_payload`` unchanged.
+Requeued payloads get their ``"pack_attempt"`` key bumped so attempt-aware
+consumers (the chaos harness) can distinguish first leases from requeues.
+
+Trial-level failure taxonomy and quarantine live in the executor's drain
+loop, not here: the pool supervises *processes*, the executor judges
+*trials*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field, fields
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Optional
+
+import repro.telemetry as telemetry
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaigns.supervise")
+
+
+@dataclass(frozen=True)
+class SuperviseConfig:
+    """Knobs of the supervision layer (a measurement setting, never part of
+    trial identity — `CampaignSpec.supervise` carries it in JSON specs and
+    `campaign run --trial-timeout/--max-retries` overrides it).
+
+    ``trial_timeout`` is per *trial*; a pack's lease deadline is the
+    timeout times its lane count. ``max_retries`` bounds **trial-level**
+    retries: a trial that fails ``max_retries + 1`` times is quarantined.
+    ``max_requeues`` bounds **pack-level** infrastructure requeues (worker
+    death, lease expiry); exhausting it fails the pack's trials without
+    quarantining them — an unhealthy host is not a poison trial.
+    """
+
+    trial_timeout: float = 300.0
+    max_retries: int = 2
+    max_requeues: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout <= 0:
+            raise ValueError("trial_timeout must be positive")
+        if self.max_retries < 0 or self.max_requeues < 0:
+            raise ValueError("max_retries/max_requeues must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def backoff(self, attempt: int, key: str) -> float:
+        """Exponential backoff with deterministic jitter for retry ``attempt``
+        (1-based) of site ``key``. Jitter is a pure hash of (key, attempt) so
+        reruns schedule identically — chaos runs stay reproducible."""
+        if attempt <= 0:
+            return 0.0
+        base = min(self.backoff_base_s * 2 ** (attempt - 1), self.backoff_cap_s)
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+        return base * (1.0 + jitter)
+
+    def to_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != f.default
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuperviseConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown supervise keys: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        return cls(**payload)
+
+
+# -------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class PackDone:
+    """A lease completed; ``outcomes`` is whatever ``target`` returned."""
+
+    job_id: int
+    payload: dict
+    outcomes: Any
+
+
+@dataclass(frozen=True)
+class PackLost:
+    """A lease exhausted its requeue budget; the pack's work did not run."""
+
+    job_id: int
+    payload: dict
+    reason: str
+    requeues: int
+
+
+# --------------------------------------------------------------- worker side
+def _pool_worker(index: int, conn, target, initializer, initargs) -> None:
+    """Worker main loop: recv a (job_id, payload) lease, run it, send back.
+
+    A failed initializer is logged, not fatal — the campaign initializer
+    already degrades (workers rebuild what the shm attach would have
+    shared), and a worker that dies on init would just be respawned into
+    the same failure forever.
+    """
+    from repro.campaigns import chaos
+
+    chaos.WORKER_INDEX = index
+    if initializer is not None:
+        try:
+            initializer(*initargs)
+        except Exception as exc:
+            logger.warning("worker %d initializer failed (%r)", index, exc)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        job_id, payload = message
+        try:
+            outcomes = target(payload)
+            conn.send((job_id, True, outcomes))
+        except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+            try:
+                conn.send((job_id, False, repr(exc)))
+            except (OSError, ValueError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------- parent side
+@dataclass
+class _Lease:
+    job_id: int
+    payload: dict
+    deadline_s: float  # per-lease duration budget once claimed
+    eligible_at: float = 0.0  # monotonic time before which it must not run
+    requeues: int = 0
+
+
+@dataclass
+class _Worker:
+    index: int
+    process: Any
+    conn: Any
+    lease: Optional[_Lease] = None
+    leased_at: float = 0.0
+
+
+class SupervisedPool:
+    """A process pool that survives SIGKILL, hangs, and crashes of any worker.
+
+    Drive it with :meth:`submit` + :meth:`next_event`: the parent calls
+    ``next_event`` until :meth:`outstanding` drops to zero; each call
+    returns a :class:`PackDone`, a :class:`PackLost`, or ``None`` (a
+    heartbeat tick with nothing finished — the caller's chance to write
+    progress). Internal requeues never surface as events; they bump the
+    ``supervise.requeues`` / ``supervise.worker_deaths`` /
+    ``supervise.lease_expiries`` telemetry counters instead.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        target: Callable[[dict], Any],
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        config: Optional[SuperviseConfig] = None,
+        ctx=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a supervised pool needs at least one worker")
+        if ctx is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = ctx
+        self._target = target
+        self._initializer = initializer
+        self._initargs = initargs
+        self.config = config or SuperviseConfig()
+        self._next_job_id = 0
+        self._next_worker_index = 0
+        self._ready: list[_Lease] = []
+        self._lost: list[PackLost] = []
+        self._workers: list[_Worker] = [self._spawn() for _ in range(workers)]
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def _spawn(self) -> _Worker:
+        index = self._next_worker_index
+        self._next_worker_index += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker,
+            args=(index, child_conn, self._target, self._initializer, self._initargs),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        return _Worker(index=index, process=process, conn=parent_conn)
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down without ever hanging the parent.
+
+        Graceful close sends each idle worker a stop sentinel and gives the
+        fleet a bounded join; anything still alive after that — and
+        everything, immediately, under ``force`` — is terminated and then
+        killed. Pipes are closed last.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if not force and worker.lease is None:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            else:
+                worker.process.terminate()
+        deadline = time.monotonic() + (0.0 if force else 5.0)
+        for worker in self._workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        self._ready = []
+
+    # ------------------------------------------------------------ interface
+    @property
+    def outstanding(self) -> int:
+        """Leases not yet completed or lost."""
+        busy = sum(1 for w in self._workers if w.lease is not None)
+        return len(self._ready) + busy + len(self._lost)
+
+    def submit(self, payload: dict, deadline_s: float, delay_s: float = 0.0) -> int:
+        """Queue one pack; it becomes a lease when a worker claims it."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._ready.append(
+            _Lease(
+                job_id=job_id,
+                payload=payload,
+                deadline_s=deadline_s,
+                eligible_at=time.monotonic() + delay_s,
+            )
+        )
+        return job_id
+
+    def next_event(self) -> Optional[PackDone | PackLost]:
+        """One supervision step: dispatch, poll, detect death/expiry.
+
+        Returns the first finished or lost pack, or ``None`` after one poll
+        interval with neither (the heartbeat tick).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._lost:
+            return self._lost.pop(0)
+        self._dispatch()
+        event = self._poll_results()
+        if event is not None:
+            return event
+        self._reap_dead_workers()
+        self._expire_leases()
+        return self._lost.pop(0) if self._lost else None
+
+    # ----------------------------------------------------------- internals
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        for worker in self._workers:
+            if worker.lease is not None:
+                continue
+            eligible = [l for l in self._ready if l.eligible_at <= now]
+            if not eligible:
+                break
+            lease = eligible[0]
+            self._ready.remove(lease)
+            try:
+                worker.conn.send((lease.job_id, lease.payload))
+            except (OSError, ValueError):
+                # Worker died between leases; the reaper respawns it and
+                # the lease goes back to the front of the queue.
+                self._ready.insert(0, lease)
+                continue
+            worker.lease = lease
+            worker.leased_at = now
+
+    def _poll_results(self) -> Optional[PackDone | PackLost]:
+        busy = [w for w in self._workers if w.lease is not None]
+        if not busy:
+            if self._ready:
+                time.sleep(self.config.poll_interval_s)
+            return None
+        by_conn = {w.conn: w for w in busy}
+        readable = connection_wait(
+            list(by_conn), timeout=self.config.poll_interval_s
+        )
+        for conn in readable:
+            worker = by_conn[conn]
+            try:
+                job_id, ok, data = conn.recv()
+            except (EOFError, OSError):
+                # Death mid-send (or right after): the reaper handles it.
+                continue
+            lease = worker.lease
+            worker.lease = None
+            if lease is None or lease.job_id != job_id:
+                # A stale result from a lease already requeued elsewhere;
+                # first completion won, drop the duplicate.
+                continue
+            if ok:
+                return PackDone(job_id=job_id, payload=lease.payload, outcomes=data)
+            # The target raised outside its own error handling — an
+            # infrastructure-level failure, retried like a crash.
+            self._requeue(lease, f"worker raised {data}")
+            return None
+        return None
+
+    def _reap_dead_workers(self) -> None:
+        for worker in list(self._workers):
+            if worker.process.is_alive():
+                continue
+            telemetry.METRICS.counter("supervise.worker_deaths").inc()
+            logger.warning(
+                "worker %d (pid %s) died with exitcode %s%s",
+                worker.index,
+                worker.process.pid,
+                worker.process.exitcode,
+                f" holding pack {worker.lease.job_id}" if worker.lease else "",
+            )
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            lease, worker.lease = worker.lease, None
+            self._workers[self._workers.index(worker)] = self._spawn()
+            if lease is not None:
+                self._requeue(
+                    lease, f"worker died (exitcode {worker.process.exitcode})"
+                )
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()
+        for worker in self._workers:
+            lease = worker.lease
+            if lease is None:
+                continue
+            if now - worker.leased_at <= lease.deadline_s:
+                continue
+            telemetry.METRICS.counter("supervise.lease_expiries").inc()
+            logger.warning(
+                "lease %d expired after %.1fs (deadline %.1fs); killing worker %d",
+                lease.job_id,
+                now - worker.leased_at,
+                lease.deadline_s,
+                worker.index,
+            )
+            # SIGKILL, not terminate: a truly wedged worker can ignore
+            # SIGTERM, and the reaper must see a dead process next tick.
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+            # The reaper sweep (next next_event call) respawns and requeues.
+
+    def _requeue(self, lease: _Lease, reason: str) -> None:
+        lease.requeues += 1
+        if lease.requeues > self.config.max_requeues:
+            logger.warning(
+                "pack %d lost after %d requeues: %s",
+                lease.job_id, lease.requeues - 1, reason,
+            )
+            self._lost.append(
+                PackLost(
+                    job_id=lease.job_id,
+                    payload=lease.payload,
+                    reason=reason,
+                    requeues=lease.requeues - 1,
+                )
+            )
+            return
+        telemetry.METRICS.counter("supervise.requeues").inc()
+        delay = self.config.backoff(lease.requeues, str(lease.job_id))
+        lease.eligible_at = time.monotonic() + delay
+        # Attempt-aware consumers (the chaos harness) key off this; chaos
+        # faults fire only on pack_attempt == 0, so a requeued pack runs
+        # clean.
+        lease.payload = {**lease.payload, "pack_attempt": lease.requeues}
+        logger.warning(
+            "requeueing pack %d (requeue %d/%d, backoff %.2fs): %s",
+            lease.job_id, lease.requeues, self.config.max_requeues, delay, reason,
+        )
+        self._ready.append(lease)

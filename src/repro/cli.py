@@ -18,6 +18,11 @@ Examples
     python -m repro campaign report --spec grid.json --costs
     python -m repro backend list                         # GEMM backends
     python -m repro campaign run --spec grid.json --backend blocked
+    python -m repro campaign run --spec grid.json --workers 4 \\
+        --trial-timeout 60 --max-retries 3               # supervision knobs
+    python -m repro campaign run --spec grid.json --chaos "seed=1,kill=0.5"
+    python -m repro campaign quarantine list --spec grid.json
+    python -m repro campaign quarantine clear --spec grid.json
 """
 
 from __future__ import annotations
@@ -307,7 +312,9 @@ def _time_once(backend, a, b) -> float:
 def cmd_campaign_run(args: argparse.Namespace) -> str:
     import dataclasses
 
+    from repro.campaigns.chaos import ChaosSpec
     from repro.campaigns.executor import run_campaign
+    from repro.campaigns.supervise import SuperviseConfig
 
     if args.trace:
         telemetry.enable()
@@ -315,11 +322,31 @@ def cmd_campaign_run(args: argparse.Namespace) -> str:
     if args.backend is not None:
         # replace() re-runs __post_init__, validating the name up front.
         spec = dataclasses.replace(spec, backend=args.backend)
+    supervise = None
+    if args.trial_timeout is not None or args.max_retries is not None:
+        overrides = {}
+        if args.trial_timeout is not None:
+            overrides["trial_timeout"] = args.trial_timeout
+        if args.max_retries is not None:
+            overrides["max_retries"] = args.max_retries
+        supervise = dataclasses.replace(
+            spec.supervise or SuperviseConfig(), **overrides
+        )
+    chaos = ChaosSpec.from_string(args.chaos) if args.chaos else None
     with _open_store(args, spec) as store:
         lanes = {} if args.lanes is None else {"lane_width": args.lanes}
-        report = run_campaign(spec, store, workers=args.workers, **lanes)
+        report = run_campaign(
+            spec, store, workers=args.workers,
+            supervise=supervise, chaos=chaos, **lanes,
+        )
         out = [f"campaign {spec.name}: {report.summary()}"]
         out.extend(f"FAILED {line}" for line in report.errors)
+        if report.quarantined or report.poison_skipped:
+            out.append(
+                "quarantined trials persist across runs; inspect with "
+                "`campaign quarantine list`, re-enable with "
+                "`campaign quarantine clear`"
+            )
         out.append(f"store: {store.directory}")
         out.append("")
         out.append(report_table(store, spec))
@@ -332,7 +359,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> str:
             },
         )
         out.append(f"trace: {args.trace}")
-    if report.failed:
+    if report.failed or report.quarantined:
         args.exit_code = 1  # scripts/CI must not see a failed campaign as success
     return "\n".join(out)
 
@@ -347,6 +374,12 @@ def cmd_campaign_status(args: argparse.Namespace) -> str:
     with store:
         out = status_table(spec, store)
         directory = store.directory
+        if args.history:
+            import json
+
+            history = store.progress_history()
+            Path(args.history).write_text(json.dumps(history, indent=2))
+            out += f"\nwrote {len(history)} progress snapshot(s) to {args.history}"
     if args.metrics:
         snapshot = read_latest_progress(directory)
         if snapshot is None:
@@ -404,6 +437,47 @@ def cmd_campaign_report(args: argparse.Namespace) -> str:
 
 def cmd_campaign_example(args: argparse.Namespace) -> str:
     return example_spec().to_json()
+
+
+def cmd_campaign_quarantine(args: argparse.Namespace) -> str:
+    """Inspect or clear the store's poison-trial quarantine (DESIGN.md §12)."""
+    spec = _load_spec(args)
+    try:
+        store = _open_store(args, spec, create=False)
+    except FileNotFoundError as exc:
+        args.exit_code = 1
+        return f"{exc} — the campaign has not run (or --store is mistyped)"
+    with store:
+        if args.quarantine_command == "clear":
+            keys = set(args.keys) if args.keys else None
+            removed = store.clear_quarantine(keys)
+            return (
+                f"cleared {removed} quarantined trial(s); "
+                "the next `campaign run` retries them"
+            )
+        records = store.quarantined_records()
+        if not records:
+            return "no quarantined trials"
+        rows = []
+        for record in records:
+            failure = record.get("failure", {})
+            try:
+                label = Trial.from_dict(record["trial"]).cell_label
+                seed = record["trial"].get("seed", "?")
+            except (KeyError, TypeError, ValueError):
+                label, seed = record.get("cell", "?"), "?"
+            rows.append([
+                record["key"],
+                f"{label}#s{seed}",
+                failure.get("kind", "?"),
+                failure.get("attempts", "?"),
+                str(failure.get("error", "?"))[:60],
+            ])
+        return format_table(
+            ["key", "trial", "kind", "attempts", "last error"],
+            rows,
+            title=f"{len(records)} quarantined trial(s)",
+        )
 
 
 # ------------------------------------------------------------------- tracing
@@ -526,6 +600,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--trace", default=None, metavar="PATH",
                    help="enable span telemetry and write a Chrome-trace JSON "
                         "of the whole run here (results stay bit-identical)")
+    c.add_argument("--trial-timeout", type=float, default=None, metavar="S",
+                   help="per-trial lease budget in seconds; a pack's lease "
+                        "deadline is this times its lane count (default: "
+                        "spec's supervise config, else 300)")
+    c.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="trial-level retries before a failing trial is "
+                        "quarantined (default: spec's supervise config, "
+                        "else 2)")
+    c.add_argument("--chaos", default=None, metavar="SPEC",
+                   help='deterministic fault injection, e.g. '
+                        '"seed=1,kill=0.5,exc=0.25,hang=0.1,shm=0.5,'
+                        'torn=0.5,poison=0.1" (or a JSON object; '
+                        '$REPRO_CHAOS is honored when absent)')
     c.set_defaults(func=cmd_campaign_run)
 
     c = csub.add_parser("status", help="completion status of a campaign")
@@ -534,6 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--metrics", action="store_true",
                    help="also show the merged telemetry metrics from the "
                         "latest progress snapshot")
+    c.add_argument("--history", default=None, metavar="PATH",
+                   help="also dump the store's progress-snapshot history "
+                        "as JSON here (CI artifact)")
     c.set_defaults(func=cmd_campaign_status)
 
     c = csub.add_parser("watch", help="live progress of a running campaign")
@@ -556,6 +646,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("example", help="print a ready-to-run example spec")
     c.set_defaults(func=cmd_campaign_example)
+
+    c = csub.add_parser("quarantine",
+                        help="inspect/clear the poison-trial quarantine")
+    qsub = c.add_subparsers(dest="quarantine_command", required=True)
+    q = qsub.add_parser("list", help="show quarantined trials and why")
+    q.add_argument("--spec", required=True)
+    q.add_argument("--store", default=None)
+    q.set_defaults(func=cmd_campaign_quarantine)
+    q = qsub.add_parser("clear", help="remove trials from the quarantine "
+                                      "so the next run retries them")
+    q.add_argument("--spec", required=True)
+    q.add_argument("--store", default=None)
+    q.add_argument("keys", nargs="*",
+                   help="trial keys to clear (default: all)")
+    q.set_defaults(func=cmd_campaign_quarantine)
 
     p = sub.add_parser("backend", help="GEMM backend registry tooling")
     bsub = p.add_subparsers(dest="backend_command", required=True)

@@ -324,8 +324,12 @@ def attach_traces(manifest: dict, shm=None) -> dict[str, CleanTrace]:
 def attach_bundle(manifest: dict) -> QuantizedTransformerLM:
     """Worker-side entry point: attach the segment, register the engine in
     the evaluator cache and the traces in the process trace store."""
+    from repro.campaigns import chaos
     from repro.characterization.evaluator import register_quantized_model
 
+    # Chaos fault point: an injected attach failure exercises the same
+    # degrade path as a real /dev/shm problem (worker rebuilds its own).
+    chaos.maybe_fail_shm_attach()
     with _span("shm.attach", fingerprint=manifest["fingerprint"][:12]):
         shm = _open_segment(manifest["shm_name"])
         model = attach_model(manifest, shm)

@@ -11,8 +11,11 @@ worker snapshots back piggybacked on result payloads and the parent merges
 them (counters and monotonic gauges sum, histograms merge) into the
 ``progress`` table that ``campaign watch`` reads.
 
-Metric names in use: ``campaign.trials_executed`` / ``.trials_failed``,
+Metric names in use: ``campaign.trials_executed`` / ``.trials_failed`` /
+``.trial_retries`` / ``.trials_quarantined``,
 ``lanes.packs`` / ``.packed_trials`` / ``.pack_degradations``,
+``supervise.worker_deaths`` / ``.lease_expiries`` / ``.requeues``,
+``store.corrupt_lines``,
 ``injector.corruptions``, ``protector.inspected`` / ``.detected`` /
 ``.recovered``, ``replay.trace_hits`` / ``.trace_misses`` (gauges mirroring
 the trace store's counters), ``trial.elapsed_s`` (histogram).

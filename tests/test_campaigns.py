@@ -304,6 +304,80 @@ class TestStore:
         writes_per_s = n / elapsed
         assert writes_per_s > 20, f"store writes too slow: {writes_per_s:.1f}/s"
 
+    def test_lines_carry_matching_crc(self, tmp_path):
+        from repro.campaigns.store import _line_crc
+
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result(0.1))
+            store.add(_trial(1), _result(0.2))
+        for line in (directory / "results.jsonl").read_text().splitlines():
+            payload = json.loads(line)
+            assert payload["crc"] == _line_crc(payload)
+
+    def test_crc_mismatch_skipped_with_warning_and_counter(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        import repro.telemetry as telemetry
+
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result(0.1))
+            store.add(_trial(1), _result(0.2))
+        log = directory / "results.jsonl"
+        first, second = log.read_text().splitlines()
+        # valid JSON, wrong content for its CRC: bit rot, not a torn write
+        log.write_text(first.replace('"degradation": 0.1', '"degradation": 9.9')
+                       + "\n" + second + "\n")
+        (directory / "index.sqlite").unlink()
+        corrupt = telemetry.METRICS.counter("store.corrupt_lines").value
+        with caplog.at_level(logging.WARNING, logger="repro.campaigns.store"):
+            with ResultStore(directory) as store:
+                assert len(store) == 1
+                assert _trial(1).key in store and _trial(0).key not in store
+        assert any("CRC mismatch" in r.message for r in caplog.records)
+        assert telemetry.METRICS.counter("store.corrupt_lines").value > corrupt
+
+    def test_legacy_lines_without_crc_still_load(self, tmp_path):
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result(0.1))
+        log = directory / "results.jsonl"
+        payload = json.loads(log.read_text())
+        del payload["crc"]
+        log.write_text(json.dumps(payload) + "\n")
+        (directory / "index.sqlite").unlink()
+        with ResultStore(directory) as store:
+            assert len(store) == 1
+
+    def test_fsync_opt_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        with ResultStore(tmp_path / "s") as store:
+            assert store._fsync is False
+            store.add(_trial(0), _result(0.1))  # still flushed, just not synced
+        with ResultStore(tmp_path / "s") as store:
+            assert len(store) == 1
+
+    def test_quarantine_round_trip_and_partial_clear(self, tmp_path):
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.quarantine(_trial(0), {"error": "E0", "kind": "transient",
+                                         "attempts": 3})
+            store.quarantine(_trial(1), {"error": "E1", "kind": "deterministic",
+                                         "attempts": 3})
+            assert store.quarantined_keys() == {_trial(0).key, _trial(1).key}
+            assert store.clear_quarantine({_trial(0).key}) == 1
+            assert store.quarantined_keys() == {_trial(1).key}
+        # survives reopen and index rebuild, like results
+        (directory / "index.sqlite").unlink()
+        with ResultStore(directory) as store:
+            assert store.quarantined_keys() == {_trial(1).key}
+            (record,) = store.quarantined_records()
+            assert record["failure"]["kind"] == "deterministic"
+            assert "ts" in record["failure"]
+
 
 class TestExecutor:
     def test_evaluate_trial_matches_direct_run(self, opt_evaluator):

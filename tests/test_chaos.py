@@ -1,0 +1,245 @@
+"""Tests for the chaos harness (repro.campaigns.chaos) and the acceptance
+end-to-end: a chaos-ridden campaign — worker SIGKILLs, injected transient
+exceptions, a hang past the lease deadline, shm attach failures, torn
+store writes — completes without hanging the parent and its store is
+bit-identical to a fault-free run; a deterministic poison trial is
+quarantined after exactly ``max_retries + 1`` attempts, persisted, and
+skipped on resume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.campaigns import ErrorSpec, SiteSpec
+from repro.campaigns import chaos as chaos_mod
+from repro.campaigns.chaos import (
+    ChaosPoisonError,
+    ChaosSpec,
+    ChaosTrialError,
+)
+from repro.campaigns.executor import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.campaigns.supervise import SuperviseConfig
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    yield
+    chaos_mod.install(None)
+
+
+class TestChaosSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_workers=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(trial_exceptions=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(hang_s=0)
+
+    def test_decide_is_deterministic_and_seeded(self):
+        spec = ChaosSpec(seed=1, kill_workers=0.5)
+        picks = [spec.decide("kill_workers", f"k{i}") for i in range(64)]
+        assert picks == [spec.decide("kill_workers", f"k{i}") for i in range(64)]
+        assert any(picks) and not all(picks)  # 0.5 rate: mixed at 64 sites
+        other = ChaosSpec(seed=2, kill_workers=0.5)
+        assert picks != [other.decide("kill_workers", f"k{i}") for i in range(64)]
+        assert ChaosSpec(seed=1).decide("kill_workers", "k0") is False  # rate 0
+        always = ChaosSpec(seed=1, kill_workers=1.0)
+        assert all(always.decide("kill_workers", f"k{i}") for i in range(16))
+
+    def test_from_string_compact_and_json(self):
+        spec = ChaosSpec.from_string("seed=3,kill=0.5,exc=0.25,hang=0.1")
+        assert spec == ChaosSpec(
+            seed=3, kill_workers=0.5, trial_exceptions=0.25, hangs=0.1
+        )
+        assert ChaosSpec.from_string('{"seed": 3, "kill_workers": 0.5}') == ChaosSpec(
+            seed=3, kill_workers=0.5
+        )
+        with pytest.raises(ValueError):
+            ChaosSpec.from_string("")
+        with pytest.raises(ValueError):
+            ChaosSpec.from_string("kill")
+
+    def test_dict_round_trip_rejects_unknown(self):
+        spec = ChaosSpec(seed=9, torn_writes=0.5, shm_attach_failures=1.0)
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+        assert ChaosSpec().to_dict() == {}
+        with pytest.raises(ValueError, match="unknown chaos spec keys"):
+            ChaosSpec.from_dict({"kills": 0.5})
+
+    def test_env_activation_and_install_precedence(self, monkeypatch):
+        assert chaos_mod.active() is None
+        monkeypatch.setenv("REPRO_CHAOS", "seed=5,exc=1.0")
+        assert chaos_mod.active() == ChaosSpec(seed=5, trial_exceptions=1.0)
+        installed = ChaosSpec(seed=6)
+        chaos_mod.install(installed)
+        assert chaos_mod.active() is installed
+
+
+class TestChaosHooks:
+    def test_trial_exception_fires_only_on_first_attempt(self):
+        chaos_mod.install(ChaosSpec(seed=0, trial_exceptions=1.0))
+        with pytest.raises(ChaosTrialError):
+            chaos_mod.maybe_fail_trial("trial-a", attempt=0)
+        chaos_mod.maybe_fail_trial("trial-a", attempt=1)  # retry runs clean
+
+    def test_poison_fires_on_every_attempt(self):
+        chaos_mod.install(ChaosSpec(seed=0, poison_trials=1.0))
+        for attempt in range(3):
+            with pytest.raises(ChaosPoisonError):
+                chaos_mod.maybe_fail_trial("trial-a", attempt=attempt)
+
+    def test_worker_fatal_faults_gated_off_outside_pool_workers(self):
+        # WORKER_INDEX is None in this process: a kill/hang decision must
+        # never SIGKILL the campaign parent or stall the serial executor.
+        assert chaos_mod.WORKER_INDEX is None
+        chaos_mod.install(ChaosSpec(seed=0, kill_workers=1.0, hangs=1.0))
+        chaos_mod.maybe_kill_worker("pack-a", 0)  # would SIGKILL us if ungated
+        chaos_mod.maybe_hang("pack-a", 0)  # would sleep 3600 s if ungated
+        chaos_mod.maybe_fail_shm_attach()
+
+
+def _canonical_records(directory):
+    """Store records keyed by trial, with volatile fields zeroed.
+
+    ``elapsed_s`` and ``worker`` differ between any two runs by nature;
+    everything else — scores, degradations, injector statistics, cost
+    columns — must be bit-identical. The index is rebuilt from the JSONL
+    log first, so torn lines must survive the reread too.
+    """
+    index = directory / "index.sqlite"
+    if index.exists():
+        index.unlink()  # force rebuild from the (possibly torn) log
+    with ResultStore(directory) as store:
+        out = {}
+        for record in store.records():
+            result = record.result.to_dict()
+            result["elapsed_s"] = 0.0
+            result["worker"] = 0
+            out[record.key] = (record.trial.to_dict(), result)
+    return out
+
+
+class TestChaosCampaign:
+    def _spec(self, seeds, **supervise):
+        return CampaignSpec(
+            name="t-chaos",
+            models=("opt-mini",),
+            sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=seeds,
+            supervise=SuperviseConfig(
+                backoff_base_s=0.01, backoff_cap_s=0.05, poll_interval_s=0.02,
+                **supervise,
+            ),
+        )
+
+    def test_chaos_run_bit_identical_to_clean_run(self, tmp_path, opt_bundle):
+        """The acceptance run: >=1 SIGKILL, >=2 transient trial exceptions,
+        >=1 hang past the lease deadline, >=1 shm attach failure, torn
+        store writes — and a store bit-identical to the fault-free run."""
+        spec = self._spec(seeds=tuple(range(6)), trial_timeout=2.0)
+        trial_keys = [t.key for t in spec.expand()]
+
+        # The harness is a pure hash of (seed, kind, site): pick a chaos
+        # seed whose decisions provably cover every required fault kind.
+        chaos = None
+        for seed in range(500):
+            candidate = ChaosSpec(
+                seed=seed, kill_workers=0.3, trial_exceptions=0.4, hangs=0.25,
+                shm_attach_failures=0.5, torn_writes=0.5,
+            )
+            kills = [k for k in trial_keys if candidate.decide("kill_workers", k)]
+            excs = [k for k in trial_keys if candidate.decide("trial_exceptions", k)]
+            hangs = [
+                k for k in trial_keys
+                if candidate.decide("hangs", k)
+                and not candidate.decide("kill_workers", k)  # hang actually runs
+            ]
+            shm = any(
+                candidate.decide("shm_attach_failures", f"worker-{i}")
+                for i in (0, 1)
+            )
+            torn = [k for k in trial_keys if candidate.decide("torn_writes", k)]
+            if len(kills) >= 1 and len(excs) >= 2 and len(hangs) >= 1 and shm and torn:
+                chaos = candidate
+                break
+        assert chaos is not None, "no chaos seed covers all fault kinds"
+
+        with ResultStore(tmp_path / "clean") as store:
+            clean = run_campaign(spec, store, workers=2, lane_width=1)
+        assert clean.failed == 0 and clean.executed == 6
+
+        deaths = telemetry.METRICS.counter("supervise.worker_deaths").value
+        with ResultStore(tmp_path / "chaos") as store:
+            report = run_campaign(
+                spec, store, workers=2, lane_width=1, chaos=chaos
+            )
+        assert report.failed == 0 and report.quarantined == 0
+        assert report.executed == 6
+        assert report.retried >= 2  # the injected transient exceptions
+        # kills and the expired hang both surface as hard worker deaths
+        assert (
+            telemetry.METRICS.counter("supervise.worker_deaths").value
+            >= deaths + 2
+        )
+        assert _canonical_records(tmp_path / "chaos") == _canonical_records(
+            tmp_path / "clean"
+        )
+
+    def test_poison_trial_quarantined_and_skipped_on_resume(
+        self, tmp_path, opt_bundle
+    ):
+        spec = self._spec(seeds=(0, 1, 2), max_retries=2)
+        trial_keys = [t.key for t in spec.expand()]
+        chaos = next(
+            ChaosSpec(seed=seed, poison_trials=0.3)
+            for seed in range(500)
+            if sum(
+                ChaosSpec(seed=seed, poison_trials=0.3).decide("poison_trials", k)
+                for k in trial_keys
+            ) == 1
+        )
+        poisoned = [k for k in trial_keys if chaos.decide("poison_trials", k)]
+
+        retries = telemetry.METRICS.counter("campaign.trial_retries").value
+        with ResultStore(tmp_path / "s") as store:
+            report = run_campaign(spec, store, workers=0, chaos=chaos)
+            assert (report.executed, report.quarantined, report.failed) == (2, 1, 0)
+            # exactly max_retries + 1 attempts: the first plus two retries
+            assert (
+                telemetry.METRICS.counter("campaign.trial_retries").value
+                == retries + 2
+            )
+            assert store.quarantined_keys() == set(poisoned)
+            (record,) = store.quarantined_records()
+            assert record["failure"]["attempts"] == 3
+            assert record["failure"]["kind"] == "deterministic"
+            assert len(record["failure"]["errors"]) == 3
+
+            # resume: the quarantined trial is skipped, not re-attempted
+            resumed = run_campaign(spec, store, workers=0, chaos=chaos)
+            assert (resumed.cached, resumed.poison_skipped) == (2, 1)
+            assert (resumed.executed, resumed.retried, resumed.quarantined) == (0, 0, 0)
+
+        # ... and the quarantine survives a store reopen (JSONL + index)
+        (tmp_path / "s" / "index.sqlite").unlink()
+        with ResultStore(tmp_path / "s") as store:
+            assert store.quarantined_keys() == set(poisoned)
+
+    def test_clearing_quarantine_reenables_trials(self, tmp_path, opt_bundle):
+        spec = self._spec(seeds=(0, 1), max_retries=0)
+        with ResultStore(tmp_path / "s") as store:
+            report = run_campaign(
+                spec, store, workers=0, chaos=ChaosSpec(seed=0, poison_trials=1.0)
+            )
+            assert report.quarantined == 2
+            assert store.clear_quarantine() == 2
+            # chaos off: the cleared trials run and succeed this time
+            healed = run_campaign(spec, store, workers=0)
+            assert (healed.executed, healed.poison_skipped) == (2, 0)

@@ -124,3 +124,78 @@ class TestBackendCommands:
         with pytest.raises(KeyError, match="no-such-kernel"):
             main(["campaign", "run", "--spec", str(path),
                   "--store", str(tmp_path / "s"), "--backend", "no-such-kernel"])
+
+    def _spec_path(self, tmp_path, name, seeds=(0, 1)):
+        import json
+
+        from repro.campaigns.spec import CampaignSpec, ErrorSpec, SiteSpec
+
+        spec = CampaignSpec(
+            name=name, models=("opt-mini",),
+            sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=seeds,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return path
+
+    def test_campaign_run_supervision_and_chaos_flags(
+        self, opt_bundle, tmp_path, capsys
+    ):
+        path = self._spec_path(tmp_path, "cli-chaos")
+        # exc=1.0 makes every trial fail its first attempt; with one retry
+        # allowed the campaign still completes cleanly (exit code 0).
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--store", str(tmp_path / "store"),
+                     "--trial-timeout", "60", "--max-retries", "1",
+                     "--chaos", "seed=1,exc=1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "2 retried" in out and "0 failed" in out
+
+    def test_campaign_quarantine_list_and_clear(
+        self, opt_bundle, tmp_path, capsys
+    ):
+        path = self._spec_path(tmp_path, "cli-quarantine")
+        store = str(tmp_path / "store")
+        # a poison trial fails every attempt: quarantined, exit code 1
+        assert main(["campaign", "run", "--spec", str(path), "--store", store,
+                     "--max-retries", "0",
+                     "--chaos", "seed=1,poison=1.0"]) == 1
+        out = capsys.readouterr().out
+        assert "2 quarantined" in out
+
+        assert main(["campaign", "quarantine", "list",
+                     "--spec", str(path), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic" in out or "transient" in out
+        assert "ChaosPoisonError" in out
+
+        assert main(["campaign", "quarantine", "clear",
+                     "--spec", str(path), "--store", store]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+
+        assert main(["campaign", "quarantine", "list",
+                     "--spec", str(path), "--store", store]) == 0
+        assert "no quarantined trials" in capsys.readouterr().out
+
+        # cleared trials run for real on the next (chaos-free) run
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--store", store]) == 0
+        assert "2 executed" in capsys.readouterr().out
+
+    def test_campaign_status_history_artifact(self, opt_bundle, tmp_path, capsys):
+        import json
+
+        path = self._spec_path(tmp_path, "cli-history", seeds=(0,))
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--store", store]) == 0
+        capsys.readouterr()
+        history = tmp_path / "history.json"
+        assert main(["campaign", "status", "--spec", str(path),
+                     "--store", store, "--history", str(history)]) == 0
+        assert "progress snapshot" in capsys.readouterr().out
+        snapshots = json.loads(history.read_text())
+        assert snapshots and snapshots[-1]["state"] == "finished"
+        assert snapshots[-1]["totals"]["total"] == 1

@@ -1,0 +1,252 @@
+"""Tests for the supervised pool (repro.campaigns.supervise).
+
+The pool is generic — any picklable one-payload target — so most tests
+drive it with trivial targets that kill, hang, or raise on their first
+lease and succeed on the requeue. The campaign-level test at the bottom
+SIGKILLs a real worker mid-pack via the chaos harness and asserts the
+wave still completes with a store identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.campaigns import ErrorSpec, SiteSpec
+from repro.campaigns.chaos import ChaosSpec
+from repro.campaigns.executor import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.campaigns.supervise import (
+    PackDone,
+    PackLost,
+    SupervisedPool,
+    SuperviseConfig,
+)
+
+FAST = SuperviseConfig(
+    trial_timeout=30.0,
+    max_retries=1,
+    max_requeues=3,
+    backoff_base_s=0.01,
+    backoff_cap_s=0.05,
+    poll_interval_s=0.02,
+)
+
+
+# Module-level targets: picklable under both fork and spawn start methods.
+def _double(payload):
+    return payload["value"] * 2
+
+
+def _kill_on_first_lease(payload):
+    if payload.get("pack_attempt", 0) == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "recovered"
+
+
+def _hang_on_first_lease(payload):
+    if payload.get("pack_attempt", 0) == 0:
+        time.sleep(3600)
+    return "recovered"
+
+
+def _raise_on_first_lease(payload):
+    if payload.get("pack_attempt", 0) == 0:
+        raise RuntimeError("flaky worker")
+    return "recovered"
+
+
+def _always_kill(payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _always_hang(payload):
+    time.sleep(3600)
+
+
+def _drain(pool, timeout_s=60.0):
+    """Collect events until the pool has nothing outstanding."""
+    events = []
+    deadline = time.monotonic() + timeout_s
+    while pool.outstanding:
+        assert time.monotonic() < deadline, "supervised pool failed to drain"
+        event = pool.next_event()
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _counter(name):
+    return telemetry.METRICS.counter(name).value
+
+
+class TestSuperviseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperviseConfig(trial_timeout=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SuperviseConfig(backoff_base_s=1.0, backoff_cap_s=0.5)
+        with pytest.raises(ValueError):
+            SuperviseConfig(poll_interval_s=0)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        cfg = SuperviseConfig(backoff_base_s=0.1, backoff_cap_s=1.0)
+        assert cfg.backoff(0, "k") == 0.0
+        for attempt in (1, 2, 3, 8):
+            a = cfg.backoff(attempt, "key")
+            b = cfg.backoff(attempt, "key")
+            assert a == b  # jitter is a pure hash: reruns schedule identically
+            assert 0.0 < a <= 2 * cfg.backoff_cap_s
+        assert cfg.backoff(1, "key-a") != cfg.backoff(1, "key-b")
+
+    def test_dict_round_trip_only_non_defaults(self):
+        assert SuperviseConfig().to_dict() == {}
+        cfg = SuperviseConfig(trial_timeout=7.0, max_retries=5)
+        assert cfg.to_dict() == {"trial_timeout": 7.0, "max_retries": 5}
+        assert SuperviseConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown supervise keys"):
+            SuperviseConfig.from_dict({"trial_timeout": 1.0, "retries": 3})
+
+
+class TestSupervisedPool:
+    def test_round_trip(self):
+        pool = SupervisedPool(2, _double, config=FAST)
+        try:
+            ids = [pool.submit({"value": v}, deadline_s=30.0) for v in range(5)]
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert len(events) == 5
+        by_id = {e.job_id: e for e in events}
+        assert set(by_id) == set(ids)
+        assert sorted(e.outcomes for e in events) == [0, 2, 4, 6, 8]
+
+    def test_sigkill_mid_pack_requeues_exactly_once(self):
+        deaths = _counter("supervise.worker_deaths")
+        requeues = _counter("supervise.requeues")
+        pool = SupervisedPool(2, _kill_on_first_lease, config=FAST)
+        try:
+            pool.submit({"job": "a"}, deadline_s=30.0)
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert [type(e) for e in events] == [PackDone]
+        assert events[0].outcomes == "recovered"
+        assert _counter("supervise.worker_deaths") == deaths + 1
+        assert _counter("supervise.requeues") == requeues + 1
+
+    def test_hang_past_lease_deadline_is_killed_and_requeued(self):
+        expiries = _counter("supervise.lease_expiries")
+        pool = SupervisedPool(1, _hang_on_first_lease, config=FAST)
+        try:
+            pool.submit({"job": "h"}, deadline_s=0.3)
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert [type(e) for e in events] == [PackDone]
+        assert events[0].outcomes == "recovered"
+        assert _counter("supervise.lease_expiries") == expiries + 1
+
+    def test_worker_level_raise_is_requeued(self):
+        # target() raising outside its own error handling is infrastructure
+        # failure: the pool requeues it transparently, no event surfaces.
+        pool = SupervisedPool(1, _raise_on_first_lease, config=FAST)
+        try:
+            pool.submit({"job": "r"}, deadline_s=30.0)
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert [type(e) for e in events] == [PackDone]
+        assert events[0].outcomes == "recovered"
+
+    def test_pack_lost_after_requeue_budget(self):
+        cfg = SuperviseConfig(
+            trial_timeout=30.0, max_requeues=1,
+            backoff_base_s=0.01, backoff_cap_s=0.02, poll_interval_s=0.02,
+        )
+        pool = SupervisedPool(1, _always_kill, config=cfg)
+        try:
+            pool.submit({"job": "doomed"}, deadline_s=30.0)
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert [type(e) for e in events] == [PackLost]
+        assert events[0].requeues == 1
+        assert "died" in events[0].reason
+
+    def test_force_close_never_hangs_on_wedged_worker(self):
+        pool = SupervisedPool(1, _always_hang, config=FAST)
+        pool.submit({"job": "w"}, deadline_s=3600.0)
+        while not any(w.lease is not None for w in pool._workers):
+            pool.next_event()
+        start = time.monotonic()
+        pool.close(force=True)
+        assert time.monotonic() - start < 5.0
+        pool.close()  # idempotent
+
+    def test_requeued_payload_carries_pack_attempt(self):
+        pool = SupervisedPool(1, _kill_on_first_lease, config=FAST)
+        try:
+            pool.submit({"job": "a"}, deadline_s=30.0)
+            events = _drain(pool)
+        finally:
+            pool.close()
+        assert events[0].payload["pack_attempt"] == 1
+
+    def test_rejects_zero_workers_and_use_after_close(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(0, _double)
+        pool = SupervisedPool(1, _double, config=FAST)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit({}, deadline_s=1.0)
+        with pytest.raises(RuntimeError):
+            pool.next_event()
+
+
+class TestSupervisedCampaign:
+    def test_worker_sigkill_mid_pack_completes_wave(self, tmp_path, opt_bundle):
+        """Chaos SIGKILLs the worker holding the only pack; the supervisor
+        requeues it exactly once and the store matches an undisturbed run."""
+        spec = CampaignSpec(
+            name="t-sigkill",
+            models=("opt-mini",),
+            sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+            errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+            seeds=(0, 1),
+            supervise=SuperviseConfig(
+                trial_timeout=60.0, backoff_base_s=0.01, poll_interval_s=0.02
+            ),
+        )
+        requeues = _counter("supervise.requeues")
+        with ResultStore(tmp_path / "clean") as clean_store:
+            clean = run_campaign(spec, clean_store, workers=0)
+            assert clean.failed == 0 and clean.executed == 2
+            clean_records = {
+                r.key: (r.trial.to_dict(), r.result.score, r.result.degradation)
+                for r in clean_store.records()
+            }
+        with ResultStore(tmp_path / "chaos") as chaos_store:
+            report = run_campaign(
+                spec,
+                chaos_store,
+                workers=2,
+                chaos=ChaosSpec(seed=0, kill_workers=1.0),
+            )
+            chaos_records = {
+                r.key: (r.trial.to_dict(), r.result.score, r.result.degradation)
+                for r in chaos_store.records()
+            }
+        assert report.failed == 0 and report.executed == 2
+        assert chaos_records == clean_records
+        # one pack, killed on its first lease, requeued exactly once
+        assert _counter("supervise.requeues") == requeues + 1
