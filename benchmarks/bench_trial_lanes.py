@@ -47,7 +47,7 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.campaigns.executor import evaluate_trial
-from repro.dispatch.backends import get_backend
+from repro.dispatch.backends import PREPACK, get_backend
 from repro.dispatch.pipeline import GemmCall
 from repro.campaigns.lanes import evaluate_lane_pack
 from repro.campaigns.spec import ErrorSpec, SiteSpec, Trial
@@ -64,6 +64,11 @@ TARGET_SPEEDUP = 3.0
 #: a genuinely parallel kernel is active (``blocked.fast``): the tiled-f32
 #: single-core fallback is a correctness path, not a speed claim.
 MIN_BACKEND_SPEEDUP = 2.0
+#: Floor for the compiled ``native`` kernel over ``numpy-f64`` — asserted
+#: in full runs only, and only when ``native.fast`` (compiled kernel on a
+#: multi-core host, where the row-parallel partition applies); elsewhere
+#: the measured ratio is reported unasserted.
+MIN_NATIVE_SPEEDUP = 3.0
 #: The overhead contract (DESIGN.md section 10): full spans + dispatch
 #: tracing may cost at most this much wall time on the lane-packed path.
 MAX_TELEMETRY_OVERHEAD_PCT = 2.0
@@ -236,8 +241,12 @@ def _workload_once(backend, ops) -> None:
 
 
 def _measure_backend_speedup(sizing: TaskSizing, lanes: int) -> dict:
-    """blocked vs numpy-f64 on synthesized operands matching the harvested
-    shapes, timed as interleaved best-of pairs (single-CPU noise robust)."""
+    """Accelerated backends (blocked, native) vs numpy-f64 on synthesized
+    operands matching the harvested shapes, timed as interleaved best-of
+    rounds (single-CPU noise robust).  The headline ``backend_speedup`` is
+    the best measured candidate; per-backend breakdowns ride along, and
+    the shared prepack cache's hit rate over the timed phase is reported
+    (weight panels pack once, then every rerun hits)."""
     calls = _harvest_gemm_workload(sizing, lanes)
     rng = np.random.default_rng(0)
     ops = []
@@ -246,31 +255,54 @@ def _measure_backend_speedup(sizing: TaskSizing, lanes: int) -> dict:
         b = rng.integers(-127, 128, size=b_shape, dtype=np.int8)
         ops.append((kind, a, b, b.astype(np.float64) if has_mirror else None))
     reference = get_backend("numpy-f64")
-    blocked = get_backend("blocked")
-    start = time.perf_counter()  # warm (numba compile, pool spin-up) + size
+    candidates = [
+        b for b in (get_backend("blocked"), get_backend("native"))
+        if b.available()
+    ]
+    start = time.perf_counter()  # warm (compiles, pool spin-up) + size
     _workload_once(reference, ops)
-    _workload_once(blocked, ops)
-    pair_s = time.perf_counter() - start
+    for backend in candidates:
+        _workload_once(backend, ops)
+    pass_s = (time.perf_counter() - start) / (1 + len(candidates))
     # Smoke workloads pass in well under a millisecond — loop each sample
     # up to ~20 ms so scheduler noise cannot swamp the ratio.
-    inner = max(1, int(0.04 / max(pair_s, 1e-6)))
-    t_ref = t_blk = float("inf")
+    inner = max(1, int(0.02 / max(pass_s, 1e-6)))
+    PREPACK.reset_stats()  # warm-up packed every weight: steady-state rate
+    times = {b.name: float("inf") for b in candidates}
+    t_ref = float("inf")
     for _ in range(3 if SMOKE else 7):
         start = time.perf_counter()
         for _ in range(inner):
             _workload_once(reference, ops)
         t_ref = min(t_ref, (time.perf_counter() - start) / inner)
-        start = time.perf_counter()
-        for _ in range(inner):
-            _workload_once(blocked, ops)
-        t_blk = min(t_blk, (time.perf_counter() - start) / inner)
+        for backend in candidates:
+            start = time.perf_counter()
+            for _ in range(inner):
+                _workload_once(backend, ops)
+            times[backend.name] = min(
+                times[backend.name], (time.perf_counter() - start) / inner
+            )
+    prepack = PREPACK.stats()
+    breakdown = {
+        b.name: {
+            "speedup": round(t_ref / times[b.name], 2),
+            "kernel": b.kernel(),
+            "fast": b.fast,
+            "time_s": round(times[b.name], 4),
+        }
+        for b in candidates
+    }
+    best = max(candidates, key=lambda b: breakdown[b.name]["speedup"])
     return {
-        "backend_speedup": round(t_ref / t_blk, 2),
-        "backend_kernel": blocked.kernel(),
-        "backend_fast": blocked.fast,
+        "backend_speedup": breakdown[best.name]["speedup"],
+        "backend_name": best.name,
+        "backend_kernel": best.kernel(),
+        "backend_fast": best.fast,
         "backend_gemm_calls": len(ops),
         "backend_ref_s": round(t_ref, 4),
-        "backend_blocked_s": round(t_blk, 4),
+        "backends": breakdown,
+        "prepack_hit_rate": prepack["hit_rate"],
+        "prepack_stats": prepack,
     }
 
 
@@ -340,11 +372,17 @@ def _run():
 
     headline = cells[0]
     backend = _measure_backend_speedup(CELLS[0][1], CELLS[0][2])
+    for name, entry in backend["backends"].items():
+        print(
+            f"{name} backend ({entry['kernel']}): "
+            f"{entry['speedup']:.2f}x vs numpy-f64 over "
+            f"{backend['backend_gemm_calls']} harvested GEMMs"
+            + ("" if entry["fast"] else " [fallback/single-core: unasserted]")
+        )
     print(
-        f"blocked backend ({backend['backend_kernel']}): "
-        f"{backend['backend_speedup']:.2f}x vs numpy-f64 over "
-        f"{backend['backend_gemm_calls']} harvested GEMMs"
-        + ("" if backend["backend_fast"] else " [fallback kernel: unasserted]")
+        f"prepack cache: {backend['prepack_hit_rate']:.3f} hit rate "
+        f"({backend['prepack_stats']['hits']} hits / "
+        f"{backend['prepack_stats']['misses']} misses)"
     )
     payload = {
         "benchmark": "trial_lanes",
@@ -373,13 +411,22 @@ def _run():
                     f"lane-packed speedup {cell['speedup']:.2f}x on {cell['cell']} "
                     f"below the {MIN_SPEEDUP}x floor (target {TARGET_SPEEDUP}x)"
                 )
-        # The >=2x backend claim is only made where a parallel kernel runs;
-        # the single-core tiled-f32 fallback is reported, never asserted.
-        if backend["backend_fast"]:
-            assert backend["backend_speedup"] >= MIN_BACKEND_SPEEDUP, (
-                f"blocked backend speedup {backend['backend_speedup']:.2f}x "
-                f"({backend['backend_kernel']}) below the "
+        # Backend speed claims are only made where the fast kernel
+        # actually runs (parallel / compiled on a multi-core host); the
+        # single-core fallbacks are reported, never asserted.
+        blocked_entry = backend["backends"].get("blocked")
+        if blocked_entry is not None and blocked_entry["fast"]:
+            assert blocked_entry["speedup"] >= MIN_BACKEND_SPEEDUP, (
+                f"blocked backend speedup {blocked_entry['speedup']:.2f}x "
+                f"({blocked_entry['kernel']}) below the "
                 f"{MIN_BACKEND_SPEEDUP}x floor"
+            )
+        native_entry = backend["backends"].get("native")
+        if native_entry is not None and native_entry["fast"]:
+            assert native_entry["speedup"] >= MIN_NATIVE_SPEEDUP, (
+                f"native backend speedup {native_entry['speedup']:.2f}x "
+                f"({native_entry['kernel']}) below the "
+                f"{MIN_NATIVE_SPEEDUP}x floor"
             )
     return headline["speedup"]
 

@@ -1,0 +1,309 @@
+/* Cache-blocked int8 x int8 -> int64 GEMM with a packed-B panel layout.
+ *
+ * The one hot primitive of the repro engine (DESIGN.md section 13): every
+ * quantized GEMM reduces int8 codes exactly.  This kernel computes the
+ * mathematically exact product -- identical to a widening int64 matmul --
+ * so the Python `native` backend can declare `exact = True` and share
+ * clean-trace keys with the numpy-f64 oracle.
+ *
+ * Layout
+ * ------
+ * B is packed once per weight buffer into column panels of width NR.
+ * The packed buffer is an opaque mirror: its layout is private to the
+ * translation unit (`repro_gemm_i8_packed_bytes` sizes it, pack and
+ * compute agree by construction), so the two code paths below may use
+ * different layouts without any ABI impact.
+ *
+ * Two compute paths, selected at compile time:
+ *
+ * - AVX512-VNNI (`__AVX512VNNI__`): panels interleave groups of 4 k
+ *   values per column so `vpdpbusd` reduces 4 products per int32 lane
+ *   per instruction.  `vpdpbusd` is unsigned x signed, so A bytes are
+ *   biased by +128 (XOR 0x80) and the bias is subtracted exactly via
+ *   per-block column sums of B computed once at pack time:
+ *   sum (a+128)*b = sum a*b + 128 * colsum(b).
+ * - Portable C99: panels are plain (k x NR) row-major; the micro-kernel
+ *   streams MR rows of A against one panel so each packed row is loaded
+ *   and sign-extended once per MR*NR multiply-accumulates, which the
+ *   compiler vectorizes as NR-wide int32 lanes.
+ *
+ * Exactness
+ * ---------
+ * Products are bounded by 128^2 = 2^14, so up to 2^31 / 2^14 = 2^17 of
+ * them accumulate in int32 without overflow.  KBLOCK = 2^15 keeps a 4x
+ * safety margin (biased VNNI products are < 2x larger: still > 2x
+ * margin); block sums widen into int64 accumulators, which can never
+ * overflow for any representable array (k < 2^49).
+ *
+ * Threading
+ * ---------
+ * No threads in here: `repro_gemm_i8_packed` takes a [row0, row1) range
+ * so the caller partitions rows across its own pool (ctypes releases the
+ * GIL for the duration of each call).
+ *
+ * Pure C99 + stdint; no Python.h, so the same translation unit serves
+ * both the setup.py build_ext route and the runtime `cc` compile.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#define REPRO_GEMM_I8_ABI 1
+#define NR 16
+#define MR 4
+#define KBLOCK 32768
+
+int64_t repro_gemm_i8_abi(void) { return REPRO_GEMM_I8_ABI; }
+
+int64_t repro_gemm_i8_panel_width(void) { return NR; }
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+/* ------------------------------------------------------------------ */
+/* AVX512-VNNI path: vpdpbusd, 4-way k-interleaved panels.            */
+/* ------------------------------------------------------------------ */
+#include <immintrin.h>
+
+#define KGROUP 4
+#define GROUPS_PER_BLOCK (KBLOCK / KGROUP)
+
+int64_t repro_gemm_i8_isa(void) { return 1; }
+
+/* Packed mirror = byte panels [panels][groups][NR][KGROUP] followed by
+ * per-block int32 column sums [panels][nblocks][NR] (for the unsigned
+ * bias correction).  The byte region is a multiple of 64 bytes, so the
+ * int32 region that follows it stays naturally aligned. */
+int64_t repro_gemm_i8_packed_bytes(int64_t k, int64_t n) {
+    int64_t panels = (n + NR - 1) / NR;
+    int64_t groups = (k + KGROUP - 1) / KGROUP;
+    int64_t nblocks = (k + KBLOCK - 1) / KBLOCK;
+    return panels * groups * NR * KGROUP +
+           panels * nblocks * NR * (int64_t)sizeof(int32_t);
+}
+
+void repro_gemm_i8_pack_b(const int8_t *restrict b, int64_t k, int64_t n,
+                          int64_t ldb, int8_t *restrict packed) {
+    int64_t panels = (n + NR - 1) / NR;
+    int64_t groups = (k + KGROUP - 1) / KGROUP;
+    int64_t nblocks = (k + KBLOCK - 1) / KBLOCK;
+    int32_t *colsums = (int32_t *)(packed + panels * groups * NR * KGROUP);
+    int64_t p, g, j, t;
+    memset(colsums, 0, (size_t)(panels * nblocks * NR) * sizeof(int32_t));
+    for (p = 0; p < panels; ++p) {
+        int64_t j0 = p * NR;
+        int64_t width = (n - j0) < NR ? (n - j0) : NR;
+        int8_t *dst = packed + p * groups * NR * KGROUP;
+        for (g = 0; g < groups; ++g) {
+            int32_t *cs = colsums + (p * nblocks + (g / GROUPS_PER_BLOCK)) * NR;
+            for (j = 0; j < NR; ++j) {
+                for (t = 0; t < KGROUP; ++t) {
+                    int64_t kk = g * KGROUP + t;
+                    int8_t v = (kk < k && j < width) ? b[kk * ldb + j0 + j] : 0;
+                    dst[(g * NR + j) * KGROUP + t] = v;
+                    cs[j] += v;
+                }
+            }
+        }
+    }
+}
+
+/* Biased A word for k-group g of one row: 4 bytes XOR 0x80 (== +128,
+ * mapping int8 onto uint8), zero-padded codes past k biasing to 0x80 --
+ * harmless, since the matching packed B bytes are zero. */
+static inline uint32_t biased_a_word(const int8_t *arow, int64_t g,
+                                     int64_t k) {
+    uint32_t w = 0;
+    int64_t kk = g * KGROUP;
+    if (kk + KGROUP <= k) {
+        memcpy(&w, arow + kk, KGROUP);
+    } else {
+        memcpy(&w, arow + kk, (size_t)(k - kk));
+    }
+    return w ^ 0x80808080u;
+}
+
+/* MR rows x one packed panel.  acc32 lanes hold sums of biased products
+ * (< 2^31 per KBLOCK, see header); each block widens into acc64 minus
+ * the exact 128 * colsum(B) bias. */
+static void gemm_panel_rows(const int8_t *restrict a, int64_t lda,
+                            const int8_t *restrict panel,
+                            const int32_t *restrict colsums, int64_t k,
+                            int64_t rows, int64_t width,
+                            int64_t *restrict out, int64_t ldo) {
+    int64_t groups = (k + KGROUP - 1) / KGROUP;
+    int64_t nblocks = (groups + GROUPS_PER_BLOCK - 1) / GROUPS_PER_BLOCK;
+    int64_t acc64[MR][NR];
+    int32_t lanes[MR][NR] __attribute__((aligned(64)));
+    int64_t r, j, bi;
+    for (r = 0; r < rows; ++r)
+        for (j = 0; j < NR; ++j) acc64[r][j] = 0;
+    for (bi = 0; bi < nblocks; ++bi) {
+        int64_t g0 = bi * GROUPS_PER_BLOCK;
+        int64_t gend = (g0 + GROUPS_PER_BLOCK) < groups
+                           ? (g0 + GROUPS_PER_BLOCK)
+                           : groups;
+        const int32_t *cs = colsums + bi * NR;
+        __m512i acc[MR];
+        int64_t g;
+        for (r = 0; r < MR; ++r) acc[r] = _mm512_setzero_si512();
+        if (rows == MR) {
+            /* Hot path: fixed trip count keeps MR accumulators in
+             * registers with one panel load per k-group. */
+            for (g = g0; g < gend; ++g) {
+                __m512i bz = _mm512_loadu_si512(
+                    (const void *)(panel + g * NR * KGROUP));
+                for (r = 0; r < MR; ++r) {
+                    __m512i aw = _mm512_set1_epi32(
+                        (int32_t)biased_a_word(a + r * lda, g, k));
+                    acc[r] = _mm512_dpbusd_epi32(acc[r], aw, bz);
+                }
+            }
+        } else {
+            for (g = g0; g < gend; ++g) {
+                __m512i bz = _mm512_loadu_si512(
+                    (const void *)(panel + g * NR * KGROUP));
+                for (r = 0; r < rows; ++r) {
+                    __m512i aw = _mm512_set1_epi32(
+                        (int32_t)biased_a_word(a + r * lda, g, k));
+                    acc[r] = _mm512_dpbusd_epi32(acc[r], aw, bz);
+                }
+            }
+        }
+        for (r = 0; r < rows; ++r) {
+            _mm512_store_si512((void *)lanes[r], acc[r]);
+            for (j = 0; j < NR; ++j)
+                acc64[r][j] += (int64_t)lanes[r][j] - 128 * (int64_t)cs[j];
+        }
+    }
+    for (r = 0; r < rows; ++r)
+        for (j = 0; j < width; ++j) out[r * ldo + j] = acc64[r][j];
+}
+
+void repro_gemm_i8_packed(const int8_t *restrict a,
+                          const int8_t *restrict packed, int64_t k, int64_t n,
+                          int64_t lda, int64_t row0, int64_t row1,
+                          int64_t *restrict out, int64_t ldo) {
+    int64_t panels = (n + NR - 1) / NR;
+    int64_t groups = (k + KGROUP - 1) / KGROUP;
+    int64_t nblocks = (k + KBLOCK - 1) / KBLOCK;
+    const int32_t *colsums =
+        (const int32_t *)(packed + panels * groups * NR * KGROUP);
+    int64_t i, p;
+    if (k <= 0) { /* empty reduction: the product is exactly zero */
+        int64_t j;
+        for (i = row0; i < row1; ++i)
+            for (j = 0; j < n; ++j) out[i * ldo + j] = 0;
+        return;
+    }
+    for (i = row0; i < row1; i += MR) {
+        int64_t rows = (row1 - i) < MR ? (row1 - i) : MR;
+        for (p = 0; p < panels; ++p) {
+            int64_t j0 = p * NR;
+            int64_t width = (n - j0) < NR ? (n - j0) : NR;
+            gemm_panel_rows(a + i * lda, lda,
+                            packed + p * groups * NR * KGROUP,
+                            colsums + p * nblocks * NR, k, rows, width,
+                            out + i * ldo + j0, ldo);
+        }
+    }
+}
+
+#else /* !__AVX512VNNI__ */
+/* ------------------------------------------------------------------ */
+/* Portable C99 path: (k x NR) row-major panels, auto-vectorized.     */
+/* ------------------------------------------------------------------ */
+
+int64_t repro_gemm_i8_isa(void) { return 0; }
+
+/* Bytes required for the packed mirror of a (k x n) B. */
+int64_t repro_gemm_i8_packed_bytes(int64_t k, int64_t n) {
+    int64_t panels = (n + NR - 1) / NR;
+    return panels * k * NR;
+}
+
+/* Pack row-major B (k x n, leading dimension ldb) into NR-wide column
+ * panels, zero-padding the tail panel so the compute kernel never needs
+ * a ragged edge. */
+void repro_gemm_i8_pack_b(const int8_t *restrict b, int64_t k, int64_t n,
+                          int64_t ldb, int8_t *restrict packed) {
+    int64_t panels = (n + NR - 1) / NR;
+    int64_t p, kk, j;
+    for (p = 0; p < panels; ++p) {
+        int64_t j0 = p * NR;
+        int64_t width = (n - j0) < NR ? (n - j0) : NR;
+        int8_t *dst = packed + p * k * NR;
+        for (kk = 0; kk < k; ++kk) {
+            const int8_t *src = b + kk * ldb + j0;
+            int8_t *row = dst + kk * NR;
+            for (j = 0; j < width; ++j) row[j] = src[j];
+            for (; j < NR; ++j) row[j] = 0;
+        }
+    }
+}
+
+/* Micro-kernel: MR rows of A against one packed (k x NR) panel.  Each
+ * packed row is loaded and widened once and multiply-accumulated into MR
+ * register accumulators, amortizing the panel stream across rows. */
+static void gemm_panel_rows(const int8_t *restrict a, int64_t lda,
+                            const int8_t *restrict panel, int64_t k,
+                            int64_t rows, int64_t width,
+                            int64_t *restrict out, int64_t ldo) {
+    int64_t acc64[MR][NR];
+    int64_t r, j, kb, kk;
+    for (r = 0; r < rows; ++r)
+        for (j = 0; j < NR; ++j) acc64[r][j] = 0;
+    for (kb = 0; kb < k; kb += KBLOCK) {
+        int64_t kend = (kb + KBLOCK) < k ? (kb + KBLOCK) : k;
+        int32_t acc32[MR][NR];
+        for (r = 0; r < rows; ++r)
+            for (j = 0; j < NR; ++j) acc32[r][j] = 0;
+        if (rows == MR) {
+            /* Hot path: fixed trip count so the r loop fully unrolls into
+             * MR independent accumulator vectors. */
+            for (kk = kb; kk < kend; ++kk) {
+                const int8_t *brow = panel + kk * NR;
+                int32_t bw[NR];
+                for (j = 0; j < NR; ++j) bw[j] = brow[j];
+                for (r = 0; r < MR; ++r) {
+                    int32_t ail = a[r * lda + kk];
+                    for (j = 0; j < NR; ++j) acc32[r][j] += ail * bw[j];
+                }
+            }
+        } else {
+            for (kk = kb; kk < kend; ++kk) {
+                const int8_t *brow = panel + kk * NR;
+                int32_t bw[NR];
+                for (j = 0; j < NR; ++j) bw[j] = brow[j];
+                for (r = 0; r < rows; ++r) {
+                    int32_t ail = a[r * lda + kk];
+                    for (j = 0; j < NR; ++j) acc32[r][j] += ail * bw[j];
+                }
+            }
+        }
+        for (r = 0; r < rows; ++r)
+            for (j = 0; j < NR; ++j) acc64[r][j] += acc32[r][j];
+    }
+    for (r = 0; r < rows; ++r)
+        for (j = 0; j < width; ++j) out[r * ldo + j] = acc64[r][j];
+}
+
+/* out[i] = A[i] @ B for rows i in [row0, row1): A is int8 (rows x k,
+ * leading dimension lda), B is the packed mirror above, out is int64
+ * (rows x n, leading dimension ldo).  Exact for every int8 input. */
+void repro_gemm_i8_packed(const int8_t *restrict a,
+                          const int8_t *restrict packed, int64_t k, int64_t n,
+                          int64_t lda, int64_t row0, int64_t row1,
+                          int64_t *restrict out, int64_t ldo) {
+    int64_t panels = (n + NR - 1) / NR;
+    int64_t i, p;
+    for (i = row0; i < row1; i += MR) {
+        int64_t rows = (row1 - i) < MR ? (row1 - i) : MR;
+        for (p = 0; p < panels; ++p) {
+            int64_t j0 = p * NR;
+            int64_t width = (n - j0) < NR ? (n - j0) : NR;
+            gemm_panel_rows(a + i * lda, lda, packed + p * k * NR, k, rows,
+                            width, out + i * ldo + j0, ldo);
+        }
+    }
+}
+
+#endif /* __AVX512VNNI__ */

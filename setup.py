@@ -4,8 +4,35 @@ The sandbox has no ``wheel`` package and no network, so PEP 517 editable
 builds (which require ``bdist_wheel``) fail; ``pip install -e .`` falls back
 to ``setup.py develop`` via this shim (pip adds ``--no-use-pep517``
 automatically when invoked as documented in README).
+
+``python setup.py build_ext --inplace`` additionally compiles the optional
+native GEMM kernel (``csrc/gemm_int8.c``) to ``src/repro/_native_gemm*.so``.
+The artifact is loaded via ``ctypes`` by the ``native`` backend — never
+imported as a Python module, so it needs no ``PyInit`` symbol — and is
+entirely optional: without it the backend falls back to a runtime ``cc``
+compile, and without a compiler it degrades to the exact default backend.
+The extension is only wired up when ``build_ext`` is actually requested so
+the plain ``develop`` shim keeps working on hosts with no C toolchain.
 """
+
+import sys
 
 from setuptools import setup
 
-setup()
+kwargs = {}
+if "build_ext" in sys.argv:
+    from setuptools import Extension
+
+    kwargs.update(
+        ext_modules=[
+            Extension(
+                "repro._native_gemm",
+                sources=["csrc/gemm_int8.c"],
+                extra_compile_args=["-O3", "-std=c99"],
+            )
+        ],
+        packages=["repro"],
+        package_dir={"": "src"},
+    )
+
+setup(**kwargs)

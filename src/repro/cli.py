@@ -300,7 +300,35 @@ def cmd_backend_list(args: argparse.Namespace) -> str:
     if not args.no_timing:
         shape_label = ", ".join("x".join(map(str, s)) for s in shapes)
         header.append(f"ms ({shape_label})")
-    return format_table(header, rows, title="registered GEMM backends")
+    out = format_table(header, rows, title="registered GEMM backends")
+    if getattr(args, "tune", False):
+        out += "\n\n" + _tune_auto_backend()
+    return out
+
+
+def _tune_auto_backend() -> str:
+    """Pre-tune ``auto`` on the harvested campaign GEMM mix and render
+    the resulting winner table (persisted for every later process)."""
+    from repro.dispatch.backends import get_backend
+    from repro.dispatch.backends.auto import harvest_workload
+
+    auto = get_backend("auto")
+    table = auto.tune(harvest_workload())
+    rows = []
+    for cls in sorted(table):
+        entry = table[cls]
+        timings = ", ".join(
+            f"{name}={us:.1f}us"
+            for name, us in sorted(
+                entry["timings_us"].items(), key=lambda kv: kv[1]
+            )
+        )
+        rows.append([cls, entry["winner"], timings])
+    return format_table(
+        ["shape class", "winner", "timings (best-of)"],
+        rows,
+        title=f"auto backend winner table ({auto.table_path})",
+    )
 
 
 def _time_once(backend, a, b) -> float:
@@ -668,6 +696,9 @@ def build_parser() -> argparse.ArgumentParser:
     b = bsub.add_parser("list", help="registered backends + availability")
     b.add_argument("--no-timing", action="store_true",
                    help="skip the per-backend micro-timings")
+    b.add_argument("--tune", action="store_true",
+                   help="pre-tune the 'auto' backend on the harvested "
+                        "campaign GEMM mix and print its winner table")
     b.set_defaults(func=cmd_backend_list)
 
     p = sub.add_parser("trace", help="span telemetry / Chrome-trace tooling")

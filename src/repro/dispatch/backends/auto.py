@@ -1,0 +1,356 @@
+"""``auto``: per-shape-class autotuned dispatch over the exact backends.
+
+No single kernel wins every shape the campaign mix contains: float64
+BLAS amortizes terribly on the tiny decode GEMMs but crushes a scalar
+loop on wide prefill panels; the compiled ``native`` kernel is the other
+way around. ``auto`` stops guessing — the first time a shape-class is
+seen it **micro-times every available exact backend on the actual
+operands** (interleaved best-of, same discipline as
+``bench_trial_lanes``), routes the call to the winner, and persists the
+winner table to disk (``$REPRO_CACHE/autotune/``, one file per repo
+version) so the cost is paid once per host, not once per process.
+
+Exactness argument (DESIGN.md section 13): candidates are restricted to
+registered backends with ``exact = True``, and exact backends are —
+by the PR 7 conformance contract — bit-identical on every input. A
+router that only ever chooses among bit-identical kernels is itself
+bit-identical to the oracle, so ``auto`` declares ``exact = True`` and
+**trace keys, campaign dedup keys, and replay sharing are untouched**;
+which kernel actually ran is a pure wall-clock detail.
+
+A corrupt or unreadable winner table is ignored with a WARNING and
+rebuilt (never fails open); a persisted winner that is no longer
+registered or available re-tunes its class on next use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.dispatch.backends.base import GemmBackend
+from repro.utils.logging import get_logger
+
+logger = get_logger("dispatch.backends.auto")
+
+#: Override the persisted winner-table path (tests, shared hosts).
+ENV_TABLE = "REPRO_AUTOTUNE_CACHE"
+
+#: Timing repeats per (class, candidate): first run warms (compile, pack
+#: caches), the minimum of the rest is the score.
+_REPEATS = 3
+
+
+def _default_table_path() -> Path:
+    override = os.environ.get(ENV_TABLE)
+    if override:
+        return Path(override)
+    root = os.environ.get("REPRO_CACHE")
+    base = Path(root) if root else Path.home() / ".cache" / "repro"
+    return base / "autotune" / f"gemm-{__version__}.json"
+
+
+def shape_class(kind: str, a_shape: tuple, b_shape: tuple) -> str:
+    """Bucket a call for the winner table.
+
+    (k, n) come from the weight/operand and are exact — the campaign mix
+    reuses a handful of fixed weight shapes — while the row count (every
+    leading axis of A flattened) varies with batch, lanes, and stage, so
+    it buckets to the next power of two. ``kind`` separates the bypass
+    (f64) and materialized (int32) routes, and stacked-B calls (QK^T/SV
+    attention matmuls) tune apart from shared-weight panels.
+    """
+    k, n = int(b_shape[-2]), int(b_shape[-1])
+    rows = 1
+    for d in a_shape[:-1]:
+        rows *= int(d)
+    bucket = 1 << max(0, rows - 1).bit_length() if rows else 0
+    stacked = ":stacked" if len(b_shape) > 2 else ""
+    return f"{kind}:m{bucket}:k{k}:n{n}{stacked}"
+
+
+class AutoBackend(GemmBackend):
+    """Routes each call to the micro-timed winner for its shape-class."""
+
+    name = "auto"
+    exact = True
+    bypass = True
+
+    def __init__(self, table_path: "Path | str | None" = None) -> None:
+        self._table_path = Path(table_path) if table_path else None
+        self._classes: Optional[dict[str, dict]] = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------- the table
+    @property
+    def table_path(self) -> Path:
+        return self._table_path or _default_table_path()
+
+    def _load_table(self) -> dict[str, dict]:
+        if self._classes is not None:
+            return self._classes
+        with self._lock:
+            if self._classes is not None:
+                return self._classes
+            classes: dict[str, dict] = {}
+            path = self.table_path
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                    if payload.get("abi") != 1:
+                        raise ValueError(f"unknown table abi {payload.get('abi')!r}")
+                    raw = payload["classes"]
+                    if not isinstance(raw, dict):
+                        raise ValueError("classes is not a mapping")
+                    for cls, entry in raw.items():
+                        if isinstance(entry, dict) and isinstance(
+                            entry.get("winner"), str
+                        ):
+                            classes[cls] = entry
+                except Exception as exc:
+                    logger.warning(
+                        "autotune table %s unreadable (%s); re-tuning from scratch",
+                        path, exc,
+                    )
+                    classes = {}
+            self._classes = classes
+            return classes
+
+    def _persist(self) -> None:
+        """Atomically write the winner table (best effort: an unwritable
+        cache dir costs re-tuning next process, never a wrong answer)."""
+        path = self.table_path
+        payload = {"abi": 1, "version": __version__, "classes": self._classes}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError as exc:
+            logger.warning("could not persist autotune table to %s: %s", path, exc)
+
+    def classes(self) -> dict[str, dict]:
+        """Snapshot of the winner table (class -> {winner, timings_us})."""
+        return dict(self._load_table())
+
+    def clear(self) -> None:
+        """Drop the in-memory and on-disk winner table (tests)."""
+        with self._lock:
+            self._classes = {}
+            self.table_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------ candidates
+    def _candidates(self) -> list[GemmBackend]:
+        from repro.dispatch.backends.registry import list_backends
+
+        return [
+            b
+            for b in list_backends()
+            if b.exact and b is not self and b.available()
+        ]
+
+    def _backend_by_name(self, name: str) -> Optional[GemmBackend]:
+        from repro.dispatch.backends.registry import _REGISTRY
+
+        backend = _REGISTRY.get(name)
+        if backend is None or backend is self or not backend.exact:
+            return None
+        return backend if backend.available() else None
+
+    # ---------------------------------------------------------------- tuning
+    def _time_candidate(self, run) -> float:
+        run()  # warm: first call may compile, spin up pools, fill caches
+        best = float("inf")
+        for _ in range(_REPEATS):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def _tune_class(
+        self,
+        cls: str,
+        kind: str,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None,
+    ) -> GemmBackend:
+        candidates = self._candidates()
+        timings: dict[str, float] = {}
+        winner = None
+        winner_t = float("inf")
+        for backend in candidates:
+            if kind == "f64":
+                run = lambda b=backend: b.matmul_f64(a_q, b_q, b_f64=b_f64)
+            else:
+                run = lambda b=backend: b.matmul_int32(a_q, b_q, b_f64=b_f64)
+            t = self._time_candidate(run)
+            timings[backend.name] = t
+            if t < winner_t:
+                winner, winner_t = backend, t
+        assert winner is not None, "numpy-f64 is always a candidate"
+        with self._lock:
+            self._classes[cls] = {
+                "winner": winner.name,
+                "timings_us": {
+                    name: round(t * 1e6, 2) for name, t in timings.items()
+                },
+            }
+            self._persist()
+        logger.debug("autotuned %s -> %s", cls, winner.name)
+        return winner
+
+    def _route(
+        self,
+        kind: str,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None,
+    ) -> GemmBackend:
+        classes = self._load_table()
+        cls = shape_class(kind, a_q.shape, b_q.shape)
+        entry = classes.get(cls)
+        if entry is not None:
+            backend = self._backend_by_name(entry["winner"])
+            if backend is not None:
+                return backend
+            # Persisted winner vanished (uninstalled kernel, new host):
+            # re-tune rather than degrade silently to a fixed choice.
+        return self._tune_class(cls, kind, a_q, b_q, b_f64)
+
+    def tune(self, ops: list[tuple]) -> dict[str, dict]:
+        """Pre-tune every class in a harvested workload.
+
+        ``ops`` is a list of ``(kind, a_q, b_q, b_f64)`` tuples — e.g.
+        from :func:`harvest_workload` — with ``kind`` one of
+        ``"f64"``/``"int32"``. Returns the resulting winner table.
+        """
+        for kind, a_q, b_q, b_f64 in ops:
+            self._route(kind, a_q, b_q, b_f64)
+        return self.classes()
+
+    # --------------------------------------------------------------- probing
+    def kernel(self) -> str:
+        return f"auto({len(self._load_table())} tuned classes)"
+
+    # --------------------------------------------------------------- compute
+    def product_int64(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return self._route("int32", a_q, b_q, b_f64).product_int64(
+            a_q, b_q, b_f64=b_f64
+        )
+
+    def matmul_int32(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        wraparound: bool = True,
+        b_f64: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # Delegate whole calls so the winner's fused paths (and the single
+        # shared overflow contract in GemmBackend.matmul_int32) apply.
+        return self._route("int32", a_q, b_q, b_f64).matmul_int32(
+            a_q, b_q, wraparound=wraparound, b_f64=b_f64
+        )
+
+    def matmul_f64(
+        self,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        b_f64: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return self._route("f64", a_q, b_q, b_f64).matmul_f64(
+            a_q, b_q, b_f64=b_f64
+        )
+
+
+class RecordingBackend:
+    """Transparent proxy over a backend, harvesting one run's GEMM mix:
+    the (route, operand shapes, mirror presence) of every kernel call that
+    actually executes — replay-skipped calls never reach the backend, so
+    the harvest is exactly the live campaign workload."""
+
+    def __init__(self, inner: GemmBackend) -> None:
+        self._inner = inner
+        self.calls: list[tuple] = []
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def matmul_f64(self, a_q, b_q, b_f64=None):
+        self.calls.append(("f64", a_q.shape, b_q.shape, b_f64 is not None))
+        return self._inner.matmul_f64(a_q, b_q, b_f64=b_f64)
+
+    def matmul_int32(self, a_q, b_q, wraparound=True, b_f64=None):
+        self.calls.append(("int32", a_q.shape, b_q.shape, b_f64 is not None))
+        return self._inner.matmul_int32(
+            a_q, b_q, wraparound=wraparound, b_f64=b_f64
+        )
+
+
+def synthesize_ops(calls: list[tuple], seed: int = 0) -> list[tuple]:
+    """Random int8 operands matching a harvested ``RecordingBackend`` log
+    (the values don't affect kernel timing; the shapes and mirror
+    presence do)."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for kind, a_shape, b_shape, has_mirror in calls:
+        a = rng.integers(-127, 128, size=a_shape, dtype=np.int8)
+        b = rng.integers(-127, 128, size=b_shape, dtype=np.int8)
+        ops.append((kind, a, b, b.astype(np.float64) if has_mirror else None))
+    return ops
+
+
+def harvest_workload(
+    model: str = "opt-mini", lanes: int = 4, seed: int = 0
+) -> list[tuple]:
+    """The campaign GEMM mix of one lane-packed cell, as synthesized ops.
+
+    Runs a small Q1.3-style cell (component O, prefill) of ``model``
+    through the lane-packed executor with a :class:`RecordingBackend`
+    proxy and synthesizes matching operands — the exact workload
+    ``bench_trial_lanes`` measures ``backend_speedup`` on, reused by
+    ``repro backend list --tune``. Imports are local: the evaluator stack
+    depends on this package.
+    """
+    from repro.campaigns.lanes import evaluate_lane_pack
+    from repro.campaigns.spec import ErrorSpec, SiteSpec, Trial
+    from repro.characterization.evaluator import ModelEvaluator, TaskSizing
+    from repro.training.zoo import get_pretrained
+
+    evaluator = ModelEvaluator(
+        get_pretrained(model),
+        "perplexity",
+        sizing=TaskSizing(lm_sequences=2, lm_seq_len=16),
+        replay=True,
+    )
+    trials = [
+        Trial(
+            model=model,
+            task="perplexity",
+            site=SiteSpec.only(components=["O"], stages=["prefill"]),
+            error=ErrorSpec.bitflip(1e-3, bits=(30,)),
+            seed=s,
+        )
+        for s in range(lanes)
+    ]
+    _ = evaluator.clean_score  # property access: warm the fault-free baseline
+    executor = evaluator.model.executor
+    proxy = RecordingBackend(executor.backend)
+    executor.backend = proxy
+    try:
+        evaluate_lane_pack(trials, evaluator)
+    finally:
+        executor.backend = proxy._inner
+    return synthesize_ops(proxy.calls, seed=seed)

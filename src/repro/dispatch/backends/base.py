@@ -56,6 +56,15 @@ class GemmBackend:
         """Short description of the kernel actually in use (diagnostics)."""
         return self.name
 
+    def close(self) -> None:
+        """Release process-level resources (thread pools, handles).
+
+        Idempotent, and the backend must keep working after it — a
+        closed pool is lazily recreated on the next call. The registry
+        closes every registered backend at interpreter exit so forked or
+        spawned campaign workers never leak kernel threads.
+        """
+
     # -------------------------------------------------------------- compute
     def product_int64(
         self,

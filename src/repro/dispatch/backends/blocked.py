@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.dispatch.backends.base import GemmBackend
+from repro.dispatch.backends.prepack import PREPACK
 
 #: Largest k-block whose int8 partial sums stay exactly representable in
 #: float32: block * 128^2 <= 2^24 (16 777 216, itself a power of two and
@@ -39,12 +40,19 @@ F32_K_BLOCK = (1 << 24) // (128 * 128)
 _MIN_ROWS_PER_THREAD = 128
 
 
-def _compile_numba_kernel():
+def _compile_numba_kernel(cache: bool = True):
     """Compile (and warm) the prange int8 GEMM; raises if Numba is absent
-    or compilation fails — the caller treats any exception as 'no Numba'."""
+    or compilation fails — the caller treats any exception as 'no Numba'.
+
+    ``cache=True`` persists the compiled kernel to Numba's on-disk cache
+    so every campaign worker loads it instead of paying the full JIT
+    compile; when the cache directory is unwritable (read-only installs,
+    sandboxed workers) the compile/warm raises and the caller retries
+    once with ``cache=False``.
+    """
     from numba import njit, prange  # noqa: PLC0415 - optional dependency
 
-    @njit(parallel=True, cache=False)
+    @njit(parallel=True, cache=cache)
     def matmul_i8(a, b):
         m, k = a.shape
         n = b.shape[1]
@@ -98,9 +106,12 @@ class BlockedBackend(GemmBackend):
         if not self._numba_checked:
             self._numba_checked = True
             try:
-                self._numba_matmul = _compile_numba_kernel()
+                self._numba_matmul = _compile_numba_kernel(cache=True)
             except Exception:
-                self._numba_matmul = None
+                try:  # unwritable cache dir: recompile without persistence
+                    self._numba_matmul = _compile_numba_kernel(cache=False)
+                except Exception:
+                    self._numba_matmul = None
         return self._numba_matmul
 
     def _thread_pool(self) -> ThreadPoolExecutor:
@@ -110,6 +121,14 @@ class BlockedBackend(GemmBackend):
                 thread_name_prefix="repro-gemm",
             )
         return self._pool
+
+    def close(self) -> None:
+        """Shut the row-partition pool down (recreated lazily if the
+        backend runs again); the registry calls this at interpreter exit
+        so campaign workers never leak kernel threads."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # -------------------------------------------------------------- compute
     def _sgemm(self, a32: np.ndarray, b32: np.ndarray) -> np.ndarray:
@@ -139,7 +158,15 @@ class BlockedBackend(GemmBackend):
         """Exact product of int8 operands via k-blocked float32 BLAS."""
         k = a_q.shape[-1]
         b_src = b_f64 if b_f64 is not None else b_q
-        b32 = b_src.astype(np.float32)
+        if b_f64 is not None:
+            # The mirror's presence marks a long-lived weight buffer: cache
+            # its float32 cast in the shared prepack cache (one conversion
+            # per weight, not per call; invalidated on mutation).
+            b32 = PREPACK.packed(
+                b_q, "blocked-f32", lambda _b, src=b_src: src.astype(np.float32)
+            )
+        else:
+            b32 = b_src.astype(np.float32)
         if k <= F32_K_BLOCK:
             if b32.ndim == 2 and a_q.ndim >= 2:
                 lead = a_q.shape[:-1]

@@ -14,6 +14,7 @@ unavailable backend falls back to the exact default with a WARNING
 
 from __future__ import annotations
 
+import atexit
 import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -46,8 +47,29 @@ def register_backend(backend: GemmBackend, replace: bool = False) -> GemmBackend
 
 
 def unregister_backend(name: str) -> None:
-    """Remove a backend (test-only backends clean up after themselves)."""
-    _REGISTRY.pop(name, None)
+    """Remove a backend (test-only backends clean up after themselves),
+    closing it so no resources outlive the registration."""
+    backend = _REGISTRY.pop(name, None)
+    if backend is not None:
+        try:
+            backend.close()
+        except Exception:  # pragma: no cover - close must never mask exit
+            logger.exception("closing GEMM backend %r failed", name)
+
+
+@atexit.register
+def close_all_backends() -> None:
+    """Close every registered backend (thread pools, handles).
+
+    Registered with :mod:`atexit` so campaign pool workers — forked or
+    spawned — shut their kernel thread pools down instead of leaking
+    them; safe to call any time, since backends recreate pools lazily.
+    """
+    for backend in list(_REGISTRY.values()):
+        try:
+            backend.close()
+        except Exception:  # pragma: no cover - close must never mask exit
+            logger.exception("closing GEMM backend %r failed", backend.name)
 
 
 def backend_names() -> list[str]:

@@ -6,12 +6,38 @@ session trains the mini models (~10 s) and later sessions load instantly.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.characterization.evaluator import ModelEvaluator
 from repro.models.export import quantize_model
 from repro.training.zoo import get_pretrained
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_autotune_table(tmp_path_factory):
+    """Point the ``auto`` backend's winner table at a throwaway path.
+
+    The conformance suite drives ``auto`` through hundreds of shape
+    classes; persisting those micro-benchmarked winners into the user's
+    real ``$REPRO_CACHE`` table would pollute production routing with
+    test-shape timings."""
+    from repro.dispatch.backends import get_backend
+    from repro.dispatch.backends.auto import ENV_TABLE
+
+    path = tmp_path_factory.mktemp("autotune") / "gemm-table.json"
+    saved = os.environ.get(ENV_TABLE)
+    os.environ[ENV_TABLE] = str(path)
+    auto = get_backend("auto")
+    auto._classes = None  # drop anything loaded before the override
+    yield
+    if saved is None:
+        os.environ.pop(ENV_TABLE, None)
+    else:
+        os.environ[ENV_TABLE] = saved
+    auto._classes = None
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,329 @@
+"""Native C kernel, weight-prepack cache, and autotuned dispatch
+(DESIGN.md section 13).
+
+The cross-backend *conformance* of ``native`` and ``auto`` (bit-equality
+with the oracle, overflow semantics, engine end-to-end equality) is
+covered by the registry-parametrized suite in ``tests/test_backends.py``
+— both are registered at import time, so they are picked up there
+automatically. This file covers what the shared suite cannot: the
+compile/cache/degrade machinery, the prepack cache's keying and
+mutation invalidation, and the winner table's persistence rules.
+
+Tests that need a real compiler skip cleanly on hosts without one (the
+degrade-path tests are exactly the opposite: they *simulate* such
+hosts and must pass everywhere).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dispatch.backends import (
+    PREPACK,
+    get_backend,
+    resolve_backend,
+)
+from repro.dispatch.backends.auto import AutoBackend, shape_class
+from repro.dispatch.backends.native import (
+    ENV_CC,
+    ENV_DISABLE,
+    ENV_LIB,
+    NativeBackend,
+    SOURCE_PATH,
+    _find_compiler,
+    compile_kernel,
+)
+from repro.dispatch.backends.prepack import PrepackCache
+
+HAVE_CC = _find_compiler() is not None
+
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler on host")
+
+
+def _oracle(a, b):
+    return a.astype(np.int64) @ b.astype(np.int64)
+
+
+def _fresh_native(monkeypatch, tmp_path, **env):
+    """A NativeBackend forced onto the runtime-compile path with an
+    isolated cache dir (no prebuilt extension, no shared state)."""
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    monkeypatch.delenv(ENV_LIB, raising=False)
+    monkeypatch.delenv(ENV_DISABLE, raising=False)
+    monkeypatch.delenv(ENV_CC, raising=False)
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+    monkeypatch.setattr(
+        "repro.dispatch.backends.native._prebuilt_extension", lambda: None
+    )
+    return NativeBackend()
+
+
+# --------------------------------------------------------------------------
+# Compile / cache / load paths
+# --------------------------------------------------------------------------
+@needs_cc
+class TestNativeCompile:
+    def test_runtime_compile_and_exactness(self, monkeypatch, tmp_path, rng):
+        backend = _fresh_native(monkeypatch, tmp_path)
+        assert backend.available(), backend.why_unavailable()
+        assert backend.kernel().startswith("c-int8")
+        a = rng.integers(-128, 128, size=(7, 130), dtype=np.int8)
+        b = rng.integers(-128, 128, size=(130, 33), dtype=np.int8)
+        np.testing.assert_array_equal(backend.product_int64(a, b), _oracle(a, b))
+
+    def test_compiled_library_is_cached_and_reused(self, monkeypatch, tmp_path):
+        first = _fresh_native(monkeypatch, tmp_path)
+        assert first.available()
+        [lib] = list((tmp_path / "cache").rglob("*.so"))
+        stamp = lib.stat().st_mtime_ns
+
+        second = _fresh_native(monkeypatch, tmp_path)
+        assert second.available()
+        assert "cc-cache" in second.kernel()
+        assert lib.stat().st_mtime_ns == stamp  # loaded, not recompiled
+
+    def test_corrupt_cached_library_recompiles(self, monkeypatch, tmp_path):
+        from repro.dispatch.backends import native as native_mod
+
+        # Plant garbage at the digest path *before* anything dlopens it
+        # (overwriting an already-mapped .so would SIGBUS the process,
+        # which is exactly why the loader replaces, never rewrites).
+        backend = _fresh_native(monkeypatch, tmp_path)
+        digest = native_mod._source_digest(
+            SOURCE_PATH.read_bytes(), _find_compiler()
+        )
+        lib = native_mod.build_dir() / f"gemm_int8-{digest}.so"
+        lib.parent.mkdir(parents=True, exist_ok=True)
+        lib.write_bytes(b"not an ELF shared object")
+
+        assert backend.available(), backend.why_unavailable()
+        assert backend._kernel.origin == "cc"  # recompiled, not cache-loaded
+        assert lib.read_bytes() != b"not an ELF shared object"
+
+    def test_explicit_lib_env_is_authoritative(self, monkeypatch, tmp_path):
+        # Build a real kernel, then point $REPRO_NATIVE_GEMM_LIB at it.
+        built = tmp_path / "kernel.so"
+        compile_kernel(SOURCE_PATH, built, _find_compiler())
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_LIB: str(built)})
+        assert backend.available()
+        assert "env" in backend.kernel()
+
+    def test_explicit_lib_env_failure_does_not_fall_through(
+        self, monkeypatch, tmp_path
+    ):
+        missing = tmp_path / "nope.so"
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_LIB: str(missing)})
+        # A compiler exists, but an explicit selection must not be
+        # silently compiled around: unavailable, with the env var named.
+        assert not backend.available()
+        assert ENV_LIB in backend.why_unavailable()
+
+
+# --------------------------------------------------------------------------
+# Degrade paths (simulated compiler-less hosts — run everywhere)
+# --------------------------------------------------------------------------
+class TestNativeDegrade:
+    def test_disabled_env_reports_unavailable(self, monkeypatch, tmp_path):
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_DISABLE: "1"})
+        assert not backend.available()
+        assert ENV_DISABLE in backend.why_unavailable()
+
+    def test_no_compiler_reports_unavailable(self, monkeypatch, tmp_path):
+        backend = _fresh_native(monkeypatch, tmp_path)
+        monkeypatch.setattr(
+            "repro.dispatch.backends.native._find_compiler", lambda: None
+        )
+        assert not backend.available()
+        assert "compiler" in backend.why_unavailable()
+
+    def test_compile_failure_reports_unavailable(self, monkeypatch, tmp_path):
+        # /bin/false accepts any argv and exits 1: a universal broken cc.
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_CC: "/bin/false"})
+        if _find_compiler() != "/bin/false":  # pragma: no cover - odd host
+            pytest.skip("host resolves compilers before $REPRO_NATIVE_GEMM_CC")
+        assert not backend.available()
+        assert "failed to build" in backend.why_unavailable()
+
+    def test_unavailable_degrades_to_exact_default(
+        self, monkeypatch, tmp_path, caplog
+    ):
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_DISABLE: "1"})
+        with caplog.at_level("WARNING", logger="repro.dispatch.backends"):
+            resolved = resolve_backend(backend)
+        assert resolved.name == "numpy-f64"
+        assert any(ENV_DISABLE in r.message for r in caplog.records)
+
+    def test_unavailable_still_computes_exactly(self, monkeypatch, tmp_path, rng):
+        # Even called directly (not via resolution), a kernel-less backend
+        # answers through the widening matmul — never wrongly.
+        backend = _fresh_native(monkeypatch, tmp_path, **{ENV_DISABLE: "1"})
+        a = rng.integers(-128, 128, size=(3, 40), dtype=np.int8)
+        b = rng.integers(-128, 128, size=(40, 5), dtype=np.int8)
+        np.testing.assert_array_equal(backend.product_int64(a, b), _oracle(a, b))
+
+
+# --------------------------------------------------------------------------
+# Weight-prepack cache
+# --------------------------------------------------------------------------
+class TestPrepackCache:
+    def _cache_and_weight(self, rng):
+        cache = PrepackCache()
+        w = rng.integers(-128, 128, size=(64, 16), dtype=np.int8)
+        packer = lambda b: b.astype(np.float32)  # noqa: E731 - tiny mirror
+        return cache, w, packer
+
+    def test_hit_after_first_pack(self, rng):
+        cache, w, packer = self._cache_and_weight(rng)
+        first = cache.packed(w, "p", packer)
+        second = cache.packed(w, "p", packer)
+        assert first is second
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_mutation_invalidates(self, rng):
+        cache, w, packer = self._cache_and_weight(rng)
+        stale = cache.packed(w, "p", packer)
+        w[0, 0] = np.int8(~w[0, 0])
+        fresh = cache.packed(w, "p", packer)
+        assert fresh is not stale
+        np.testing.assert_array_equal(fresh, w.astype(np.float32))
+        assert cache.stats()["invalidations"] == 1
+
+    def test_distinct_packers_share_one_entry(self, rng):
+        cache, w, packer = self._cache_and_weight(rng)
+        cache.packed(w, "f32", packer)
+        cache.packed(w, "i16", lambda b: b.astype(np.int16))
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["misses"] == 2  # one per mirror kind
+
+    def test_non_contiguous_bypasses(self, rng):
+        cache = PrepackCache()
+        w = rng.integers(-128, 128, size=(32, 32), dtype=np.int8)[:, ::2]
+        assert not w.flags.c_contiguous
+        first = cache.packed(w, "p", lambda b: b.astype(np.float32))
+        second = cache.packed(w, "p", lambda b: b.astype(np.float32))
+        assert first is not second  # never cached, always correct
+        assert cache.stats()["entries"] == 0
+
+    def test_native_weight_route_uses_shared_cache(self, rng):
+        backend = get_backend("native")
+        if not backend.available():
+            pytest.skip(backend.why_unavailable())
+        w = rng.integers(-128, 128, size=(48, 24), dtype=np.int8)
+        x = rng.integers(-128, 128, size=(4, 48), dtype=np.int8)
+        mirror = w.astype(np.float64)
+        PREPACK.reset_stats()
+        base = PREPACK.stats()["entries"]
+        for _ in range(3):
+            np.testing.assert_array_equal(
+                backend.product_int64(x, w, b_f64=mirror), _oracle(x, w)
+            )
+        stats = PREPACK.stats()
+        assert stats["entries"] == base + 1
+        assert stats["hits"] >= 2
+        # Activation-side operands (no mirror) must not earn cache entries.
+        backend.product_int64(x, w)
+        assert PREPACK.stats()["entries"] == base + 1
+
+    def test_mutated_weight_recomputes_through_backend(self, rng):
+        backend = get_backend("native")
+        if not backend.available():
+            pytest.skip(backend.why_unavailable())
+        w = rng.integers(-128, 128, size=(40, 20), dtype=np.int8)
+        x = rng.integers(-128, 128, size=(3, 40), dtype=np.int8)
+        backend.product_int64(x, w, b_f64=w.astype(np.float64))
+        w[5, 7] = np.int8(~w[5, 7])  # in-place fault injection on weights
+        np.testing.assert_array_equal(
+            backend.product_int64(x, w, b_f64=w.astype(np.float64)),
+            _oracle(x, w),
+        )
+
+
+# --------------------------------------------------------------------------
+# Autotuned dispatch
+# --------------------------------------------------------------------------
+class TestAutotune:
+    def _ops(self, rng):
+        a = rng.integers(-127, 128, size=(8, 32), dtype=np.int8)
+        b = rng.integers(-127, 128, size=(32, 16), dtype=np.int8)
+        return a, b
+
+    def test_routes_exactly_and_persists(self, tmp_path, rng):
+        table = tmp_path / "table.json"
+        auto = AutoBackend(table_path=table)
+        a, b = self._ops(rng)
+        np.testing.assert_array_equal(auto.product_int64(a, b), _oracle(a, b))
+        assert table.exists()
+        payload = json.loads(table.read_text())
+        cls = shape_class("int32", a.shape, b.shape)
+        assert payload["classes"][cls]["winner"] in payload["classes"][cls][
+            "timings_us"
+        ]
+
+    def test_persisted_winner_skips_retiming(self, tmp_path, rng, monkeypatch):
+        table = tmp_path / "table.json"
+        a, b = self._ops(rng)
+        AutoBackend(table_path=table).product_int64(a, b)
+
+        fresh = AutoBackend(table_path=table)
+        monkeypatch.setattr(
+            fresh,
+            "_tune_class",
+            lambda *args, **kw: pytest.fail("re-tuned a persisted class"),
+        )
+        np.testing.assert_array_equal(fresh.product_int64(a, b), _oracle(a, b))
+
+    def test_corrupt_table_warns_and_retunes(self, tmp_path, rng, caplog):
+        table = tmp_path / "table.json"
+        table.write_text("{ not json")
+        auto = AutoBackend(table_path=table)
+        a, b = self._ops(rng)
+        with caplog.at_level("WARNING", logger="repro.dispatch.backends.auto"):
+            np.testing.assert_array_equal(auto.product_int64(a, b), _oracle(a, b))
+        assert any("unreadable" in r.message for r in caplog.records)
+        assert json.loads(table.read_text())["classes"]  # rebuilt + persisted
+
+    def test_vanished_winner_retunes(self, tmp_path, rng):
+        table = tmp_path / "table.json"
+        a, b = self._ops(rng)
+        cls = shape_class("int32", a.shape, b.shape)
+        table.write_text(
+            json.dumps(
+                {
+                    "abi": 1,
+                    "classes": {cls: {"winner": "ghost-kernel", "timings_us": {}}},
+                }
+            )
+        )
+        auto = AutoBackend(table_path=table)
+        np.testing.assert_array_equal(auto.product_int64(a, b), _oracle(a, b))
+        assert auto.classes()[cls]["winner"] != "ghost-kernel"
+
+    def test_candidates_are_exact_backends_only(self):
+        auto = get_backend("auto")
+        for candidate in auto._candidates():
+            assert candidate.exact
+            assert candidate.name != "auto"
+
+    def test_shape_class_buckets_rows_only(self):
+        # Exact (k, n), pow2-bucketed rows, route and stacking split out.
+        assert shape_class("f64", (5, 32), (32, 16)) == "f64:m8:k32:n16"
+        assert shape_class("f64", (2, 3, 32), (32, 16)) == "f64:m8:k32:n16"
+        assert shape_class("int32", (8, 32), (32, 16)) == "int32:m8:k32:n16"
+        assert (
+            shape_class("f64", (2, 4, 16), (2, 16, 8)) == "f64:m8:k16:n8:stacked"
+        )
+
+    def test_unwritable_table_still_routes(self, tmp_path, rng, caplog):
+        # The table's parent "directory" is a plain file, so persisting
+        # raises OSError on every host (chmod tricks don't bind as root).
+        blocker = tmp_path / "ro"
+        blocker.write_text("")
+        auto = AutoBackend(table_path=blocker / "table.json")
+        a, b = self._ops(rng)
+        with caplog.at_level("WARNING", logger="repro.dispatch.backends.auto"):
+            np.testing.assert_array_equal(auto.product_int64(a, b), _oracle(a, b))
+        assert any("persist" in r.message for r in caplog.records)

@@ -53,6 +53,9 @@ METRICS: dict[str, list[tuple[str, str, bool]]] = {
         ("speedup", "higher", False),
         ("telemetry_overhead_pct", "lower", True),
         ("backend_speedup", "higher", False),
+        # Steady-state weight-prepack hit rate: a drop means weight panels
+        # are being re-packed per call (cache keying / invalidation bug).
+        ("prepack_hit_rate", "higher", False),
     ],
     "BENCH_dispatch.json": [("overhead_pct", "lower", False)],
 }
