@@ -9,6 +9,9 @@ tables and CSV. The supervision layer (:class:`SuperviseConfig`,
 DESIGN.md section 12) leases packs with deadlines, retries transient
 trial failures with backoff, and quarantines poison trials; the chaos
 harness (:class:`ChaosSpec`) injects deterministic faults to prove it.
+:mod:`repro.fabric` (DESIGN.md section 14) scales the same executor loop
+across machines: a broker leases lane packs to remote workers over HTTP
+and degrades back to the in-process pool when the fleet is empty.
 """
 
 from repro.campaigns.chaos import ChaosSpec

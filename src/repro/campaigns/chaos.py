@@ -72,6 +72,10 @@ _ALIASES = {
     "shm": "shm_attach_failures",
     "torn": "torn_writes",
     "poison": "poison_trials",
+    "drop": "net_drop",
+    "dup": "net_dup",
+    "delay": "net_delay",
+    "disconnect": "net_disconnect",
 }
 
 
@@ -92,15 +96,24 @@ class ChaosSpec:
     hang_s: float = 3600.0  # how long a hang sleeps (the lease kill ends it)
     shm_attach_failures: float = 0.0  # fail the worker's zero-copy attach
     torn_writes: float = 0.0  # prepend a torn junk line to a store append
+    # Network faults, applied per (message kind, site) in the fabric
+    # worker's transport (:mod:`repro.fabric.worker`). Like every
+    # non-poison fault they fire on a site's first attempt only, so the
+    # reconnect/duplicate-drop machinery restores a bit-identical run.
+    net_drop: float = 0.0  # message never sent (connection refused/reset)
+    net_dup: float = 0.0  # message delivered twice (client retry after lost ack)
+    net_delay: float = 0.0  # message delayed by net_delay_s before sending
+    net_disconnect: float = 0.0  # sent, but the connection dies before the reply
+    net_delay_s: float = 0.2  # how long a delayed message waits
 
     def __post_init__(self) -> None:
         for f in fields(self):
             if f.name in ("seed",):
                 continue
             value = getattr(self, f.name)
-            if f.name == "hang_s":
+            if f.name in ("hang_s", "net_delay_s"):
                 if value <= 0:
-                    raise ValueError("hang_s must be positive")
+                    raise ValueError(f"{f.name} must be positive")
                 continue
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"chaos rate {f.name} must be in [0, 1], got {value}")
@@ -240,3 +253,37 @@ def maybe_tear_store_line(key: str) -> bool:
     """True when the store should prepend a torn junk line to this append."""
     spec = active()
     return spec is not None and spec.decide("torn_writes", key)
+
+
+#: Network fault kinds in precedence order: a site decided for several kinds
+#: suffers only the first — keeps per-site behavior a single deterministic
+#: outcome instead of a compound one.
+NET_FAULTS = (
+    ("net_drop", "drop"),
+    ("net_disconnect", "disconnect"),
+    ("net_dup", "dup"),
+    ("net_delay", "delay"),
+)
+
+
+def maybe_net_fault(msg_kind: str, site: str, attempt: int = 0) -> Optional[str]:
+    """Network fault point for one protocol message send.
+
+    Called by the fabric worker's transport before each send. Returns the
+    fault to apply — ``"drop"`` (never send, surface a transport error),
+    ``"disconnect"`` (send, then lose the connection before the reply),
+    ``"dup"`` (send twice), ``"delay"`` (sleep ``net_delay_s`` first) — or
+    ``None``. The decision is the same pure hash of ``(seed, kind, site)``
+    as every other fault, and fires only on ``attempt == 0`` of a site: the
+    retry that follows a drop/disconnect runs clean, so a chaos-ridden
+    campaign still completes bit-identical to a fault-free one.
+    """
+    spec = active()
+    if spec is None or attempt > 0:
+        return None
+    key = f"{msg_kind}:{site}"
+    for kind, name in NET_FAULTS:
+        if spec.decide(kind, key):
+            logger.warning("chaos: net %s on %s %s", name, msg_kind, site)
+            return name
+    return None

@@ -495,6 +495,7 @@ def run_campaign(
     lane_width: int = DEFAULT_MAX_LANES,
     supervise: Optional[SuperviseConfig] = None,
     chaos: Optional[ChaosSpec] = None,
+    runner=None,
 ) -> RunReport:
     """Execute every not-yet-stored trial of ``spec``, writing into ``store``.
 
@@ -519,6 +520,15 @@ def run_campaign(
     trial can never wedge a campaign in a crash loop. ``chaos`` injects
     deterministic faults (:mod:`repro.campaigns.chaos`); when ``None``,
     ``$REPRO_CHAOS`` is honored.
+
+    ``runner`` overrides the execution backend with any object speaking the
+    submit/``next_event``/``outstanding``/``close`` protocol — this is how
+    the distributed fabric (:class:`repro.fabric.FabricRunner`) reuses this
+    exact drain loop across a worker fleet. The campaign consumes the
+    runner: it is closed before returning. A runner may optionally expose
+    ``fleet_snapshot()`` (merged into progress snapshots) and
+    ``note_quarantine(trial, info)`` (called after each quarantine so
+    remote workers can be notified).
     """
     start = time.perf_counter()
     policy = spec.stopping
@@ -587,7 +597,9 @@ def run_campaign(
             snap for pid, snap in worker_metrics.items() if pid != os.getpid()
         ]
         merged = telemetry.merge_snapshots(shipped + [telemetry.runtime_snapshot()])
+        fleet_fn = getattr(runner, "fleet_snapshot", None)
         snapshot = build_snapshot(
+            fleet=fleet_fn() if fleet_fn is not None else None,
             name=spec.name,
             state=state,
             totals={
@@ -617,16 +629,17 @@ def run_campaign(
         store.write_progress(snapshot)
         last_progress_write = now
 
-    runner = None
     if active:
         # Train/load each still-needed model once in the parent, not N times
-        # concurrently in the workers.
+        # concurrently in the workers. (An external fabric runner needs this
+        # too: the packer and the degrade-to-local pool both read configs.)
         needed: dict[str, set[str]] = {}
         for cell in active:
             for trial in cell.pending:
                 needed.setdefault(trial.model, set()).add(trial.task)
         for model in sorted(needed):
             get_pretrained(model)
+    if active and runner is None:
         if workers > 1:
             # Quantize/calibrate once, record clean traces, publish both as
             # shared memory so workers attach zero-copy instead of
@@ -702,6 +715,9 @@ def run_campaign(
             },
         )
         report.quarantined += 1
+        notify = getattr(runner, "note_quarantine", None)
+        if notify is not None:
+            notify(trial, {"error": outcome["error"], "kind": kind, "attempts": granted + 1})
         telemetry.METRICS.counter("campaign.trials_quarantined").inc()
         report.errors.append(
             f"{trial.cell_label}#s{trial.seed}: quarantined ({kind}) after "

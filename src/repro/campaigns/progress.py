@@ -42,6 +42,7 @@ def build_snapshot(
     cells: list[dict],
     metrics: dict,
     last_result_age_s: Optional[float] = None,
+    fleet: Optional[dict] = None,
 ) -> dict:
     """Assemble one JSON-able progress snapshot.
 
@@ -74,7 +75,7 @@ def build_snapshot(
                 "ci": _cell_ci(values),
             }
         )
-    return {
+    snapshot = {
         "name": name,
         "state": state,
         "ts": time.time(),
@@ -86,6 +87,11 @@ def build_snapshot(
         "cells": cell_rows,
         "metrics": metrics,
     }
+    if fleet is not None:
+        # Distributed runs only (the per-worker gauges of DESIGN.md §14):
+        # who is registered, who is live, leases held, packs delivered.
+        snapshot["fleet"] = fleet
+    return snapshot
 
 
 def read_latest_progress(store_dir: str | Path) -> Optional[dict]:
@@ -154,7 +160,35 @@ def render_snapshot(snapshot: dict) -> str:
         for cell in snapshot.get("cells", [])
     ]
     table = format_table(["cell", "done", "mean degr", "ci95"], rows)
-    return f"{header}\n{table}"
+    fleet = snapshot.get("fleet")
+    if not fleet:
+        return f"{header}\n{table}"
+    local = " (degraded to local pool)" if fleet.get("local_active") else ""
+    fleet_header = (
+        f"fleet: {sum(1 for w in fleet.get('workers', []) if w.get('live'))} live / "
+        f"{len(fleet.get('workers', []))} known workers, "
+        f"{fleet.get('pending', 0)} packs pending, "
+        f"{fleet.get('granted', 0)} leased{local}"
+    )
+    worker_rows = [
+        [
+            w.get("id", "?"),
+            w.get("host", ""),
+            "live" if w.get("live") else "lost",
+            str(len(w.get("leases", []))),
+            str(w.get("packs_done", 0)),
+            f"{w.get('last_seen_age_s', 0.0):.1f}s",
+        ]
+        for w in fleet.get("workers", [])
+    ]
+    fleet_table = (
+        format_table(
+            ["worker", "host", "state", "leases", "packs", "last seen"], worker_rows
+        )
+        if worker_rows
+        else "no workers have registered"
+    )
+    return f"{header}\n{table}\n{fleet_header}\n{fleet_table}"
 
 
 def render_metrics(snapshot: dict) -> str:

@@ -29,14 +29,21 @@ resume skips quarantined keys instead of re-exploding on them, and
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
+import threading
 import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, Optional
+
+try:  # POSIX only; the store degrades to intra-process locking elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import repro.telemetry as telemetry
 from repro.campaigns.spec import Trial
@@ -152,6 +159,17 @@ class ResultStore:
         self._fsync = os.environ.get("REPRO_STORE_FSYNC", "1") != "0"
         self._last_fsync = 0.0
         self._fsync_pending = False
+        # Ingest serialization (DESIGN.md §14): the store is *designed*
+        # single-writer, but a distributed deployment can race two brokers
+        # (or a broker and a stray `campaign run`) on the same directory.
+        # `flock` on a sidecar file makes the append+index+commit sequence
+        # atomic across processes; the threading mutex covers threads of
+        # one process, where flock (held per open-file-description) is not
+        # a barrier. Without `fcntl` (non-POSIX) only the mutex applies.
+        self._mutex = threading.Lock()
+        self._lock_handle: Optional[IO[str]] = None
+        if fcntl is not None:
+            self._lock_handle = (self.directory / ".store.lock").open("a")
         self._conn = sqlite3.connect(self.index_path)
         # WAL keeps readers off the writer's lock and turns each commit into
         # one sequential WAL append instead of a full-database sync — the
@@ -203,7 +221,23 @@ class ResultStore:
             self._settle_fsync(force=True)
             self._log_handle.close()
             self._log_handle = None
+        if self._lock_handle is not None:
+            self._lock_handle.close()
+            self._lock_handle = None
         self._conn.close()
+
+    @contextlib.contextmanager
+    def _ingest_lock(self) -> Iterator[None]:
+        """Exclusive append+index critical section (threads *and* processes)."""
+        with self._mutex:
+            if self._lock_handle is None:
+                yield
+                return
+            fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -332,18 +366,26 @@ class ResultStore:
 
         Adding a key that is already stored is a no-op (first write wins),
         which keeps the log's line count equal to the index's row count.
+        The membership test is re-run under the ingest lock: two processes
+        racing the same key would otherwise both pass the unlocked check
+        and append the record twice (the WAL reader sees the winner's
+        commit once it holds the lock).
         """
         if trial.key in self:
             return
-        payload = {
-            "key": trial.key,
-            "cell": trial.cell_id,
-            "trial": trial.to_dict(),
-            "result": result.to_dict(),
-        }
-        self._append_line(self.log_path, payload)
-        self._insert(payload)
-        self._conn.commit()
+        with self._ingest_lock():
+            if trial.key in self:
+                telemetry.METRICS.counter("store.duplicate_ingests").inc()
+                return
+            payload = {
+                "key": trial.key,
+                "cell": trial.cell_id,
+                "trial": trial.to_dict(),
+                "result": result.to_dict(),
+            }
+            self._append_line(self.log_path, payload)
+            self._insert(payload)
+            self._conn.commit()
 
     # ----------------------------------------------------------- quarantine
     def quarantine(self, trial: Trial, failure: dict) -> None:
@@ -362,9 +404,10 @@ class ResultStore:
             "trial": trial.to_dict(),
             "failure": {**failure, "ts": time.time()},
         }
-        self._append_line(self.quarantine_path, payload)
-        self._insert(payload, table="quarantine")
-        self._conn.commit()
+        with self._ingest_lock():
+            self._append_line(self.quarantine_path, payload)
+            self._insert(payload, table="quarantine")
+            self._conn.commit()
 
     def quarantined_keys(self) -> set[str]:
         return {

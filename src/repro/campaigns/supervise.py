@@ -64,6 +64,14 @@ class SuperviseConfig:
     backoff_base_s: float = 0.05
     backoff_cap_s: float = 2.0
     poll_interval_s: float = 0.05
+    # Respawn-storm guard: a worker that dies instantly (e.g. at import
+    # time) would otherwise respawn in a tight fork loop until the requeue
+    # budget burns down. At most ``max_respawns_per_window`` respawns are
+    # performed per rolling ``respawn_window_s``; beyond that the pool runs
+    # short-handed (WARNING + ``supervise.respawns_throttled`` counter)
+    # until the window slides.
+    respawn_window_s: float = 30.0
+    max_respawns_per_window: int = 16
 
     def __post_init__(self) -> None:
         if self.trial_timeout <= 0:
@@ -74,6 +82,10 @@ class SuperviseConfig:
             raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.respawn_window_s <= 0:
+            raise ValueError("respawn_window_s must be positive")
+        if self.max_respawns_per_window < 1:
+            raise ValueError("max_respawns_per_window must be >= 1")
 
     def backoff(self, attempt: int, key: str) -> float:
         """Exponential backoff with deterministic jitter for retry ``attempt``
@@ -222,6 +234,10 @@ class SupervisedPool:
         self._next_worker_index = 0
         self._ready: list[_Lease] = []
         self._lost: list[PackLost] = []
+        self._target_workers = workers
+        self._respawn_times: list[float] = []
+        self._respawn_debt = 0
+        self._throttle_warned = False
         self._workers: list[_Worker] = [self._spawn() for _ in range(workers)]
         self._closed = False
 
@@ -384,11 +400,51 @@ class SupervisedPool:
             except OSError:
                 pass
             lease, worker.lease = worker.lease, None
-            self._workers[self._workers.index(worker)] = self._spawn()
+            self._workers.remove(worker)
+            self._respawn_debt += 1
             if lease is not None:
                 self._requeue(
                     lease, f"worker died (exitcode {worker.process.exitcode})"
                 )
+        self._maybe_respawn()
+
+    def _maybe_respawn(self) -> None:
+        """Respawn dead workers, rate-limited against respawn storms.
+
+        A worker that dies at startup (bad import, OOM-killed on load)
+        would otherwise fork-loop as fast as the reaper runs. Respawns are
+        capped per rolling window; past the cap the pool runs short-handed
+        until the window slides, which is visible as a WARNING and the
+        ``supervise.respawns_throttled`` counter.
+        """
+        if self._respawn_debt <= 0:
+            return
+        now = time.monotonic()
+        horizon = now - self.config.respawn_window_s
+        self._respawn_times = [t for t in self._respawn_times if t > horizon]
+        throttled = False
+        while self._respawn_debt > 0:
+            if len(self._respawn_times) >= self.config.max_respawns_per_window:
+                throttled = True
+                break
+            self._respawn_times.append(now)
+            self._respawn_debt -= 1
+            self._workers.append(self._spawn())
+        if throttled:
+            telemetry.METRICS.counter("supervise.respawns_throttled").inc()
+            if not self._throttle_warned:
+                self._throttle_warned = True
+                logger.warning(
+                    "respawn storm: %d respawns in the last %.0fs hit the cap "
+                    "(%d); running with %d/%d workers until the window slides",
+                    len(self._respawn_times),
+                    self.config.respawn_window_s,
+                    self.config.max_respawns_per_window,
+                    len(self._workers),
+                    self._target_workers,
+                )
+        else:
+            self._throttle_warned = False
 
     def _expire_leases(self) -> None:
         now = time.monotonic()

@@ -23,6 +23,9 @@ Examples
     python -m repro campaign run --spec grid.json --chaos "seed=1,kill=0.5"
     python -m repro campaign quarantine list --spec grid.json
     python -m repro campaign quarantine clear --spec grid.json
+    python -m repro campaign serve --spec grid.json --port 8321  # fabric broker
+    python -m repro campaign worker --connect http://127.0.0.1:8321
+    python -m repro campaign watch --spec grid.json --store /shared/store
 """
 
 from __future__ import annotations
@@ -467,6 +470,93 @@ def cmd_campaign_example(args: argparse.Namespace) -> str:
     return example_spec().to_json()
 
 
+def cmd_campaign_serve(args: argparse.Namespace) -> str:
+    """Run the fabric broker: lease the spec's packs to a worker fleet.
+
+    With ``--spec``, runs that campaign and exits when it finishes (or when
+    SIGTERM/SIGINT aborts it — the lease journal survives, so rerunning the
+    same command resumes). With ``--serve-forever``, stays up afterwards
+    accepting further specs over ``POST /api/v1/campaigns``.
+    """
+    import dataclasses
+    import signal as signal_mod
+    import threading
+
+    from repro.campaigns.chaos import ChaosSpec
+    from repro.campaigns.supervise import SuperviseConfig
+    from repro.fabric.broker import BrokerConfig, FabricBroker
+
+    spec = _load_spec(args) if args.spec else None
+    if spec is None and not args.store:
+        args.exit_code = 2
+        return "campaign serve needs --spec and/or --store"
+    directory = Path(args.store) if args.store else default_store_dir(spec.name)
+    supervise = spec.supervise if spec is not None else None
+    overrides = {}
+    if args.trial_timeout is not None:
+        overrides["trial_timeout"] = args.trial_timeout
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if overrides:
+        supervise = dataclasses.replace(supervise or SuperviseConfig(), **overrides)
+    chaos = ChaosSpec.from_string(args.chaos) if args.chaos else None
+    config = BrokerConfig(
+        host=args.host,
+        port=args.port,
+        heartbeat_s=args.heartbeat,
+        local_grace_s=args.grace,
+        local_workers=args.local_workers,
+    )
+    if args.lanes is not None:
+        config.lane_width = args.lanes
+    broker = FabricBroker(directory, config=config, supervise=supervise, chaos=chaos)
+    broker.start()
+    print(f"fabric broker listening on {broker.url}", flush=True)
+    print(f"store: {directory}", flush=True)
+    interrupted = threading.Event()
+    for sig in (signal_mod.SIGTERM, signal_mod.SIGINT):
+        signal_mod.signal(sig, lambda *_: interrupted.set())
+    if spec is not None:
+        broker.submit(spec, lane_width=args.lanes)
+    try:
+        if spec is not None and not args.serve_forever:
+            while not interrupted.is_set():
+                try:
+                    report = broker.wait(spec.name, timeout=0.5)
+                except TimeoutError:
+                    continue
+                broker.stop()
+                if report.failed or report.quarantined:
+                    args.exit_code = 1
+                return f"campaign {spec.name}: {report.summary()}\nstore: {directory}"
+        else:
+            while not interrupted.is_set():
+                interrupted.wait(0.5)
+    except BaseException:
+        broker.stop(abort=True)
+        raise
+    # Signaled: abort the active campaign so its lease journal survives for
+    # the next broker to resume from.
+    broker.stop(abort=True)
+    args.exit_code = 130
+    return f"broker interrupted; lease journal in {directory} resumes the campaign"
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> str:
+    """Run one fleet worker against a broker started by ``campaign serve``."""
+    from repro.fabric.worker import FabricWorker, WorkerConfig
+
+    config = WorkerConfig(
+        url=args.connect,
+        worker_id=args.id or "",
+        max_idle_s=args.max_idle,
+    )
+    worker = FabricWorker(config)
+    worker.install_signal_handlers()
+    args.exit_code = worker.run()
+    return f"worker {config.worker_id} exited ({args.exit_code})"
+
+
 def cmd_campaign_quarantine(args: argparse.Namespace) -> str:
     """Inspect or clear the store's poison-trial quarantine (DESIGN.md §12)."""
     spec = _load_spec(args)
@@ -674,6 +764,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("example", help="print a ready-to-run example spec")
     c.set_defaults(func=cmd_campaign_example)
+
+    c = csub.add_parser("serve", help="fabric broker: lease packs to a "
+                                      "worker fleet over HTTP/JSON")
+    c.add_argument("--spec", default=None,
+                   help="campaign spec to run (omit to idle until specs "
+                        "arrive via POST /api/v1/campaigns)")
+    c.add_argument("--store", default=None,
+                   help="result-store directory (default: cache dir by "
+                        "spec name; required without --spec)")
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = pick a free one, printed "
+                        "at startup)")
+    c.add_argument("--heartbeat", type=float, default=2.0, metavar="S",
+                   help="worker heartbeat cadence; leases with no "
+                        "heartbeat for 3.5x this are stolen and requeued")
+    c.add_argument("--grace", type=float, default=15.0, metavar="S",
+                   help="degrade-to-local window: with no live workers "
+                        "for this long, packs run on an in-process "
+                        "supervised pool")
+    c.add_argument("--local-workers", type=int, default=2,
+                   help="pool size of the degrade-to-local fallback "
+                        "(0 disables it)")
+    c.add_argument("--serve-forever", action="store_true",
+                   help="keep serving after --spec finishes")
+    c.add_argument("--lanes", type=int, default=None,
+                   help="max trials packed into one batched forward")
+    c.add_argument("--trial-timeout", type=float, default=None, metavar="S")
+    c.add_argument("--max-retries", type=int, default=None, metavar="N")
+    c.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic fault injection (see `campaign run "
+                        "--chaos`; includes net faults drop/dup/delay/"
+                        "disconnect applied in the workers)")
+    c.set_defaults(func=cmd_campaign_serve)
+
+    c = csub.add_parser("worker", help="fleet worker: pull leases from a "
+                                       "fabric broker and execute them")
+    c.add_argument("--connect", required=True, metavar="URL",
+                   help="broker URL printed by `campaign serve`")
+    c.add_argument("--id", default=None,
+                   help="worker id (default: w-<host>-<pid>)")
+    c.add_argument("--max-idle", type=float, default=None, metavar="S",
+                   help="exit after this long without work (default: "
+                        "serve until SIGTERM)")
+    c.set_defaults(func=cmd_campaign_worker)
 
     c = csub.add_parser("quarantine",
                         help="inspect/clear the poison-trial quarantine")

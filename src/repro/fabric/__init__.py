@@ -1,0 +1,72 @@
+"""Distributed campaign fabric: control plane, worker fleet, lease table.
+
+The campaign executor through PR 8 ran on one box: a supervised
+``multiprocessing`` pool behind :func:`repro.campaigns.executor.run_campaign`.
+This package generalizes the same lease/requeue/quarantine machinery across
+a network boundary (DESIGN.md section 14):
+
+- :mod:`repro.fabric.protocol` — the small versioned JSON message protocol
+  (register / lease / heartbeat / result / quarantine) as typed dataclasses
+  with strict schema validation, gridworks-style;
+- :mod:`repro.fabric.leases` — the broker's journaled lease table:
+  heartbeat-backed deadlines, requeue budgets, duplicate/late delivery
+  classification, crash-resume bookkeeping;
+- :mod:`repro.fabric.broker` — the asyncio HTTP/JSON control plane
+  (``campaign serve``) plus :class:`FabricRunner`, the runner that plugs
+  the lease table into ``run_campaign``'s existing drain loop; and
+- :mod:`repro.fabric.worker` — the remote worker (``campaign worker
+  --connect URL``): lease-pull execution loop, heartbeats, reconnect with
+  capped exponential backoff + deterministic jitter, graceful drain on
+  SIGTERM.
+
+Robustness is the contract, proven by the network chaos harness
+(:mod:`repro.campaigns.chaos` ``net_*`` faults) and the acceptance test in
+``tests/test_fabric.py``: a broker + 3 workers under kills, drops,
+duplicated deliveries, and one broker restart complete bit-identical to the
+fault-free single-box run.
+"""
+
+from repro.fabric.broker import BrokerConfig, FabricBroker, FabricRunner
+from repro.fabric.leases import LeaseJournal, LeaseTable, pack_signature
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    Heartbeat,
+    HeartbeatAck,
+    LeaseGrant,
+    LeaseRequest,
+    NoWork,
+    ProtocolError,
+    QuarantineNotice,
+    Register,
+    Registered,
+    ResultAck,
+    ResultDelivery,
+    decode,
+    encode,
+)
+from repro.fabric.worker import FabricWorker, WorkerConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "BrokerConfig",
+    "FabricBroker",
+    "FabricRunner",
+    "FabricWorker",
+    "Heartbeat",
+    "HeartbeatAck",
+    "LeaseGrant",
+    "LeaseJournal",
+    "LeaseRequest",
+    "LeaseTable",
+    "NoWork",
+    "ProtocolError",
+    "QuarantineNotice",
+    "Register",
+    "Registered",
+    "ResultAck",
+    "ResultDelivery",
+    "WorkerConfig",
+    "decode",
+    "encode",
+    "pack_signature",
+]

@@ -1,0 +1,707 @@
+"""Fabric broker: asyncio HTTP/JSON control plane + the distributed runner.
+
+Two cooperating pieces live here:
+
+- :class:`FabricRunner` speaks the campaign executor's runner protocol
+  (``submit`` / ``next_event`` / ``outstanding`` / ``close``), so
+  ``run_campaign`` drives a worker *fleet* with exactly the drain loop that
+  drives the serial and supervised-pool runners — trial retries, quarantine
+  taxonomy, early stopping, progress snapshots all unchanged. Internally it
+  owns a journaled :class:`~repro.fabric.leases.LeaseTable` and a queue of
+  events produced by the HTTP handlers. If no live worker shows up within a
+  grace window it **degrades to local**: packs run on an in-process
+  :class:`~repro.campaigns.supervise.SupervisedPool` so a campaign never
+  hangs on an empty fleet.
+- :class:`FabricBroker` is the long-running service (``campaign serve``):
+  a stdlib-``asyncio`` HTTP/1.1 server (the container has no third-party
+  HTTP framework, and the protocol needs nothing more) that decodes
+  protocol messages, routes them to the active runner, and runs campaigns
+  sequentially on a dedicated thread. The ResultStore is opened *inside*
+  that thread (SQLite connections are thread-affine).
+
+Threading model: HTTP handlers run on the asyncio thread and only touch
+thread-safe state (the lease table's lock, the fleet's lock, a
+``queue.Queue`` of events); the campaign thread consumes events in
+``next_event``. Crash-resume: the lease journal plus the content-keyed
+ResultStore reconstruct all broker state on restart — completed trials are
+skipped for free, in-flight requeue budgets carry over, and deliveries for
+pre-crash leases are still classified correctly (DESIGN.md section 14).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.campaigns.chaos import ChaosSpec
+from repro.campaigns.lanes import DEFAULT_MAX_LANES
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.supervise import PackDone, PackLost, SuperviseConfig
+from repro.fabric import protocol
+from repro.fabric.leases import JOURNAL_NAME, LeaseJournal, LeaseTable
+from repro.telemetry import METRICS
+from repro.utils.logging import get_logger
+
+logger = get_logger("fabric.broker")
+
+__all__ = ["BrokerConfig", "FabricBroker", "FabricRunner", "Fleet"]
+
+
+# --------------------------------------------------------------------- fleet
+@dataclass
+class WorkerInfo:
+    worker_id: str
+    host: str = ""
+    pid: int = 0
+    registered_at: float = 0.0
+    last_seen: float = 0.0
+    packs_done: int = 0
+
+
+class Fleet:
+    """Thread-safe registry of known workers, keyed by worker id.
+
+    Any message from a worker counts as liveness — a worker that survived a
+    broker restart keeps sending lease requests without re-registering, and
+    the fleet must not treat it as a stranger.
+    """
+
+    def __init__(self, now=time.monotonic):
+        self._now = now
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+
+    def register(self, worker_id: str, host: str = "", pid: int = 0) -> WorkerInfo:
+        now = self._now()
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                info = self._workers[worker_id] = WorkerInfo(
+                    worker_id=worker_id, registered_at=now
+                )
+            info.host = host or info.host
+            info.pid = pid or info.pid
+            info.last_seen = now
+            return info
+
+    def touch(self, worker_id: str) -> None:
+        self.register(worker_id)
+
+    def credit(self, worker_id: str) -> None:
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is not None:
+                info.packs_done += 1
+
+    def live_count(self, ttl_s: float) -> int:
+        now = self._now()
+        with self._lock:
+            return sum(1 for w in self._workers.values() if now - w.last_seen <= ttl_s)
+
+    def last_seen_any(self) -> Optional[float]:
+        with self._lock:
+            if not self._workers:
+                return None
+            return max(w.last_seen for w in self._workers.values())
+
+    def snapshot(self, ttl_s: float) -> list[dict]:
+        now = self._now()
+        with self._lock:
+            return [
+                {
+                    "id": w.worker_id,
+                    "host": w.host,
+                    "pid": w.pid,
+                    "packs_done": w.packs_done,
+                    "last_seen_age_s": round(now - w.last_seen, 3),
+                    "live": now - w.last_seen <= ttl_s,
+                }
+                for w in sorted(self._workers.values(), key=lambda w: w.worker_id)
+            ]
+
+
+# -------------------------------------------------------------------- runner
+class FabricRunner:
+    """Drives a campaign's lane packs over the worker fleet.
+
+    Plugs into ``run_campaign(runner=...)``. Events cross from the HTTP
+    thread (deliveries) and the lease sweep into the campaign thread via an
+    internal queue; ``outstanding`` is a simple counter (+1 per submit, -1
+    per event returned), which is exact under the invariant that every
+    submitted pack produces exactly one ``PackDone`` or ``PackLost``.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        config: Optional[SuperviseConfig] = None,
+        fleet: Optional[Fleet] = None,
+        heartbeat_s: float = 2.0,
+        heartbeat_ttl_s: Optional[float] = None,
+        local_grace_s: float = 15.0,
+        local_workers: int = 2,
+        chaos: Optional[ChaosSpec] = None,
+        now=time.monotonic,
+    ) -> None:
+        self.config = config or SuperviseConfig()
+        self.fleet = fleet or Fleet(now=now)
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_ttl_s = (
+            heartbeat_ttl_s if heartbeat_ttl_s is not None else 3.5 * heartbeat_s
+        )
+        self.local_grace_s = local_grace_s
+        self.local_workers = local_workers
+        self.chaos = chaos
+        self._now = now
+        journal = LeaseJournal(Path(store_dir) / JOURNAL_NAME)
+        self.table = LeaseTable(
+            journal,
+            max_requeues=self.config.max_requeues,
+            heartbeat_ttl_s=self.heartbeat_ttl_s,
+            backoff=self.config.backoff,
+            now=now,
+        )
+        self._events: queue.Queue = queue.Queue()
+        self._count_lock = threading.Lock()
+        self._outstanding = 0
+        self._closed = False
+        self._aborted = False
+        self._draining = False
+        self._started_at = now()
+        self._local = None  # lazily-created _PoolRunner (degrade-to-local)
+        self._local_jobs: dict[int, object] = {}  # pool job id -> Pack
+        self._deliverers: dict[str, str] = {}  # trial key -> worker id
+        self._notices: dict[str, list] = {}  # worker id -> queued notices
+        self._next_job = 0
+
+    # -------------------------------------------------- executor protocol
+    @property
+    def outstanding(self) -> int:
+        with self._count_lock:
+            return self._outstanding
+
+    def submit(self, payload: dict, deadline_s: float, delay_s: float = 0.0) -> int:
+        if self._closed:
+            raise RuntimeError("fabric runner is closed")
+        job_id = self._next_job
+        self._next_job += 1
+        self.table.submit(job_id, payload, deadline_s, delay_s)
+        with self._count_lock:
+            self._outstanding += 1
+        return job_id
+
+    def next_event(self):
+        if self._closed:
+            raise RuntimeError("fabric runner is closed")
+        if self._aborted:
+            raise RuntimeError("fabric runner aborted")
+        for pack in self.table.sweep():
+            reason = pack.reasons[-1] if pack.reasons else "lease lost"
+            self._events.put(
+                PackLost(
+                    job_id=pack.job_id,
+                    payload=pack.payload,
+                    reason=reason,
+                    requeues=pack.requeues - 1,
+                )
+            )
+        self._maybe_go_local()
+        if self._local is not None:
+            self._pump_local()
+        event = None
+        try:
+            event = self._events.get_nowait()
+        except queue.Empty:
+            pass
+        if event is None:
+            if self._local is not None and self._local.outstanding:
+                # The pool's own poll interval bounds this block, which is
+                # exactly the heartbeat-tick cadence the drain loop expects.
+                event = self._translate_local(self._local.next_event())
+            else:
+                try:
+                    event = self._events.get(timeout=self.config.poll_interval_s)
+                except queue.Empty:
+                    pass
+        if event is not None:
+            with self._count_lock:
+                self._outstanding -= 1
+        return event
+
+    def close(self, force: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._local is not None:
+            self._local.close(force=force)
+            self._local = None
+        # A clean finish retires the journal: every pack completed, the
+        # store holds the results, nothing is resumable. An abort or
+        # force-close keeps it so a restarted broker can pick up the run.
+        clear = not force and not self._aborted and self.outstanding == 0
+        self.table.journal.close(clear=clear)
+
+    # --------------------------------------------------- fabric specifics
+    def abort(self) -> None:
+        """Make the campaign thread's next ``next_event`` raise — the test
+        harness's stand-in for a broker crash (journal is preserved)."""
+        self._aborted = True
+
+    def drain(self) -> None:
+        """Refuse new leases (graceful broker shutdown signal)."""
+        self._draining = True
+
+    def note_quarantine(self, trial, info: dict) -> None:
+        """Called by the executor's drain loop after quarantining a trial;
+        queues a quarantine notice for the worker that produced the failing
+        outcome, delivered on that worker's next result ack."""
+        worker_id = self._deliverers.pop(trial.key, "")
+        notice = protocol.encode(
+            protocol.QuarantineNotice(
+                key=trial.key,
+                cell=trial.cell_label,
+                error=str(info.get("error", ""))[:500],
+                attempts=int(info.get("attempts", 0)),
+            )
+        )
+        METRICS.counter("fabric.quarantine_notices").inc(1)
+        if worker_id and worker_id != "local":
+            self._notices.setdefault(worker_id, []).append(notice)
+
+    def fleet_snapshot(self) -> dict:
+        held = self.table.leases_by_worker()
+        workers = self.fleet.snapshot(self.heartbeat_ttl_s)
+        for info in workers:
+            info["leases"] = held.get(info["id"], [])
+        return {
+            "workers": workers,
+            "local_active": self._local is not None,
+            "pending": self.table.pending_count,
+            "granted": self.table.granted_count,
+        }
+
+    # ------------------------------------------------------ message handling
+    def handle(self, msg: protocol.Message) -> protocol.Message:
+        """Process one protocol message; called from the HTTP thread."""
+        if isinstance(msg, protocol.Register):
+            if msg.protocol != protocol.PROTOCOL_VERSION:
+                return protocol.Registered(
+                    ok=False,
+                    heartbeat_s=self.heartbeat_s,
+                    reason=(
+                        f"protocol {msg.protocol} unsupported "
+                        f"(broker speaks {protocol.PROTOCOL_VERSION})"
+                    ),
+                )
+            self.fleet.register(msg.worker_id, msg.host, msg.pid)
+            METRICS.counter("fabric.workers_registered").inc(1)
+            logger.info("worker %s registered (%s pid %d)", msg.worker_id, msg.host, msg.pid)
+            return protocol.Registered(ok=True, heartbeat_s=self.heartbeat_s)
+        if isinstance(msg, protocol.LeaseRequest):
+            self.fleet.touch(msg.worker_id)
+            if self._closed or self._draining:
+                return protocol.NoWork(drain=True)
+            pack = self.table.grant(msg.worker_id)
+            if pack is None or pack.lease is None:
+                return protocol.NoWork(retry_after_s=max(0.1, self.config.poll_interval_s))
+            return protocol.LeaseGrant(
+                lease_id=pack.lease.lease_id,
+                pack=pack.payload,
+                deadline_s=pack.deadline_s,
+                heartbeat_s=self.heartbeat_s,
+            )
+        if isinstance(msg, protocol.Heartbeat):
+            self.fleet.touch(msg.worker_id)
+            known = self.table.heartbeat(msg.worker_id, msg.lease_ids)
+            return protocol.HeartbeatAck(
+                known=known, drain=self._closed or self._draining
+            )
+        if isinstance(msg, protocol.ResultDelivery):
+            self.fleet.touch(msg.worker_id)
+            verdict, pack = self.table.deliver(msg.lease_id, msg.worker_id)
+            notices = tuple(self._notices.pop(msg.worker_id, []))
+            if pack is not None:
+                outcomes = [dict(o) for o in msg.outcomes]
+                for outcome in outcomes:
+                    key = outcome.get("key")
+                    if key:
+                        self._deliverers[key] = msg.worker_id
+                self.fleet.credit(msg.worker_id)
+                self._events.put(
+                    PackDone(job_id=pack.job_id, payload=pack.payload, outcomes=outcomes)
+                )
+                return protocol.ResultAck(accepted=True, quarantined=notices)
+            logger.info(
+                "dropped %s delivery of lease %s from %s",
+                verdict, msg.lease_id, msg.worker_id,
+            )
+            return protocol.ResultAck(
+                accepted=False, duplicate=verdict == "duplicate", quarantined=notices
+            )
+        raise protocol.ProtocolError(f"broker cannot handle message kind {msg.KIND!r}")
+
+    # -------------------------------------------------- degrade to local
+    def _maybe_go_local(self) -> None:
+        if self._local is not None or self.local_workers <= 0 or self._closed:
+            return
+        if self.fleet.live_count(self.heartbeat_ttl_s) > 0:
+            return
+        last_live = self.fleet.last_seen_any()
+        reference = max(self._started_at, last_live or self._started_at)
+        if self._now() - reference < self.local_grace_s:
+            return
+        if self.table.pending_count == 0:
+            return
+        from repro.campaigns.executor import _PoolRunner
+
+        logger.warning(
+            "no live workers for %.1fs; degrading to in-process pool (%d workers)",
+            self.local_grace_s, max(1, self.local_workers),
+        )
+        METRICS.counter("fabric.local_fallbacks").inc(1)
+        self._local = _PoolRunner(
+            max(1, self.local_workers), None, config=self.config, chaos=self.chaos
+        )
+
+    def _pump_local(self) -> None:
+        while True:
+            pack = self.table.grant("local", local=True)
+            if pack is None:
+                break
+            pool_job = self._local.submit(pack.payload, pack.deadline_s)
+            self._local_jobs[pool_job] = pack
+
+    def _translate_local(self, raw):
+        if raw is None:
+            return None
+        pack = self._local_jobs.pop(raw.job_id, None)
+        if pack is None:  # pragma: no cover - pool invented a job?
+            return None
+        if isinstance(raw, PackDone):
+            self.table.complete_local(pack)
+            for outcome in raw.outcomes:
+                key = outcome.get("key")
+                if key:
+                    self._deliverers[key] = "local"
+            return PackDone(job_id=pack.job_id, payload=raw.payload, outcomes=raw.outcomes)
+        self.table.lose_local(pack)
+        return PackLost(
+            job_id=pack.job_id, payload=raw.payload, reason=raw.reason, requeues=raw.requeues
+        )
+
+
+# -------------------------------------------------------------------- broker
+@dataclass
+class BrokerConfig:
+    """Service-level knobs of ``campaign serve``."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back from ``broker.url``
+    heartbeat_s: float = 2.0
+    heartbeat_ttl_s: Optional[float] = None  # default 3.5 x heartbeat_s
+    local_grace_s: float = 15.0
+    local_workers: int = 2
+    lane_width: int = DEFAULT_MAX_LANES
+
+
+class FabricBroker:
+    """The ``campaign serve`` service: HTTP control plane + campaign thread.
+
+    Lifecycle: ``start()`` binds the server and spins up both threads;
+    ``submit(spec)`` queues a campaign; ``wait(name)`` blocks for its
+    report; ``stop()`` shuts down (``abort=True`` simulates a crash — the
+    active campaign's lease journal survives for the next broker).
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        config: Optional[BrokerConfig] = None,
+        supervise: Optional[SuperviseConfig] = None,
+        chaos: Optional[ChaosSpec] = None,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.config = config or BrokerConfig()
+        self.supervise = supervise or SuperviseConfig()
+        self.chaos = chaos
+        self.fleet = Fleet()
+        self._runner: Optional[FabricRunner] = None
+        self._jobs: queue.Queue = queue.Queue()
+        self._reports: dict[str, object] = {}
+        self._done: dict[str, threading.Event] = {}
+        self._active_campaign: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._port: Optional[int] = None
+        self._start_error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._stopping = False
+        self._http_thread: Optional[threading.Thread] = None
+        self._campaign_thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "FabricBroker":
+        self._http_thread = threading.Thread(
+            target=self._http_main, name="fabric-http", daemon=True
+        )
+        self._http_thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise RuntimeError("fabric broker did not come up within 15s")
+        if self._start_error is not None:
+            raise RuntimeError(f"fabric broker failed to bind: {self._start_error!r}")
+        self._campaign_thread = threading.Thread(
+            target=self._campaign_main, name="fabric-campaigns", daemon=True
+        )
+        self._campaign_thread.start()
+        logger.info("fabric broker listening on %s (store %s)", self.url, self.store_dir)
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self._port}"
+
+    def submit(
+        self,
+        spec: CampaignSpec,
+        *,
+        lane_width: Optional[int] = None,
+    ) -> str:
+        """Queue a campaign; returns its name (the handle for ``wait``)."""
+        self._done.setdefault(spec.name, threading.Event())
+        self._jobs.put((spec, lane_width or self.config.lane_width))
+        return spec.name
+
+    def wait(self, name: str, timeout: Optional[float] = None):
+        """Block until campaign ``name`` finishes; return its RunReport.
+
+        Re-raises the campaign's exception if it failed (including the
+        RuntimeError an aborted runner produces)."""
+        event = self._done.get(name)
+        if event is None:
+            raise KeyError(f"unknown campaign {name!r}")
+        if not event.wait(timeout=timeout):
+            raise TimeoutError(f"campaign {name!r} still running after {timeout}s")
+        report = self._reports[name]
+        if isinstance(report, BaseException):
+            raise report
+        return report
+
+    def stop(self, abort: bool = False, timeout: float = 30.0) -> None:
+        self._stopping = True
+        runner = self._runner
+        if runner is not None:
+            if abort:
+                runner.abort()
+            else:
+                runner.drain()
+        self._jobs.put(None)
+        if self._campaign_thread is not None:
+            self._campaign_thread.join(timeout=timeout)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=timeout)
+
+    # ------------------------------------------------------ campaign thread
+    def _campaign_main(self) -> None:
+        from repro.campaigns.executor import run_campaign
+        from repro.campaigns.store import ResultStore
+
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                break
+            spec, lane_width = job
+            self._active_campaign = spec.name
+            try:
+                store = ResultStore(self.store_dir)
+                try:
+                    cfg = self.config
+                    runner = FabricRunner(
+                        self.store_dir,
+                        config=self.supervise,
+                        fleet=self.fleet,
+                        heartbeat_s=cfg.heartbeat_s,
+                        heartbeat_ttl_s=cfg.heartbeat_ttl_s,
+                        local_grace_s=cfg.local_grace_s,
+                        local_workers=cfg.local_workers,
+                        chaos=self.chaos,
+                    )
+                    self._runner = runner
+                    report = run_campaign(
+                        spec,
+                        store,
+                        runner=runner,
+                        lane_width=lane_width,
+                        supervise=self.supervise,
+                        chaos=self.chaos,
+                    )
+                    self._reports[spec.name] = report
+                    logger.info("campaign %s finished: %s", spec.name, report.summary())
+                finally:
+                    self._runner = None
+                    store.close()
+            except BaseException as exc:  # kept: surfaced via wait()
+                logger.warning("campaign %s died: %r", spec.name, exc)
+                self._reports[spec.name] = exc
+            finally:
+                self._active_campaign = None
+                self._done.setdefault(spec.name, threading.Event()).set()
+
+    # ---------------------------------------------------------- HTTP thread
+    def _http_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle_conn, self.config.host, self.config.port)
+            )
+        except OSError as exc:
+            self._start_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _handle_conn(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, path, _version = request_line.decode("latin-1").split()
+                except ValueError:
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or 0)
+                body = await reader.readexactly(length) if length else b""
+                status, payload = self._route(method, path, body)
+                data = json.dumps(payload).encode()
+                reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(status, "OK")
+                writer.write(
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: keep-alive\r\n\r\n".encode("latin-1")
+                    + data
+                )
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # pragma: no cover - never kill the server loop
+            logger.exception("connection handler failed")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # --------------------------------------------------------------- routes
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True}
+        if method == "GET" and path == "/api/v1/status":
+            return 200, self._status()
+        if method == "POST" and path == "/api/v1/message":
+            try:
+                msg = protocol.decode(json.loads(body.decode() or "{}"))
+            except (json.JSONDecodeError, UnicodeDecodeError, protocol.ProtocolError) as exc:
+                return 400, {"error": str(exc)}
+            try:
+                reply = self._dispatch(msg)
+            except protocol.ProtocolError as exc:
+                return 400, {"error": str(exc)}
+            return 200, protocol.encode(reply)
+        if method == "POST" and path == "/api/v1/campaigns":
+            try:
+                payload = json.loads(body.decode() or "{}")
+                spec = CampaignSpec.from_dict(payload["spec"])
+                spec.validate()
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError, ValueError) as exc:
+                return 400, {"error": f"bad campaign submission: {exc}"}
+            name = self.submit(spec, lane_width=payload.get("lane_width"))
+            return 200, {"name": name, "store": str(self.store_dir)}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _dispatch(self, msg: protocol.Message) -> protocol.Message:
+        runner = self._runner
+        if runner is not None:
+            return runner.handle(msg)
+        # Between campaigns (or before the first) the broker still answers:
+        # workers idle-poll until a campaign starts.
+        cfg = self.config
+        if isinstance(msg, protocol.Register):
+            if msg.protocol != protocol.PROTOCOL_VERSION:
+                return protocol.Registered(
+                    ok=False,
+                    heartbeat_s=cfg.heartbeat_s,
+                    reason=f"protocol {msg.protocol} unsupported",
+                )
+            self.fleet.register(msg.worker_id, msg.host, msg.pid)
+            return protocol.Registered(ok=True, heartbeat_s=cfg.heartbeat_s)
+        if isinstance(msg, protocol.LeaseRequest):
+            self.fleet.touch(msg.worker_id)
+            return protocol.NoWork(drain=self._stopping)
+        if isinstance(msg, protocol.Heartbeat):
+            self.fleet.touch(msg.worker_id)
+            return protocol.HeartbeatAck(known=(), drain=self._stopping)
+        if isinstance(msg, protocol.ResultDelivery):
+            # No active campaign can own this lease; classify as late/unknown.
+            METRICS.counter("fabric.unknown_results").inc(1)
+            return protocol.ResultAck(accepted=False, duplicate=False)
+        raise protocol.ProtocolError(f"broker cannot handle message kind {msg.KIND!r}")
+
+    def _status(self) -> dict:
+        runner = self._runner
+        ttl = self.config.heartbeat_ttl_s or 3.5 * self.config.heartbeat_s
+        fleet = (
+            runner.fleet_snapshot()
+            if runner is not None
+            else {"workers": self.fleet.snapshot(ttl), "local_active": False}
+        )
+        progress = None
+        try:
+            from repro.campaigns.progress import read_latest_progress
+
+            progress = read_latest_progress(self.store_dir)
+        except Exception:  # no store yet / no snapshot yet
+            progress = None
+        return {
+            "store": str(self.store_dir),
+            "campaign": self._active_campaign,
+            "stopping": self._stopping,
+            "fleet": fleet,
+            "progress": progress,
+        }

@@ -1,0 +1,419 @@
+"""Journaled lease table: the broker's source of truth for in-flight packs.
+
+A *pack* is one lane-pack payload submitted by ``run_campaign``; a *lease*
+is one grant of that pack to a worker. The table enforces the fabric's
+robustness contract:
+
+- **Heartbeat-backed deadlines.** A lease dies two ways: no heartbeat for
+  ``heartbeat_ttl_s`` (the worker is presumed gone — a *steal*) or the
+  absolute execution deadline passes (the worker is presumed wedged — an
+  *expiry*). Either way the pack requeues with its ``pack_attempt`` bumped,
+  reusing the supervised pool's ``max_requeues`` budget: infrastructure
+  noise is never a trial's fault, so an exhausted budget fails the pack
+  (``lost``) instead of quarantining its trials.
+- **Idempotent delivery classification.** Every result delivery resolves to
+  exactly one verdict: ``accept`` (current lease), ``late`` (a stale lease
+  whose pack is still outstanding — the late winner's outcomes are kept and
+  the rival grant voided), ``duplicate`` (pack already finished — dropped),
+  or ``unknown`` (never ours — dropped). Whatever the interleaving of
+  steals, requeues and duplicated messages, a pack completes exactly once.
+- **Crash-resume.** Every transition appends to ``leases.jsonl`` next to
+  the ResultStore. A restarted broker replays the journal to learn (a) the
+  requeue budget already burned per pack signature, (b) which lease ids
+  from earlier epochs are stale, and (c) which signatures already finished
+  — so late deliveries from before the crash are still classified correctly
+  and completed work is never re-executed (the ResultStore's content-keyed
+  dedup makes the trials themselves free to skip).
+
+All verdicts/transitions increment ``fabric.*`` telemetry counters so the
+acceptance test can assert that every steal, requeue and duplicate-drop was
+observed, not just survived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from repro.campaigns.spec import Trial
+from repro.telemetry import METRICS
+
+__all__ = ["Lease", "LeaseJournal", "LeaseTable", "Pack", "pack_signature"]
+
+JOURNAL_NAME = "leases.jsonl"
+
+
+def pack_signature(payload: dict) -> str:
+    """Stable content key of a pack payload.
+
+    Hashes the sorted ``(trial key, attempt)`` pairs so the same pack
+    submitted before and after a broker restart maps to the same signature,
+    while a retry pack (same trial, higher attempt) maps to a fresh one.
+    """
+    parts = []
+    for td in payload.get("trials", []):
+        key = td.get("key") or Trial.from_dict(td).key
+        parts.append(f"{key}@{td.get('attempt', 0)}")
+    digest = hashlib.sha256("|".join(sorted(parts)).encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class Lease:
+    """One grant of a pack to a worker."""
+
+    lease_id: str
+    worker_id: str
+    granted_at: float
+    last_heartbeat: float
+    local: bool = False
+
+
+@dataclass
+class Pack:
+    """One submitted pack payload and its lease lifecycle."""
+
+    job_id: int
+    payload: dict
+    deadline_s: float
+    sig: str
+    eligible_at: float = 0.0
+    requeues: int = 0
+    lease: Optional[Lease] = None
+    done: bool = False
+    lost: bool = False
+    reasons: list = field(default_factory=list)
+
+
+class LeaseJournal:
+    """Append-only JSONL journal of lease transitions, replayable on boot."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.epoch = 1
+        self._carried: dict[str, int] = {}
+        # Stale lease id -> (sig, grantee worker id): sig matches late
+        # deliveries, the worker id rejects imposters reusing a lease id.
+        self._stale: dict[str, tuple[str, str]] = {}
+        self._finished: set[str] = set()
+        self._replay()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._write({"e": "open", "epoch": self.epoch, "t": time.time()})
+
+    def _replay(self) -> None:
+        if not self.path.exists():
+            return
+        # lease_id -> (sig, worker), grants not yet resolved
+        granted: dict[str, tuple[str, str]] = {}
+        for record in self._read_lines():
+            event = record.get("e")
+            if event == "open":
+                self.epoch = max(self.epoch, int(record.get("epoch", 0)) + 1)
+            elif event == "grant":
+                granted[record["lease"]] = (record["sig"], record.get("worker", ""))
+                self._carried[record["sig"]] = int(record.get("requeues", 0))
+            elif event == "requeue":
+                prior = granted.pop(record["lease"], None)
+                self._stale[record["lease"]] = (
+                    record["sig"], prior[1] if prior else ""
+                )
+                self._carried[record["sig"]] = int(record.get("requeues", 0))
+            elif event == "complete":
+                self._stale.pop(record["lease"], None)
+                granted.pop(record["lease"], None)
+                self._finished.add(record["sig"])
+                self._carried.pop(record["sig"], None)
+            elif event == "lost":
+                self._finished.add(record["sig"])
+                self._carried.pop(record["sig"], None)
+        # Grants left unresolved by a crash are stale in the new epoch.
+        self._stale.update(granted)
+
+    def _read_lines(self) -> Iterator[dict]:
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a crash; ignore
+                if isinstance(record, dict):
+                    yield record
+
+    def _write(self, record: dict) -> None:
+        try:
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except ValueError:  # closed during shutdown; transition is moot
+            pass
+
+    # Replayed state consumed by the table -------------------------------
+    def carried_requeues(self, sig: str) -> int:
+        return self._carried.pop(sig, 0)
+
+    @property
+    def stale_leases(self) -> dict[str, tuple[str, str]]:
+        return self._stale
+
+    @property
+    def finished_sigs(self) -> set[str]:
+        return self._finished
+
+    # Live transitions ---------------------------------------------------
+    def grant(self, lease_id: str, sig: str, worker_id: str, requeues: int) -> None:
+        self._write(
+            {"e": "grant", "lease": lease_id, "sig": sig, "worker": worker_id, "requeues": requeues}
+        )
+
+    def requeue(self, lease_id: str, sig: str, requeues: int, reason: str) -> None:
+        self._write(
+            {"e": "requeue", "lease": lease_id, "sig": sig, "requeues": requeues, "reason": reason}
+        )
+
+    def complete(self, lease_id: str, sig: str) -> None:
+        self._write({"e": "complete", "lease": lease_id, "sig": sig})
+
+    def lost(self, sig: str) -> None:
+        self._write({"e": "lost", "sig": sig})
+
+    def close(self, clear: bool = False) -> None:
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover
+            pass
+        if clear:
+            self.path.unlink(missing_ok=True)
+
+
+class LeaseTable:
+    """Thread-safe lease state machine shared by HTTP handlers and the
+    campaign thread. All public methods take the internal lock."""
+
+    def __init__(
+        self,
+        journal: LeaseJournal,
+        *,
+        max_requeues: int,
+        heartbeat_ttl_s: float,
+        backoff: Callable[[int, str], float],
+        now: Callable[[], float] = time.monotonic,
+    ):
+        self.journal = journal
+        self.max_requeues = max_requeues
+        self.heartbeat_ttl_s = heartbeat_ttl_s
+        self._backoff = backoff
+        self._now = now
+        self._lock = threading.Lock()
+        self._pending: list[Pack] = []
+        self._granted: dict[str, Pack] = {}
+        self._by_sig: dict[str, Pack] = {}
+        # Stale lease id -> (sig, grantee): steals/requeues this run plus
+        # prior epochs replayed from the journal.
+        self._stale: dict[str, tuple[str, str]] = dict(journal.stale_leases)
+        self._finished_sigs: set[str] = set(journal.finished_sigs)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, job_id: int, payload: dict, deadline_s: float, delay_s: float = 0.0) -> Pack:
+        sig = pack_signature(payload)
+        pack = Pack(
+            job_id=job_id,
+            payload=dict(payload),
+            deadline_s=float(deadline_s),
+            sig=sig,
+            eligible_at=self._now() + max(0.0, delay_s),
+        )
+        with self._lock:
+            carried = self.journal.carried_requeues(sig)
+            if carried:
+                pack.requeues = carried
+                pack.payload["pack_attempt"] = carried
+                METRICS.counter("fabric.requeues_carried").inc(carried)
+            self._pending.append(pack)
+            self._by_sig[sig] = pack
+            # A resubmitted pack is outstanding again; late deliveries for
+            # it should match by sig rather than read as duplicates.
+            self._finished_sigs.discard(sig)
+        return pack
+
+    def grant(self, worker_id: str, *, local: bool = False) -> Optional[Pack]:
+        """Claim one eligible pending pack for ``worker_id``."""
+        now = self._now()
+        with self._lock:
+            for i, pack in enumerate(self._pending):
+                if pack.eligible_at <= now:
+                    del self._pending[i]
+                    self._seq += 1
+                    lease_id = f"L{self.journal.epoch}-{self._seq}"
+                    pack.lease = Lease(
+                        lease_id=lease_id,
+                        worker_id=worker_id,
+                        granted_at=now,
+                        last_heartbeat=now,
+                        local=local,
+                    )
+                    self._granted[lease_id] = pack
+                    self.journal.grant(lease_id, pack.sig, worker_id, pack.requeues)
+                    METRICS.counter("fabric.leases_granted").inc(1)
+                    return pack
+        return None
+
+    def heartbeat(self, worker_id: str, lease_ids) -> tuple:
+        """Renew leases held by ``worker_id``; return the ids still valid."""
+        now = self._now()
+        known = []
+        with self._lock:
+            for lease_id in lease_ids:
+                pack = self._granted.get(lease_id)
+                if pack is not None and pack.lease and pack.lease.worker_id == worker_id:
+                    pack.lease.last_heartbeat = now
+                    known.append(lease_id)
+        return tuple(known)
+
+    # ------------------------------------------------------------------
+    def deliver(self, lease_id: str, worker_id: str) -> tuple[str, Optional[Pack]]:
+        """Classify a result delivery; returns ``(verdict, pack)``.
+
+        Verdicts: ``accept`` — current lease, pack completes; ``late`` —
+        stale lease whose pack is still outstanding, the late winner's
+        outcomes complete it (any rival grant is voided); ``duplicate`` —
+        pack already finished, drop; ``unknown`` — not ours, drop.
+        """
+        with self._lock:
+            pack = self._granted.get(lease_id)
+            if pack is not None and pack.lease is not None:
+                if pack.lease.worker_id != worker_id:
+                    METRICS.counter("fabric.unknown_results").inc(1)
+                    return "unknown", None
+                self._complete_locked(pack)
+                METRICS.counter("fabric.results_accepted").inc(1)
+                return "accept", pack
+            stale = self._stale.get(lease_id)
+            if stale is None:
+                METRICS.counter("fabric.unknown_results").inc(1)
+                return "unknown", None
+            sig, grantee = stale
+            if grantee and grantee != worker_id:
+                METRICS.counter("fabric.unknown_results").inc(1)
+                return "unknown", None
+            live = self._by_sig.get(sig)
+            if live is not None and not live.done:
+                # Late winner: the original leaseholder finished after its
+                # lease was stolen/expired. Keep its outcomes, void any
+                # rival grant so the rival's delivery reads as duplicate.
+                self._complete_locked(live)
+                METRICS.counter("fabric.late_results_accepted").inc(1)
+                return "late", live
+            METRICS.counter("fabric.duplicate_results").inc(1)
+            return "duplicate", None
+
+    def _complete_locked(self, pack: Pack) -> None:
+        lease = pack.lease
+        if lease is not None:
+            self._granted.pop(lease.lease_id, None)
+            self._stale[lease.lease_id] = (pack.sig, lease.worker_id)
+            self.journal.complete(lease.lease_id, pack.sig)
+        else:
+            self.journal.complete("-", pack.sig)
+        if pack in self._pending:  # completed by a late winner while requeued
+            self._pending.remove(pack)
+        pack.lease = None
+        pack.done = True
+        self._finished_sigs.add(pack.sig)
+        self._by_sig.pop(pack.sig, None)
+
+    def complete_local(self, pack: Pack) -> None:
+        """Mark a locally-executed pack finished (degrade-to-local path)."""
+        with self._lock:
+            if not pack.done:
+                self._complete_locked(pack)
+
+    def lose_local(self, pack: Pack) -> None:
+        """Mark a locally-executed pack lost (the in-process pool burned its
+        own requeue budget)."""
+        with self._lock:
+            if pack.done:
+                return
+            lease = pack.lease
+            if lease is not None:
+                self._granted.pop(lease.lease_id, None)
+                self._stale[lease.lease_id] = (pack.sig, lease.worker_id)
+                pack.lease = None
+            pack.done = True
+            pack.lost = True
+            self._finished_sigs.add(pack.sig)
+            self._by_sig.pop(pack.sig, None)
+            self.journal.lost(pack.sig)
+            METRICS.counter("fabric.packs_lost").inc(1)
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> list[Pack]:
+        """Steal heartbeat-dead leases, expire over-deadline ones.
+
+        Requeues each swept pack (with backoff) until its ``max_requeues``
+        budget is exhausted, at which point the pack is marked lost and
+        returned so the runner can emit a ``PackLost`` event.
+        """
+        now = self._now()
+        lost: list[Pack] = []
+        with self._lock:
+            for lease_id in list(self._granted):
+                pack = self._granted[lease_id]
+                lease = pack.lease
+                if lease is None or lease.local:
+                    continue
+                reason = None
+                if now - lease.granted_at > pack.deadline_s:
+                    reason = "deadline expired"
+                    METRICS.counter("fabric.lease_expiries").inc(1)
+                elif now - lease.last_heartbeat > self.heartbeat_ttl_s:
+                    reason = f"no heartbeat from {lease.worker_id}"
+                    METRICS.counter("fabric.lease_steals").inc(1)
+                if reason is None:
+                    continue
+                self._granted.pop(lease_id, None)
+                self._stale[lease_id] = (pack.sig, lease.worker_id)
+                pack.lease = None
+                pack.reasons.append(reason)
+                pack.requeues += 1
+                if pack.requeues > self.max_requeues:
+                    pack.done = True
+                    pack.lost = True
+                    self._finished_sigs.add(pack.sig)
+                    self._by_sig.pop(pack.sig, None)
+                    self.journal.lost(pack.sig)
+                    METRICS.counter("fabric.packs_lost").inc(1)
+                    lost.append(pack)
+                else:
+                    pack.payload["pack_attempt"] = pack.requeues
+                    pack.eligible_at = now + self._backoff(pack.requeues, pack.sig)
+                    self._pending.append(pack)
+                    self.journal.requeue(lease_id, pack.sig, pack.requeues, reason)
+                    METRICS.counter("fabric.requeues").inc(1)
+        return lost
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def granted_count(self) -> int:
+        with self._lock:
+            return len(self._granted)
+
+    def leases_by_worker(self) -> dict[str, list[str]]:
+        with self._lock:
+            held: dict[str, list[str]] = {}
+            for lease_id, pack in self._granted.items():
+                if pack.lease is not None:
+                    held.setdefault(pack.lease.worker_id, []).append(lease_id)
+            return held

@@ -1,0 +1,293 @@
+"""Versioned JSON message protocol for the campaign fabric.
+
+Every message on the wire is one of the typed, frozen dataclasses below,
+wrapped in a two-field envelope::
+
+    {"v": 1, "kind": "lease_request", ...body fields...}
+
+The style follows gridworks-scada's named types: each type declares its
+``KIND``, round-trips losslessly through :func:`encode` / :func:`decode`,
+and validation is *strict* — unknown keys, missing required fields, wrong
+field types, and version mismatches all raise :class:`ProtocolError` rather
+than being silently coerced. Strictness is what lets the broker treat any
+malformed input as a client bug (HTTP 400) instead of corrupting lease
+state, and what makes protocol evolution explicit: adding a field without a
+default is a breaking change and must bump :data:`PROTOCOL_VERSION`.
+
+Message vocabulary (see DESIGN.md section 14 for the full table):
+
+========================  ======  =======================================
+kind                      dir     purpose
+========================  ======  =======================================
+``register``              W -> B  announce a worker, negotiate version
+``registered``            B -> W  accept/reject + heartbeat cadence
+``lease_request``         W -> B  ask for one lane pack
+``lease_grant``           B -> W  a pack + lease id + execution deadline
+``no_work``               B -> W  nothing leasable right now (or drain)
+``heartbeat``             W -> B  liveness + renewal of held lease ids
+``heartbeat_ack``         B -> W  which of those leases are still valid
+``result``                W -> B  all outcomes of one leased pack
+``result_ack``            B -> W  accepted / duplicate + quarantine verdicts
+``quarantine``            B -> W  per-trial quarantine notice (rides acks)
+========================  ======  =======================================
+
+Nested messages (quarantine notices inside a ``result_ack``) are embedded
+as their own enveloped dicts so both sides validate them with the same
+:func:`decode` path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from dataclasses import dataclass
+
+PROTOCOL_VERSION = 1
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Heartbeat",
+    "HeartbeatAck",
+    "LeaseGrant",
+    "LeaseRequest",
+    "Message",
+    "NoWork",
+    "ProtocolError",
+    "QuarantineNotice",
+    "Register",
+    "Registered",
+    "ResultAck",
+    "ResultDelivery",
+    "decode",
+    "encode",
+]
+
+
+class ProtocolError(ValueError):
+    """A message failed schema validation (unknown kind, bad field, ...)."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def _message(kind: str):
+    """Class decorator: register a dataclass under its wire ``kind``."""
+
+    def wrap(cls):
+        cls.KIND = kind
+        if kind in _REGISTRY:  # pragma: no cover - programming error
+            raise RuntimeError(f"duplicate message kind {kind!r}")
+        _REGISTRY[kind] = cls
+        return cls
+
+    return wrap
+
+
+# --------------------------------------------------------------------------
+# Message types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; concrete messages carry a ``KIND`` class attribute."""
+
+    KIND: typing.ClassVar[str] = ""
+
+
+@_message("register")
+@dataclass(frozen=True)
+class Register(Message):
+    """Worker announces itself to the broker."""
+
+    worker_id: str
+    host: str = ""
+    pid: int = 0
+    protocol: int = PROTOCOL_VERSION
+
+
+@_message("registered")
+@dataclass(frozen=True)
+class Registered(Message):
+    """Broker accepts (or rejects) a registration."""
+
+    ok: bool
+    heartbeat_s: float = 2.0
+    reason: str = ""
+
+
+@_message("lease_request")
+@dataclass(frozen=True)
+class LeaseRequest(Message):
+    """Worker asks for one lane pack to execute."""
+
+    worker_id: str
+
+
+@_message("lease_grant")
+@dataclass(frozen=True)
+class LeaseGrant(Message):
+    """Broker hands out a pack under a lease.
+
+    ``deadline_s`` is the execution budget measured from the grant; a lease
+    that outlives it is swept and requeued even if heartbeats keep coming
+    (same semantics as the supervised pool's per-pack deadline).
+    """
+
+    lease_id: str
+    pack: dict
+    deadline_s: float
+    heartbeat_s: float = 2.0
+
+
+@_message("no_work")
+@dataclass(frozen=True)
+class NoWork(Message):
+    """Nothing leasable right now.
+
+    ``drain`` asks the worker to exit once idle (broker shutting down);
+    ``retry_after_s`` is a polling hint, not a contract.
+    """
+
+    drain: bool = False
+    retry_after_s: float = 0.5
+
+
+@_message("heartbeat")
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Worker liveness ping, renewing the leases it still holds."""
+
+    worker_id: str
+    lease_ids: tuple = ()
+
+
+@_message("heartbeat_ack")
+@dataclass(frozen=True)
+class HeartbeatAck(Message):
+    """Broker echoes which of the renewed leases are still valid.
+
+    A lease id missing from ``known`` was stolen or expired; the worker may
+    keep executing (its delivery will be classified duplicate/late and
+    dropped idempotently) but learns not to count on it.
+    """
+
+    known: tuple = ()
+    drain: bool = False
+
+
+@_message("result")
+@dataclass(frozen=True)
+class ResultDelivery(Message):
+    """All outcomes of one leased pack, delivered atomically.
+
+    ``outcomes`` is the list produced by ``_run_pack_payload``; delivering
+    the whole pack in one message means a pack is either fully ingested or
+    not at all — no partial-pack reconciliation on retry.
+    """
+
+    worker_id: str
+    lease_id: str
+    outcomes: tuple = ()
+
+
+@_message("result_ack")
+@dataclass(frozen=True)
+class ResultAck(Message):
+    """Broker's verdict on a delivery.
+
+    ``accepted`` means the outcomes entered the campaign event stream;
+    ``duplicate`` means the pack had already completed (the delivery was
+    dropped — idempotent ingest). ``quarantined`` carries zero or more
+    enveloped :class:`QuarantineNotice` dicts once the broker has applied
+    its retry-or-quarantine policy to errored trials in this pack.
+    """
+
+    accepted: bool
+    duplicate: bool = False
+    quarantined: tuple = ()
+
+
+@_message("quarantine")
+@dataclass(frozen=True)
+class QuarantineNotice(Message):
+    """Broker -> worker: a trial from this worker's pack was quarantined."""
+
+    key: str
+    cell: str = ""
+    error: str = ""
+    attempts: int = 0
+
+
+# --------------------------------------------------------------------------
+# Strict encode / decode
+# --------------------------------------------------------------------------
+
+_SCALARS = {int: (int,), float: (int, float), str: (str,), bool: (bool,), dict: (dict,)}
+
+
+def _check_field(cls: type, name: str, hint, value):
+    """Validate ``value`` against the type hint; return the canonical form."""
+    origin = typing.get_origin(hint)
+    if origin is tuple or hint is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ProtocolError(f"{cls.KIND}.{name}: expected a list, got {type(value).__name__}")
+        args = typing.get_args(hint)
+        elem = args[0] if args else None
+        out = []
+        for i, item in enumerate(value):
+            if elem is not None and elem is not typing.Any:
+                out.append(_check_field(cls, f"{name}[{i}]", elem, item))
+            else:
+                if not isinstance(item, (str, int, float, bool, dict)):
+                    raise ProtocolError(f"{cls.KIND}.{name}[{i}]: unsupported element type")
+                out.append(item)
+        return tuple(out)
+    allowed = _SCALARS.get(hint)
+    if allowed is None:  # pragma: no cover - schema programming error
+        raise ProtocolError(f"{cls.KIND}.{name}: unsupported schema type {hint!r}")
+    # bool is a subclass of int; reject it where an int/float is expected.
+    if isinstance(value, bool) and hint is not bool:
+        raise ProtocolError(f"{cls.KIND}.{name}: expected {hint.__name__}, got bool")
+    if not isinstance(value, allowed):
+        raise ProtocolError(
+            f"{cls.KIND}.{name}: expected {hint.__name__}, got {type(value).__name__}"
+        )
+    return float(value) if hint is float else value
+
+
+def encode(msg: Message) -> dict:
+    """Serialize a message to its enveloped JSON-ready dict."""
+    if not isinstance(msg, Message) or not getattr(msg, "KIND", ""):
+        raise ProtocolError(f"not a protocol message: {msg!r}")
+    out: dict = {"v": PROTOCOL_VERSION, "kind": msg.KIND}
+    for f in dataclasses.fields(msg):
+        value = getattr(msg, f.name)
+        out[f.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def decode(payload) -> Message:
+    """Parse and strictly validate an enveloped dict into a typed message."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"message must be an object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version {version!r} != {PROTOCOL_VERSION}")
+    kind = payload.get("kind")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    hints = typing.get_type_hints(cls)
+    kwargs: dict = {}
+    for key, value in payload.items():
+        if key in ("v", "kind"):
+            continue
+        if key not in hints or key == "KIND":
+            raise ProtocolError(f"{kind}: unknown field {key!r}")
+        kwargs[key] = _check_field(cls, key, hints[key], value)
+    for f in dataclasses.fields(cls):
+        if f.name not in kwargs:
+            if f.default is dataclasses.MISSING and f.default_factory is dataclasses.MISSING:
+                raise ProtocolError(f"{kind}: missing required field {f.name!r}")
+    return cls(**kwargs)

@@ -1,0 +1,332 @@
+"""Fabric worker: lease-pull execution loop for ``campaign worker``.
+
+A worker is deliberately dumb: register, pull a lease, run the pack with
+the exact :func:`~repro.campaigns.executor._run_pack_payload` the local
+pools use, deliver all outcomes in one message, repeat. Every robustness
+behavior is mechanical:
+
+- **Reconnect with capped exponential backoff + deterministic jitter** —
+  any transport failure (broker down, connection reset, chaos drop) retries
+  the same logical message with an incremented attempt counter; the jitter
+  is a pure hash of (site, attempt), so reruns schedule identically.
+- **At-least-once delivery** — a result is retried until *some* ack
+  arrives; the broker's lease table makes redelivery idempotent, so the
+  worker never has to know whether a lost connection happened before or
+  after the broker processed the message.
+- **Heartbeats from a daemon thread** — the GIL is released inside the
+  numpy-heavy pack execution, so liveness pings keep flowing mid-pack; a
+  missed ping is harmless (the broker tolerates ``heartbeat_ttl_s``).
+- **Graceful drain on SIGTERM** — finish the leased pack, deliver it,
+  refuse new leases, exit 0. A second SIGTERM (or SIGKILL) abandons the
+  pack; the broker's sweep requeues it.
+
+Network chaos (``net_drop``/``net_dup``/``net_delay``/``net_disconnect``)
+is applied *in the transport*, per (message kind, site), exactly where a
+real network would bite — see :func:`repro.campaigns.chaos.maybe_net_fault`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.campaigns import chaos as chaos_mod
+from repro.campaigns.spec import Trial
+from repro.fabric import protocol
+from repro.telemetry import METRICS
+from repro.utils.logging import get_logger
+
+logger = get_logger("fabric.worker")
+
+__all__ = ["BrokerTransport", "FabricWorker", "TransportError", "WorkerConfig"]
+
+
+class TransportError(RuntimeError):
+    """The message did not complete a request/reply round trip."""
+
+
+def backoff_delay(attempt: int, site: str, base_s: float, cap_s: float) -> float:
+    """Capped exponential backoff with deterministic jitter (1-based)."""
+    if attempt <= 0:
+        return 0.0
+    base = min(base_s * 2 ** (attempt - 1), cap_s)
+    digest = hashlib.sha256(f"{site}:{attempt}".encode()).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+    return base * (1.0 + jitter)
+
+
+class BrokerTransport:
+    """One-request-per-message HTTP client with chaos fault points.
+
+    Fault semantics mirror real networks: ``drop`` fails before the bytes
+    leave, ``disconnect`` sends but loses the reply (the broker *did*
+    process the message — the retry that follows produces a duplicate,
+    which is exactly the case idempotent ingest must absorb), ``dup`` sends
+    the same message twice, ``delay`` sleeps before sending.
+    """
+
+    def __init__(self, url: str, timeout_s: float = 10.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def send(self, msg: protocol.Message, site: str = "", attempt: int = 0) -> protocol.Message:
+        fault = chaos_mod.maybe_net_fault(msg.KIND, site, attempt)
+        if fault is not None:
+            METRICS.counter(f"fabric.net_{fault}").inc(1)
+        if fault == "drop":
+            raise TransportError(f"chaos: dropped {msg.KIND} to {self.url}")
+        if fault == "delay":
+            spec = chaos_mod.active()
+            time.sleep(spec.net_delay_s if spec is not None else 0.2)
+        data = json.dumps(protocol.encode(msg)).encode()
+        reply = self._post(data)
+        if fault == "dup":
+            try:
+                self._post(data)  # the duplicated delivery; its reply is moot
+            except TransportError:
+                pass
+        if fault == "disconnect":
+            raise TransportError(f"chaos: connection lost awaiting reply to {msg.KIND}")
+        return reply
+
+    def _post(self, data: bytes) -> protocol.Message:
+        request = urllib.request.Request(
+            self.url + "/api/v1/message",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            # 4xx means the broker rejected the message as malformed — a
+            # client bug, not a network condition. Crash loudly.
+            detail = exc.read().decode(errors="replace")[:500]
+            raise protocol.ProtocolError(f"broker rejected message ({exc.code}): {detail}")
+        except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as exc:
+            raise TransportError(f"{type(exc).__name__}: {exc}") from None
+        try:
+            return protocol.decode(json.loads(body.decode()))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TransportError(f"unparseable broker reply: {exc}") from None
+
+
+@dataclass
+class WorkerConfig:
+    url: str
+    worker_id: str = ""
+    heartbeat_s: float = 2.0  # replaced by the broker's Registered reply
+    max_idle_s: Optional[float] = None  # exit after this long with no work
+    backoff_base_s: float = 0.2
+    backoff_cap_s: float = 5.0
+    request_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            self.worker_id = f"w-{socket.gethostname()}-{os.getpid()}"
+
+
+class FabricWorker:
+    """The ``campaign worker --connect URL`` process."""
+
+    def __init__(self, config: WorkerConfig, transport: Optional[BrokerTransport] = None):
+        self.config = config
+        self.transport = transport or BrokerTransport(
+            config.url, timeout_s=config.request_timeout_s
+        )
+        self.heartbeat_s = config.heartbeat_s
+        self._drain = threading.Event()
+        self._hb_stop = threading.Event()
+        self._lease_lock = threading.Lock()
+        self._held_lease: Optional[str] = None
+        self._seq = 0
+        # Worker-fatal chaos (kill/hang) is gated on WORKER_INDEX; a fabric
+        # worker is supervised by the broker's lease sweep, so it opts in.
+        chaos_mod.WORKER_INDEX = os.getpid() & 0x7FFF
+
+    # ------------------------------------------------------------- signals
+    def install_signal_handlers(self) -> None:
+        signal.signal(signal.SIGTERM, self._on_sigterm)
+
+    def _on_sigterm(self, _signum, _frame) -> None:
+        if self._drain.is_set():
+            # Second SIGTERM: the operator means it. The broker requeues.
+            logger.warning("second SIGTERM: abandoning leased pack and exiting")
+            raise SystemExit(1)
+        logger.warning("SIGTERM: draining (finishing leased pack, refusing new leases)")
+        self._drain.set()
+
+    # ----------------------------------------------------------- transport
+    def _send_reliably(
+        self, msg: protocol.Message, site: str, must_deliver: bool = False
+    ) -> Optional[protocol.Message]:
+        """Retry a message until a reply arrives.
+
+        When draining and not ``must_deliver``, gives up after a few
+        attempts so shutdown is not hostage to a dead broker; a result
+        delivery (``must_deliver``) keeps trying much longer — completed
+        work is the one thing worth waiting for.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.transport.send(msg, site=site, attempt=attempt)
+            except TransportError as exc:
+                attempt += 1
+                METRICS.counter("fabric.worker_reconnects").inc(1)
+                limit = 50 if must_deliver else (3 if self._drain.is_set() else 10_000)
+                if attempt > limit:
+                    logger.warning("giving up on %s after %d attempts: %s", msg.KIND, attempt, exc)
+                    return None
+                delay = backoff_delay(
+                    attempt, site, self.config.backoff_base_s, self.config.backoff_cap_s
+                )
+                logger.warning(
+                    "send %s failed (%s); retry %d in %.2fs", msg.KIND, exc, attempt, delay
+                )
+                time.sleep(delay)
+
+    # ----------------------------------------------------------- heartbeat
+    def _heartbeat_loop(self) -> None:
+        worker_id = self.config.worker_id
+        n = 0
+        while not self._hb_stop.wait(self.heartbeat_s):
+            with self._lease_lock:
+                held = (self._held_lease,) if self._held_lease else ()
+            n += 1
+            try:
+                reply = self.transport.send(
+                    protocol.Heartbeat(worker_id=worker_id, lease_ids=held),
+                    site=f"hb:{n}",
+                )
+            except (TransportError, protocol.ProtocolError):
+                continue  # a lost ping is what heartbeat_ttl_s is for
+            if isinstance(reply, protocol.HeartbeatAck):
+                if held and not reply.known:
+                    logger.warning("broker no longer recognizes lease %s", held[0])
+                if reply.drain:
+                    self._drain.set()
+
+    # ---------------------------------------------------------------- main
+    def run(self) -> int:
+        cfg = self.config
+        reply = self._send_reliably(
+            protocol.Register(
+                worker_id=cfg.worker_id, host=socket.gethostname(), pid=os.getpid()
+            ),
+            site="register",
+        )
+        if not isinstance(reply, protocol.Registered):
+            logger.warning("never registered with %s; exiting", cfg.url)
+            return 1
+        if not reply.ok:
+            logger.warning("broker refused registration: %s", reply.reason)
+            return 2
+        self.heartbeat_s = reply.heartbeat_s or cfg.heartbeat_s
+        logger.info(
+            "registered with %s as %s (heartbeat %.1fs)", cfg.url, cfg.worker_id, self.heartbeat_s
+        )
+        hb_thread = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        hb_thread.start()
+        idle_since = time.monotonic()
+        try:
+            while not self._drain.is_set():
+                if (
+                    cfg.max_idle_s is not None
+                    and time.monotonic() - idle_since > cfg.max_idle_s
+                ):
+                    logger.info("idle for %.1fs; exiting", cfg.max_idle_s)
+                    break
+                self._seq += 1
+                reply = self._send_reliably(
+                    protocol.LeaseRequest(worker_id=cfg.worker_id), site=f"lease:{self._seq}"
+                )
+                if reply is None:
+                    break
+                if isinstance(reply, protocol.NoWork):
+                    if reply.drain:
+                        logger.info("broker draining; exiting")
+                        break
+                    time.sleep(min(max(reply.retry_after_s, 0.05), 5.0))
+                    continue
+                if not isinstance(reply, protocol.LeaseGrant):
+                    logger.warning("unexpected reply to lease request: %s", reply.KIND)
+                    continue
+                self._run_lease(reply)
+                idle_since = time.monotonic()
+        finally:
+            self._hb_stop.set()
+            hb_thread.join(timeout=self.heartbeat_s + 1.0)
+        logger.info("worker %s exiting", cfg.worker_id)
+        return 0
+
+    def _run_lease(self, grant: protocol.LeaseGrant) -> None:
+        from repro.campaigns.executor import _run_pack_payload
+
+        with self._lease_lock:
+            self._held_lease = grant.lease_id
+        pack = dict(grant.pack)
+        n_trials = len(pack.get("trials", []))
+        logger.info("lease %s: %d trial(s)", grant.lease_id, n_trials)
+        started = time.monotonic()
+        try:
+            outcomes = _run_pack_payload(pack)
+        finally:
+            with self._lease_lock:
+                self._held_lease = None
+        METRICS.counter("fabric.worker_packs_run").inc(1)
+        ack = self._send_reliably(
+            protocol.ResultDelivery(
+                worker_id=self.config.worker_id,
+                lease_id=grant.lease_id,
+                outcomes=tuple(outcomes),
+            ),
+            site=_result_site(pack),
+            must_deliver=True,
+        )
+        if ack is None:
+            logger.warning("result of lease %s never delivered", grant.lease_id)
+            return
+        if isinstance(ack, protocol.ResultAck):
+            if not ack.accepted:
+                kind = "duplicate" if ack.duplicate else "stale"
+                logger.info("lease %s delivery judged %s by broker", grant.lease_id, kind)
+            for raw in ack.quarantined:
+                try:
+                    notice = protocol.decode(raw)
+                except protocol.ProtocolError:
+                    continue
+                logger.warning(
+                    "broker quarantined trial %s (%s) after %d attempts: %s",
+                    notice.key, notice.cell, notice.attempts, notice.error,
+                )
+        logger.info(
+            "lease %s done in %.2fs (%d outcomes)",
+            grant.lease_id, time.monotonic() - started, n_trials,
+        )
+
+
+def _result_site(pack: dict) -> str:
+    """Chaos site for a pack's result delivery: content key + pack attempt.
+
+    Content-derived, so tests can predict which deliveries fault without
+    running anything; attempt-qualified, so a requeued pack's delivery is a
+    fresh site (its first attempt may fault again — and the requeue
+    machinery must absorb that too).
+    """
+    trials = pack.get("trials") or [{}]
+    try:
+        key = Trial.from_dict({k: v for k, v in trials[0].items() if k != "attempt"}).key
+    except Exception:
+        key = "unknown"
+    return f"{key}:{pack.get('pack_attempt', 0)}"

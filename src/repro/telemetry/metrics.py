@@ -14,11 +14,23 @@ them (counters and monotonic gauges sum, histograms merge) into the
 Metric names in use: ``campaign.trials_executed`` / ``.trials_failed`` /
 ``.trial_retries`` / ``.trials_quarantined``,
 ``lanes.packs`` / ``.packed_trials`` / ``.pack_degradations``,
-``supervise.worker_deaths`` / ``.lease_expiries`` / ``.requeues``,
-``store.corrupt_lines``,
+``supervise.worker_deaths`` / ``.lease_expiries`` / ``.requeues`` /
+``.respawns_throttled``,
+``store.corrupt_lines`` / ``.duplicate_ingests``,
 ``injector.corruptions``, ``protector.inspected`` / ``.detected`` /
 ``.recovered``, ``replay.trace_hits`` / ``.trace_misses`` (gauges mirroring
 the trace store's counters), ``trial.elapsed_s`` (histogram).
+
+The distributed control plane (DESIGN.md section 14) adds the ``fabric.*``
+family — broker side: ``fabric.leases_granted`` / ``.lease_steals`` /
+``.lease_expiries`` / ``.requeues`` / ``.requeues_carried`` /
+``.packs_lost`` / ``.results_accepted`` / ``.late_results_accepted`` /
+``.duplicate_results`` / ``.unknown_results`` / ``.local_fallbacks`` /
+``.workers_registered`` / ``.quarantine_notices``; worker side:
+``fabric.worker_reconnects`` / ``.worker_packs_run`` and one
+``fabric.net_{drop,dup,delay,disconnect}`` counter per injected network
+fault. Every lease requeue, steal, and dropped duplicate delivery is
+visible here — silent recovery is a debugging dead end.
 """
 
 from __future__ import annotations

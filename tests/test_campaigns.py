@@ -4,10 +4,16 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import sqlite3
+import subprocess
+import sys
 import time
 from pathlib import Path
 
 import pytest
+
+import repro.telemetry as telemetry
 
 from repro.campaigns import (
     CONTINUE,
@@ -269,6 +275,121 @@ class TestStore:
             store.add(_trial(0, component="K"), _result(0.0))
             cell = _trial(0).cell_id
             assert [r.result.degradation for r in store.cell_records(cell)] == [0.1, 0.3]
+
+    def test_double_ingest_race_caught_under_lock(self, tmp_path, monkeypatch):
+        """Two writers racing one key: both pass the unlocked membership
+        check, but the re-check under the ingest lock sees the winner's
+        commit (WAL cross-connection visibility) and drops the loser's
+        append. Simulated deterministically by handing writer B a stale
+        first membership answer."""
+        directory = tmp_path / "s"
+        store_a = ResultStore(directory)
+        store_b = ResultStore(directory)
+        try:
+            store_a.add(_trial(), _result(0.1))  # writer A wins the race
+            stale = []
+            orig = ResultStore.__contains__
+
+            def racy(self, key):
+                if self is store_b and not stale:
+                    stale.append(key)
+                    return False  # pre-lock check ran before A's commit
+                return orig(self, key)
+
+            monkeypatch.setattr(ResultStore, "__contains__", racy)
+            dupes = telemetry.METRICS.counter("store.duplicate_ingests").value
+            store_b.add(_trial(), _result(0.9))
+            assert stale  # the stale fast path was actually exercised
+            assert (
+                telemetry.METRICS.counter("store.duplicate_ingests").value
+                == dupes + 1
+            )
+        finally:
+            store_a.close()
+            store_b.close()
+        assert len((directory / "results.jsonl").read_text().splitlines()) == 1
+        with ResultStore(directory) as store:
+            assert len(store) == 1
+            assert store.get(_trial().key).result.degradation == 0.1
+
+    def test_two_process_ingest_stays_duplicate_free(self, tmp_path):
+        """The regression the flock exists for: two *processes* streaming
+        the same keys into one store directory must never double-append —
+        the log's line count must equal the key count afterwards."""
+        directory = tmp_path / "s"
+        script = (
+            "import sys, time\n"
+            "from repro.campaigns import ErrorSpec, SiteSpec, Trial, TrialResult\n"
+            "from repro.campaigns.store import ResultStore\n"
+            "directory, start = sys.argv[1], float(sys.argv[2])\n"
+            "trials = [Trial(model='opt-mini', task='perplexity',\n"
+            "                site=SiteSpec.only(components=['O'], stages=['prefill']),\n"
+            "                error=ErrorSpec.bitflip(1e-3, bits=(30,)), seed=s)\n"
+            "          for s in range(25)]\n"
+            "with ResultStore(directory) as store:\n"
+            "    while time.time() < start:\n"
+            "        time.sleep(0.005)\n"
+            "    for t in trials:\n"
+            "        store.add(t, TrialResult(score=3.0, degradation=0.5,\n"
+            "                                 clean_score=2.5))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        start = str(time.time() + 1.5)  # barrier: both loops begin together
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(directory), start],
+                env=env, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        lines = (directory / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 25
+        assert len({json.loads(line)["key"] for line in lines}) == 25
+        with ResultStore(directory) as store:
+            assert len(store) == 25
+
+    def test_slow_readonly_reader_never_blocks_writer(self, tmp_path):
+        """`campaign status/watch` against a store a broker is writing (the
+        remote-fleet deployment, DESIGN.md §14): the documented read path is
+        a `mode=ro` URI connection, and under WAL even a reader that holds
+        its snapshot open across many writer commits neither blocks the
+        writer nor sees torn state."""
+        from repro.campaigns.progress import read_latest_progress
+
+        directory = tmp_path / "s"
+        with ResultStore(directory) as store:
+            store.add(_trial(0), _result(0.1))
+            reader = sqlite3.connect(
+                f"file:{directory / 'index.sqlite'}?mode=ro", uri=True
+            )
+            try:
+                reader.execute("BEGIN")  # slow reader: snapshot held open
+                assert reader.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone() == (1,)
+                for seed in range(1, 6):  # writer streams on, unblocked
+                    store.add(_trial(seed), _result(0.2))
+                store.write_progress({"name": "t", "state": "running"})
+                # the open snapshot still reads its original state...
+                assert reader.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone() == (1,)
+            finally:
+                reader.close()
+            # ...and a fresh read-only open sees everything committed
+            assert read_latest_progress(directory)["state"] == "running"
+            with pytest.raises(sqlite3.OperationalError):
+                sqlite3.connect(
+                    f"file:{directory / 'index.sqlite'}?mode=ro", uri=True
+                ).execute("INSERT INTO progress (ts, payload) VALUES (1, 'x')")
 
     def test_wal_mode_and_covering_index(self, tmp_path):
         """The index runs in WAL mode with a covering key index, so the

@@ -1,0 +1,693 @@
+"""Tests for the distributed campaign fabric (repro.fabric).
+
+Layers under test, bottom up: the versioned JSON protocol (strict decode),
+the lease table + journal (steals, expiry, late/duplicate delivery
+verdicts, crash replay), the FabricRunner driven by a scripted in-test
+worker (the S4 lease edge cases), the broker HTTP service (restart-resume
+with zero re-execution, degrade-to-local), and the acceptance run: a
+broker plus three real worker subprocesses under network chaos, a worker
+SIGKILL, and one broker restart, completing bit-identical to a fault-free
+single-box run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.campaigns import ErrorSpec, SiteSpec
+from repro.campaigns import chaos as chaos_mod
+from repro.campaigns.chaos import ChaosSpec
+from repro.campaigns.executor import _run_pack_payload, run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.campaigns.supervise import PackDone, PackLost, SuperviseConfig
+from repro.fabric import protocol
+from repro.fabric.broker import BrokerConfig, FabricBroker, FabricRunner
+from repro.fabric.leases import JOURNAL_NAME, LeaseJournal, LeaseTable, pack_signature
+from repro.fabric.worker import BrokerTransport, backoff_delay
+
+FAST = SuperviseConfig(
+    trial_timeout=30.0,
+    max_retries=1,
+    max_requeues=3,
+    backoff_base_s=0.0,
+    backoff_cap_s=0.0,
+    poll_interval_s=0.02,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    yield
+    chaos_mod.install(None)
+
+
+def _counter(name):
+    return telemetry.METRICS.counter(name).value
+
+
+def _payload(key: str, attempt: int = 0) -> dict:
+    return {"trials": [{"key": key, "attempt": attempt}], "pack_attempt": 0}
+
+
+# ------------------------------------------------------------------ protocol
+class TestProtocol:
+    MESSAGES = [
+        protocol.Register(worker_id="w1", host="h", pid=7),
+        protocol.Registered(ok=True, heartbeat_s=1.5),
+        protocol.Registered(ok=False, reason="version"),
+        protocol.LeaseRequest(worker_id="w1"),
+        protocol.LeaseGrant(lease_id="L1-1", pack={"trials": []}, deadline_s=3.0),
+        protocol.NoWork(drain=True, retry_after_s=0.2),
+        protocol.Heartbeat(worker_id="w1", lease_ids=("L1-1",)),
+        protocol.HeartbeatAck(known=("L1-1",), drain=False),
+        protocol.ResultDelivery(
+            worker_id="w1", lease_id="L1-1", outcomes=({"key": "k"},)
+        ),
+        protocol.ResultAck(accepted=True, quarantined=()),
+        protocol.QuarantineNotice(key="k", cell="c", error="boom", attempts=3),
+    ]
+
+    def test_every_kind_round_trips(self):
+        for msg in self.MESSAGES:
+            envelope = protocol.encode(msg)
+            assert envelope["v"] == protocol.PROTOCOL_VERSION
+            assert protocol.decode(envelope) == msg
+
+    def test_envelopes_are_json_safe(self):
+        for msg in self.MESSAGES:
+            assert protocol.decode(json.loads(json.dumps(protocol.encode(msg)))) == msg
+
+    def test_decode_is_strict(self):
+        ok = protocol.encode(protocol.Register(worker_id="w"))
+        for mutate in (
+            lambda e: e.pop("v"),                      # missing version
+            lambda e: e.update(v=99),                  # wrong version
+            lambda e: e.update(kind="nope"),           # unknown kind
+            lambda e: e.pop("kind"),                   # missing kind
+            lambda e: e.pop("worker_id"),              # missing required field
+            lambda e: e.update(worker_id=3),           # wrong field type
+            lambda e: e.update(surprise=1),            # unknown field
+        ):
+            envelope = dict(ok)
+            mutate(envelope)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.decode(envelope)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode("not a dict")
+
+    def test_bool_is_not_a_number(self):
+        envelope = protocol.encode(protocol.NoWork())
+        envelope["retry_after_s"] = True
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(envelope)
+
+
+# -------------------------------------------------------------------- leases
+class TestLeases:
+    def _table(self, tmp_path, max_requeues=3, ttl=5.0, now=None):
+        journal = LeaseJournal(tmp_path / JOURNAL_NAME)
+        return (
+            LeaseTable(
+                journal,
+                max_requeues=max_requeues,
+                heartbeat_ttl_s=ttl,
+                backoff=FAST.backoff,
+                now=now or time.monotonic,
+            ),
+            journal,
+        )
+
+    def test_pack_signature_is_content_keyed(self):
+        a = {"trials": [{"key": "k1"}, {"key": "k2"}], "pack_attempt": 0}
+        b = {"trials": [{"key": "k2"}, {"key": "k1"}], "pack_attempt": 3}
+        assert pack_signature(a) == pack_signature(b)  # order/attempt-count free
+        retry = {"trials": [{"key": "k1", "attempt": 1}, {"key": "k2"}]}
+        assert pack_signature(retry) != pack_signature(a)  # retries are distinct
+
+    def test_heartbeat_steal_then_late_winner_and_duplicate(self, tmp_path):
+        clock = [100.0]
+        table, _ = self._table(tmp_path, now=lambda: clock[0])
+        steals = _counter("fabric.lease_steals")
+        table.submit(1, _payload("t1"), deadline_s=60.0)
+        lease1 = table.grant("w1").lease.lease_id
+        clock[0] += 3.0
+        assert table.heartbeat("w1", (lease1,)) == (lease1,)
+        clock[0] += 10.0  # silence past the TTL: the lease is stolen
+        assert table.sweep() == []  # requeued, not lost
+        assert _counter("fabric.lease_steals") == steals + 1
+        regrant = table.grant("w2")
+        lease2 = regrant.lease.lease_id
+        assert regrant.payload["pack_attempt"] == 1
+        # The original holder finishes late while the pack is outstanding:
+        # its outcomes win, and the rival grant is voided.
+        verdict, pack = table.deliver(lease1, "w1")
+        assert verdict == "late" and pack is not None
+        assert table.deliver(lease2, "w2") == ("duplicate", None)
+        assert table.deliver(lease1, "w1") == ("duplicate", None)
+        assert table.deliver("L9-99", "w9") == ("unknown", None)
+        assert table.deliver(lease1, "w-imposter") == ("unknown", None)
+
+    def test_deadline_expiry_and_requeue_budget_exhaustion(self, tmp_path):
+        clock = [0.0]
+        table, _ = self._table(tmp_path, max_requeues=1, now=lambda: clock[0])
+        lost_before = _counter("fabric.packs_lost")
+        table.submit(1, _payload("t1"), deadline_s=5.0)
+        table.grant("w1")
+        clock[0] += 6.0  # deadline passes even though heartbeats kept coming
+        table.heartbeat("w1", ())
+        assert table.sweep() == []  # first expiry: requeue
+        table.grant("w1")
+        clock[0] += 6.0
+        (lost,) = table.sweep()  # budget burned: lost
+        assert lost.lost and lost.requeues == 2
+        assert _counter("fabric.packs_lost") == lost_before + 1
+
+    def test_journal_replay_resumes_epoch_requeues_and_stale_leases(self, tmp_path):
+        clock = [0.0]
+        table, journal = self._table(tmp_path, now=lambda: clock[0])
+        table.submit(1, _payload("t1"), deadline_s=60.0)
+        lease1 = table.grant("w1").lease.lease_id  # granted, then broker "crashes"
+        clock[0] += 10.0
+        table.sweep()  # steal: requeue recorded for t1's pack
+        lease1b = table.grant("w1").lease.lease_id  # re-grant of t1's pack
+        table.submit(2, _payload("t2"), deadline_s=60.0)  # never granted
+        # no journal.close(): simulates the broker dying with leases open
+        journal2 = LeaseJournal(tmp_path / JOURNAL_NAME)
+        assert journal2.epoch == 2  # lease ids can never collide across boots
+        table2 = LeaseTable(
+            journal2, max_requeues=3, heartbeat_ttl_s=5.0, backoff=FAST.backoff,
+        )
+        # resubmitted packs carry their requeue budget across the restart
+        carried = _counter("fabric.requeues_carried")
+        pack1 = table2.submit(1, _payload("t1"), deadline_s=60.0)
+        assert pack1.requeues == 1 and pack1.payload["pack_attempt"] == 1
+        assert _counter("fabric.requeues_carried") == carried + 1
+        assert table2.submit(2, _payload("t2"), deadline_s=60.0).requeues == 0
+        # both pre-crash lease ids are stale but sig-matched: a worker that
+        # kept running through the crash still lands its result exactly once
+        verdict, pack = table2.deliver(lease1b, "w1")
+        assert verdict == "late" and pack is not None
+        assert table2.deliver(lease1, "w1") == ("duplicate", None)
+
+    def test_clean_close_clears_journal_torn_tail_ignored(self, tmp_path):
+        table, journal = self._table(tmp_path)
+        table.submit(1, _payload("t1"), deadline_s=60.0)
+        lease = table.grant("w1").lease.lease_id
+        table.deliver(lease, "w1")
+        path = tmp_path / JOURNAL_NAME
+        with path.open("a") as handle:
+            handle.write('{"e": "grant", "lease": "L1-')  # torn crash tail
+        replayed = LeaseJournal(path)  # parses past the torn line
+        assert pack_signature(_payload("t1")) in replayed.finished_sigs
+        replayed.close(clear=True)
+        assert not path.exists()
+
+
+# --------------------------------------------------- runner edge cases (S4)
+class TestFabricRunnerEdgeCases:
+    def _runner(self, tmp_path, now, ttl=2.0, **kwargs):
+        kwargs.setdefault("config", FAST)
+        kwargs.setdefault("local_workers", 0)
+        return FabricRunner(
+            tmp_path, heartbeat_s=1.0, heartbeat_ttl_s=ttl, now=now, **kwargs
+        )
+
+    def test_steal_with_idempotent_double_ingest(self, tmp_path):
+        """Heartbeat lost -> steal -> both the original holder and the thief
+        deliver. Exactly one PackDone surfaces; the second delivery is
+        acked as a duplicate and never double-counted."""
+        clock = [0.0]
+        runner = self._runner(tmp_path, now=lambda: clock[0])
+        try:
+            runner.submit(_payload("t1"), deadline_s=60.0)
+            grant1 = runner.handle(protocol.LeaseRequest(worker_id="w1"))
+            assert isinstance(grant1, protocol.LeaseGrant)
+            clock[0] += 10.0  # w1 goes silent; the sweep inside next_event steals
+            assert runner.next_event() is None
+            grant2 = runner.handle(protocol.LeaseRequest(worker_id="w2"))
+            assert isinstance(grant2, protocol.LeaseGrant)
+            assert grant2.pack["pack_attempt"] == 1
+            ack1 = runner.handle(
+                protocol.ResultDelivery(
+                    worker_id="w1", lease_id=grant1.lease_id,
+                    outcomes=({"key": "t1", "who": "w1"},),
+                )
+            )
+            assert ack1.accepted  # late winner: kept
+            ack2 = runner.handle(
+                protocol.ResultDelivery(
+                    worker_id="w2", lease_id=grant2.lease_id,
+                    outcomes=({"key": "t1", "who": "w2"},),
+                )
+            )
+            assert not ack2.accepted and ack2.duplicate  # idempotent drop
+            event = runner.next_event()
+            assert isinstance(event, PackDone)
+            assert event.outcomes[0]["who"] == "w1"
+            assert runner.outstanding == 0
+            assert runner.next_event() is None  # nothing ghosts in later
+        finally:
+            runner.close()
+
+    def test_late_result_after_expiry_requeue_and_completion_is_dropped(self, tmp_path):
+        """Same shape, but the thief wins the race: the original holder's
+        even-later delivery must be dropped, not double-ingested."""
+        clock = [0.0]
+        runner = self._runner(tmp_path, now=lambda: clock[0])
+        try:
+            runner.submit(_payload("t1"), deadline_s=4.0)
+            grant1 = runner.handle(protocol.LeaseRequest(worker_id="w1"))
+            clock[0] += 5.0  # absolute deadline expires (heartbeats irrelevant)
+            assert runner.next_event() is None
+            grant2 = runner.handle(protocol.LeaseRequest(worker_id="w2"))
+            ack2 = runner.handle(
+                protocol.ResultDelivery(
+                    worker_id="w2", lease_id=grant2.lease_id,
+                    outcomes=({"key": "t1", "who": "w2"},),
+                )
+            )
+            assert ack2.accepted
+            dupes = _counter("fabric.duplicate_results")
+            ack1 = runner.handle(
+                protocol.ResultDelivery(
+                    worker_id="w1", lease_id=grant1.lease_id,
+                    outcomes=({"key": "t1", "who": "w1"},),
+                )
+            )
+            assert not ack1.accepted and ack1.duplicate
+            assert _counter("fabric.duplicate_results") == dupes + 1
+            event = runner.next_event()
+            assert isinstance(event, PackDone) and event.outcomes[0]["who"] == "w2"
+            assert runner.outstanding == 0
+        finally:
+            runner.close()
+
+    def test_lost_pack_surfaces_once_budget_burns(self, tmp_path):
+        clock = [0.0]
+        runner = self._runner(tmp_path, now=lambda: clock[0])
+        try:
+            runner.submit(_payload("t1"), deadline_s=60.0)
+            events = []
+            for _ in range(FAST.max_requeues + 1):
+                assert isinstance(
+                    runner.handle(protocol.LeaseRequest(worker_id="w1")),
+                    protocol.LeaseGrant,
+                )
+                clock[0] += 10.0  # worker dies silently every time
+                event = runner.next_event()
+                if event is not None:
+                    events.append(event)
+            assert [type(e) for e in events] == [PackLost]
+            assert runner.outstanding == 0
+        finally:
+            runner.close()
+
+    def test_journal_cleared_only_on_clean_finish(self, tmp_path):
+        runner = self._runner(tmp_path, now=time.monotonic)
+        runner.submit(_payload("t1"), deadline_s=60.0)
+        grant = runner.handle(protocol.LeaseRequest(worker_id="w1"))
+        runner.handle(
+            protocol.ResultDelivery(
+                worker_id="w1", lease_id=grant.lease_id, outcomes=({"key": "t1"},)
+            )
+        )
+        assert isinstance(runner.next_event(), PackDone)
+        runner.close()  # clean: every pack accounted for
+        assert not (tmp_path / JOURNAL_NAME).exists()
+
+        runner2 = self._runner(tmp_path, now=time.monotonic)
+        runner2.submit(_payload("t2"), deadline_s=60.0)
+        runner2.abort()
+        with pytest.raises(RuntimeError):
+            runner2.next_event()
+        runner2.close(force=True)  # crash-path: journal survives for resume
+        assert (tmp_path / JOURNAL_NAME).exists()
+
+    def test_draining_broker_refuses_new_leases(self, tmp_path):
+        runner = self._runner(tmp_path, now=time.monotonic)
+        try:
+            runner.submit(_payload("t1"), deadline_s=60.0)
+            runner.drain()
+            reply = runner.handle(protocol.LeaseRequest(worker_id="w1"))
+            assert isinstance(reply, protocol.NoWork) and reply.drain
+        finally:
+            runner.close(force=True)
+
+    def test_register_rejects_wrong_protocol_version(self, tmp_path):
+        runner = self._runner(tmp_path, now=time.monotonic)
+        try:
+            reply = runner.handle(protocol.Register(worker_id="w1", protocol=99))
+            assert isinstance(reply, protocol.Registered) and not reply.ok
+            assert "unsupported" in reply.reason
+        finally:
+            runner.close()
+
+
+# ------------------------------------------------------------------- worker
+class TestWorkerBackoff:
+    def test_backoff_is_deterministic_capped_exponential_with_jitter(self):
+        delays = [backoff_delay(a, "site", base_s=0.2, cap_s=5.0) for a in range(1, 12)]
+        assert delays == [
+            backoff_delay(a, "site", base_s=0.2, cap_s=5.0) for a in range(1, 12)
+        ]
+        assert all(0.0 < d <= 2 * 5.0 for d in delays)
+        assert backoff_delay(3, "a", base_s=0.2, cap_s=5.0) != backoff_delay(
+            3, "b", base_s=0.2, cap_s=5.0
+        )
+
+
+class TestNetChaos:
+    def test_net_fault_precedence_and_first_attempt_only(self):
+        chaos_mod.install(ChaosSpec(seed=0, net_drop=1.0, net_dup=1.0))
+        assert chaos_mod.maybe_net_fault("result", "site") == "drop"
+        assert chaos_mod.maybe_net_fault("result", "site", attempt=1) is None
+        chaos_mod.install(ChaosSpec(seed=0, net_dup=1.0))
+        assert chaos_mod.maybe_net_fault("result", "site") == "dup"
+        chaos_mod.install(None)
+        assert chaos_mod.maybe_net_fault("result", "site") is None
+
+    def test_compact_aliases_parse(self):
+        spec = ChaosSpec.from_string("seed=4,drop=0.1,dup=0.2,delay=0.3,disconnect=0.4")
+        assert spec == ChaosSpec(
+            seed=4, net_drop=0.1, net_dup=0.2, net_delay=0.3, net_disconnect=0.4
+        )
+
+
+# ----------------------------------------------------------- broker service
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spec(seeds, **supervise) -> CampaignSpec:
+    merged = dict(
+        backoff_base_s=0.01, backoff_cap_s=0.05, poll_interval_s=0.02,
+    )
+    merged.update(supervise)
+    return CampaignSpec(
+        name="t-fabric",
+        models=("opt-mini",),
+        sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+        errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+        seeds=seeds,
+        supervise=SuperviseConfig(**merged),
+    )
+
+
+class _ScriptedWorker:
+    """In-test worker speaking real HTTP through BrokerTransport, executing
+    packs in-process so tests control exactly how many packs it takes."""
+
+    def __init__(self, url: str, worker_id: str):
+        self.transport = BrokerTransport(url)
+        self.worker_id = worker_id
+
+    def register(self):
+        reply = self.transport.send(
+            protocol.Register(worker_id=self.worker_id, host="test", pid=os.getpid())
+        )
+        assert isinstance(reply, protocol.Registered) and reply.ok
+
+    def run_packs(self, count: int, timeout_s: float = 120.0):
+        done = 0
+        deadline = time.monotonic() + timeout_s
+        while done < count:
+            assert time.monotonic() < deadline, "scripted worker starved of packs"
+            reply = self.transport.send(protocol.LeaseRequest(worker_id=self.worker_id))
+            if isinstance(reply, protocol.NoWork):
+                time.sleep(0.05)
+                continue
+            outcomes = _run_pack_payload(dict(reply.pack))
+            ack = self.transport.send(
+                protocol.ResultDelivery(
+                    worker_id=self.worker_id,
+                    lease_id=reply.lease_id,
+                    outcomes=tuple(outcomes),
+                )
+            )
+            assert ack.accepted
+            done += 1
+        return done
+
+
+def _log_lines(store_dir: Path) -> int:
+    path = store_dir / "results.jsonl"
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+class TestFabricBroker:
+    def test_degrades_to_local_pool_when_no_workers_appear(
+        self, tmp_path, opt_bundle
+    ):
+        fallbacks = _counter("fabric.local_fallbacks")
+        broker = FabricBroker(
+            tmp_path / "store",
+            config=BrokerConfig(local_workers=2, local_grace_s=0.3),
+        )
+        broker.start()
+        try:
+            name = broker.submit(_spec(seeds=(0, 1)), lane_width=1)
+            report = broker.wait(name, timeout=120)
+        finally:
+            broker.stop()
+        assert report.executed == 2 and report.failed == 0
+        assert _counter("fabric.local_fallbacks") == fallbacks + 1
+        with ResultStore(tmp_path / "store") as store:
+            assert len(store) == 2
+        assert not (tmp_path / "store" / JOURNAL_NAME).exists()  # clean finish
+
+    def test_broker_restart_resumes_without_reexecuting_completed_trials(
+        self, tmp_path, opt_bundle
+    ):
+        """S4's restart case end to end: two of four trials complete, the
+        broker dies hard (journal survives), a new broker on the same store
+        serves the rest — and the resumed campaign re-executes nothing."""
+        store_dir = tmp_path / "store"
+        spec = _spec(seeds=(0, 1, 2, 3))
+        broker1 = FabricBroker(
+            store_dir, config=BrokerConfig(local_workers=0, local_grace_s=600.0)
+        )
+        broker1.start()
+        try:
+            name = broker1.submit(spec, lane_width=1)
+            worker = _ScriptedWorker(broker1.url, "sw-1")
+            worker.register()
+            worker.run_packs(2)
+            deadline = time.monotonic() + 60.0
+            while _log_lines(store_dir) < 2:  # both results ingested + stored
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        finally:
+            broker1.stop(abort=True)
+        with pytest.raises(RuntimeError):
+            broker1.wait(name, timeout=10)
+        assert (store_dir / JOURNAL_NAME).exists()  # crash leaves the journal
+
+        broker2 = FabricBroker(
+            store_dir, config=BrokerConfig(local_workers=0, local_grace_s=600.0)
+        )
+        broker2.start()
+        try:
+            name = broker2.submit(spec, lane_width=1)
+            worker2 = _ScriptedWorker(broker2.url, "sw-2")
+            worker2.register()
+            worker2.run_packs(2)
+            report = broker2.wait(name, timeout=120)
+        finally:
+            broker2.stop()
+        assert (report.cached, report.executed, report.failed) == (2, 2, 0)
+        assert _log_lines(store_dir) == 4  # zero re-executed, zero duplicated
+        with ResultStore(store_dir) as store:
+            assert len(store) == 4
+        assert not (store_dir / JOURNAL_NAME).exists()
+
+    def test_status_endpoint_reports_fleet_and_progress(self, tmp_path, opt_bundle):
+        import urllib.request
+
+        broker = FabricBroker(
+            tmp_path / "store",
+            config=BrokerConfig(local_workers=0, local_grace_s=600.0),
+        )
+        broker.start()
+        try:
+            name = broker.submit(_spec(seeds=(0,)), lane_width=1)
+            worker = _ScriptedWorker(broker.url, "sw-status")
+            worker.register()
+            worker.run_packs(1)
+            broker.wait(name, timeout=120)
+            with urllib.request.urlopen(broker.url + "/api/v1/status", timeout=10) as r:
+                status = json.loads(r.read())
+            with urllib.request.urlopen(broker.url + "/healthz", timeout=10) as r:
+                assert r.status == 200
+        finally:
+            broker.stop()
+        assert any(w["id"] == "sw-status" for w in status["fleet"]["workers"])
+        progress = status.get("progress")
+        assert progress is not None and progress["name"] == "t-fabric"
+        # the snapshot embeds the fleet for `campaign watch` rendering
+        assert "fleet" in progress
+
+
+# -------------------------------------------------------------- acceptance
+def _canonical_records(directory):
+    """Store records keyed by trial with volatile fields zeroed (the
+    bit-identical comparison of the chaos acceptance runs)."""
+    index = directory / "index.sqlite"
+    if index.exists():
+        index.unlink()  # force rebuild from the JSONL log
+    with ResultStore(directory) as store:
+        out = {}
+        for record in store.records():
+            result = record.result.to_dict()
+            result["elapsed_s"] = 0.0
+            result["worker"] = 0
+            out[record.key] = (record.trial.to_dict(), result)
+    return out
+
+
+def _acceptance_chaos(trial_keys):
+    """Pick a chaos seed whose pure-hash decisions provably cover: exactly
+    one worker SIGKILL, and every network fault kind on the result sites of
+    packs that are *not* the killed one (so each fault fires at a
+    predictable attempt-0 site)."""
+    for seed in range(5000):
+        spec = ChaosSpec(
+            seed=seed, kill_workers=0.18,
+            net_drop=0.3, net_dup=0.3, net_delay=0.3, net_disconnect=0.3,
+            net_delay_s=0.05,
+        )
+        kills = [k for k in trial_keys if spec.decide("kill_workers", k)]
+        if len(kills) != 1:
+            continue
+        fired = {}
+        for key in trial_keys:
+            if key in kills:
+                continue
+            site = f"result:{key}:0"
+            for kind, name in chaos_mod.NET_FAULTS:
+                if spec.decide(kind, site):
+                    fired.setdefault(name, []).append(key)
+                    break
+        if (
+            len(fired.get("disconnect", [])) >= 2  # survives a restart window
+            and fired.get("drop")
+            and fired.get("dup")
+            and fired.get("delay")
+        ):
+            return spec, kills[0]
+    raise AssertionError("no chaos seed covers every fault kind")
+
+
+class TestFabricAcceptance:
+    def test_chaos_fleet_with_broker_restart_is_bit_identical(
+        self, tmp_path, opt_bundle
+    ):
+        """The tentpole acceptance run: a broker and three real worker
+        processes under message drops, duplicated deliveries, delays,
+        disconnects, one worker SIGKILL, and one hard broker restart
+        complete the campaign with zero failures and a store bit-identical
+        to a fault-free single-box run — every recovery visible in the
+        ``fabric.*`` counters."""
+        spec = _spec(seeds=tuple(range(6)), trial_timeout=20.0)
+        trial_keys = [t.key for t in spec.expand()]
+        chaos, killed_key = _acceptance_chaos(trial_keys)
+
+        with ResultStore(tmp_path / "clean") as store:
+            clean = run_campaign(spec, store, workers=0, lane_width=1)
+        assert clean.failed == 0 and clean.executed == 6
+
+        store_dir = tmp_path / "chaos"
+        port = _free_port()
+        config = BrokerConfig(
+            port=port, heartbeat_s=0.5, local_workers=2, local_grace_s=45.0,
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        env["REPRO_CHAOS"] = json.dumps(chaos.to_dict())
+        granted = _counter("fabric.leases_granted")
+        steals = _counter("fabric.lease_steals")
+        expiries = _counter("fabric.lease_expiries")
+        requeues = _counter("fabric.requeues")
+        dupes = _counter("fabric.duplicate_results")
+        late = _counter("fabric.late_results_accepted")
+
+        broker = FabricBroker(store_dir, config=config, chaos=chaos)
+        broker.start()
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "campaign", "worker",
+                    "--connect", broker.url,
+                ],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            for _ in range(3)
+        ]
+        try:
+            name = broker.submit(spec, lane_width=1)
+            deadline = time.monotonic() + 180.0
+            while _log_lines(store_dir) < 2:  # partial progress, then crash
+                assert time.monotonic() < deadline, "no results before restart"
+                time.sleep(0.05)
+            broker.stop(abort=True)
+            with pytest.raises(RuntimeError):
+                broker.wait(name, timeout=15)
+            assert (store_dir / JOURNAL_NAME).exists()
+
+            # same port: the surviving workers' reconnect backoff finds it
+            broker = FabricBroker(store_dir, config=config, chaos=chaos)
+            broker.start()
+            name = broker.submit(spec, lane_width=1)
+            report = broker.wait(name, timeout=300)
+        finally:
+            broker.stop()
+            for proc in workers:
+                proc.send_signal(signal.SIGTERM)
+            outputs = []
+            for proc in workers:
+                try:
+                    out, _ = proc.communicate(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    out, _ = proc.communicate()
+                outputs.append(out)
+
+        assert report.failed == 0 and report.quarantined == 0, "\n".join(outputs)
+        assert report.cached + report.executed == 6
+        assert _canonical_records(store_dir) == _canonical_records(
+            tmp_path / "clean"
+        ), "\n".join(outputs)
+        assert not (store_dir / JOURNAL_NAME).exists()  # clean second finish
+
+        # Every recovery is visible, never silent: the SIGKILLed worker's
+        # pack was stolen or expired and requeued; at least one duplicated
+        # or post-steal delivery was recognized and dropped/absorbed.
+        assert _counter("fabric.leases_granted") >= granted + 6
+        assert (
+            _counter("fabric.lease_steals")
+            + _counter("fabric.lease_expiries")
+            > steals + expiries
+        ), "\n".join(outputs)
+        assert _counter("fabric.requeues") > requeues
+        assert (
+            _counter("fabric.duplicate_results")
+            + _counter("fabric.late_results_accepted")
+            > dupes + late
+        ), "\n".join(outputs)

@@ -95,6 +95,10 @@ class TestSuperviseConfig:
             SuperviseConfig(backoff_base_s=1.0, backoff_cap_s=0.5)
         with pytest.raises(ValueError):
             SuperviseConfig(poll_interval_s=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(respawn_window_s=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(max_respawns_per_window=0)
 
     def test_backoff_is_deterministic_and_bounded(self):
         cfg = SuperviseConfig(backoff_base_s=0.1, backoff_cap_s=1.0)
@@ -201,6 +205,34 @@ class TestSupervisedPool:
         finally:
             pool.close()
         assert events[0].payload["pack_attempt"] == 1
+
+    def test_respawn_storm_is_throttled_then_recovers(self):
+        """A worker that dies instantly must not fork-loop: past the
+        per-window cap the pool runs short-handed (WARNING + counter), and
+        respawns back to target strength once the window slides."""
+        cfg = SuperviseConfig(
+            trial_timeout=30.0, max_requeues=8,
+            backoff_base_s=0.0, backoff_cap_s=0.0, poll_interval_s=0.02,
+            respawn_window_s=60.0, max_respawns_per_window=2,
+        )
+        throttled = _counter("supervise.respawns_throttled")
+        pool = SupervisedPool(1, _always_kill, config=cfg)
+        try:
+            pool.submit({"job": "storm"}, deadline_s=30.0)
+            deadline = time.monotonic() + 30.0
+            while _counter("supervise.respawns_throttled") == throttled:
+                assert time.monotonic() < deadline, "throttle never engaged"
+                pool.next_event()
+            # Cap hit after exactly max_respawns_per_window respawns: the
+            # initial worker plus two replacements died, nothing refills.
+            assert pool._workers == []
+            assert pool._respawn_debt >= 1
+            # The window slides: the next reaper tick respawns to target.
+            pool._respawn_times = [time.monotonic() - 120.0]
+            pool._maybe_respawn()
+            assert len(pool._workers) == 1
+        finally:
+            pool.close(force=True)
 
     def test_rejects_zero_workers_and_use_after_close(self):
         with pytest.raises(ValueError):

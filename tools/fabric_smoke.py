@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Distributed-fabric smoke: real broker + worker fleet under process faults.
+
+CI's end-to-end proof that the ``campaign serve`` / ``campaign worker``
+CLI pair survives the faults the fabric promises to absorb (DESIGN.md
+section 14). The script:
+
+1. runs the campaign serially in-process (the ground-truth store),
+2. starts a broker subprocess and two worker subprocesses on localhost,
+   the workers under ``REPRO_CHAOS`` network faults (message drops,
+   duplicated deliveries, delays, forced disconnects),
+3. SIGKILLs one worker once the first result lands (mid-campaign, so the
+   broker must steal whatever lease it held and requeue the pack),
+4. asserts the campaign completes with 0 failed / 0 quarantined and a
+   store bit-identical to the serial run (volatile fields zeroed).
+
+Artifacts — the broker log, both worker logs, the spec, and the progress
+history — are written to ``--out`` for CI upload, so a red run is
+debuggable from the workflow page alone.
+
+Usage::
+
+    PYTHONPATH=src python tools/fabric_smoke.py --out /tmp/fabric-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+import os  # noqa: E402  (after sys.path so `import repro` resolves below)
+
+from repro.campaigns import ErrorSpec, SiteSpec  # noqa: E402
+from repro.campaigns.executor import run_campaign  # noqa: E402
+from repro.campaigns.spec import CampaignSpec  # noqa: E402
+from repro.campaigns.store import ResultStore  # noqa: E402
+from repro.campaigns.supervise import SuperviseConfig  # noqa: E402
+
+#: Network faults only — worker kills come from this harness's SIGKILL, so
+#: the smoke proves the *fleet* recovery path, not the in-trial chaos the
+#: single-box CI job already covers. Rates are per attempt-0 message site,
+#: pure-hash deterministic (see campaigns/chaos.py).
+NET_CHAOS = (
+    "seed=11,drop=0.25,dup=0.25,delay=0.25,disconnect=0.25,net_delay_s=0.05"
+)
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="fabric-smoke",
+        models=("opt-mini",),
+        sites=(SiteSpec.only(components=["K"], stages=["prefill"]),),
+        errors=(ErrorSpec.bitflip(1e-3, bits=(30,)),),
+        seeds=tuple(range(4)),
+        supervise=SuperviseConfig(
+            trial_timeout=60.0, backoff_base_s=0.01, backoff_cap_s=0.1,
+            poll_interval_s=0.02,
+        ),
+    )
+
+
+def _canonical_records(directory: Path) -> dict:
+    index = directory / "index.sqlite"
+    if index.exists():
+        index.unlink()  # rebuild from the JSONL log: compare durable state
+    with ResultStore(directory) as store:
+        out = {}
+        for record in store.records():
+            result = record.result.to_dict()
+            result["elapsed_s"] = 0.0
+            result["worker"] = 0
+            out[record.key] = (record.trial.to_dict(), result)
+    return out
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _log_lines(store_dir: Path) -> int:
+    path = store_dir / "results.jsonl"
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="artifact directory (logs, history, stores)")
+    parser.add_argument("--timeout", type=float, default=420.0,
+                        help="overall deadline for the fabric run")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    spec = _spec()
+    spec_path = out / "grid.json"
+    spec_path.write_text(json.dumps(spec.to_dict(), indent=2))
+
+    print("[1/4] serial ground-truth run", flush=True)
+    serial_dir = out / "serial-store"
+    with ResultStore(serial_dir) as store:
+        serial = run_campaign(spec, store, workers=0, lane_width=1)
+    assert serial.failed == 0 and serial.quarantined == 0, serial.summary()
+
+    store_dir = out / "fabric-store"
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+
+    print(f"[2/4] broker + 2 workers on port {port} "
+          f"(workers under REPRO_CHAOS={NET_CHAOS})", flush=True)
+    broker_log = (out / "broker.log").open("w")
+    broker = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "serve",
+            "--spec", str(spec_path), "--store", str(store_dir),
+            "--port", str(port), "--heartbeat", "0.5",
+            "--grace", "120", "--local-workers", "0", "--lanes", "1",
+        ],
+        env=env, stdout=broker_log, stderr=subprocess.STDOUT, text=True,
+    )
+    worker_env = dict(env)
+    worker_env["REPRO_CHAOS"] = NET_CHAOS
+    worker_logs, workers = [], []
+    for i in range(2):
+        handle = (out / f"worker-{i}.log").open("w")
+        worker_logs.append(handle)
+        workers.append(subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign", "worker",
+                "--connect", f"http://127.0.0.1:{port}",
+                "--id", f"smoke-{i}",
+            ],
+            env=worker_env, stdout=handle, stderr=subprocess.STDOUT, text=True,
+        ))
+
+    deadline = time.monotonic() + args.timeout
+    try:
+        print("[3/4] waiting for first result, then SIGKILL worker 0",
+              flush=True)
+        while _log_lines(store_dir) < 1:
+            assert broker.poll() is None, "broker died before any result"
+            assert time.monotonic() < deadline, "no results before deadline"
+            time.sleep(0.1)
+        workers[0].kill()  # SIGKILL mid-campaign: its lease must be stolen
+
+        rc = broker.wait(timeout=max(1.0, deadline - time.monotonic()))
+        assert rc == 0, f"broker exited {rc} (see broker.log)"
+    finally:
+        for proc in [broker, *workers]:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in [broker, *workers]:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        broker_log.close()
+        for handle in worker_logs:
+            handle.close()
+
+    print("[4/4] verifying store and dumping progress history", flush=True)
+    status = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "campaign", "status",
+            "--spec", str(spec_path), "--store", str(store_dir),
+            "--history", str(out / "history.json"),
+        ],
+        env=env, capture_output=True, text=True,
+    )
+    sys.stdout.write(status.stdout)
+    assert status.returncode == 0, status.stderr
+
+    quarantine = store_dir / "quarantine.jsonl"
+    assert not quarantine.exists() or not quarantine.read_text().strip(), (
+        "trials were quarantined under pure network faults"
+    )
+    fabric = _canonical_records(store_dir)
+    clean = _canonical_records(serial_dir)
+    assert fabric == clean, (
+        f"fabric store diverged from serial run: "
+        f"{sorted(set(fabric) ^ set(clean)) or 'same keys, different results'}"
+    )
+    history = json.loads((out / "history.json").read_text())
+    assert history and history[-1]["state"] == "finished", history[-1:]
+    totals = history[-1]["totals"]
+    assert totals["failed"] == 0 and totals["quarantined"] == 0, totals
+
+    print(f"fabric smoke PASSED: {len(fabric)} trials bit-identical to the "
+          f"serial run; artifacts in {out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
